@@ -1,0 +1,49 @@
+"""Experiment E4: the Chapter 7 Alternating Bit protocol specifications
+(Figures 7-3 and 7-4, plus the §7.4 service-provided axiom) over lossy media."""
+
+from repro.specs import receiver_spec, sender_spec, service_provided_spec
+from repro.systems import ABProtocolConfig, ab_protocol_faulty_trace, ab_protocol_trace
+
+
+def _loss_sweep():
+    rows = []
+    for loss in (0.0, 0.3, 0.6):
+        config = ABProtocolConfig(messages=("m1", "m2", "m3"),
+                                  packet_loss=loss, ack_loss=loss, seed=11)
+        trace = ab_protocol_trace(config)
+        rows.append({
+            "loss": loss,
+            "trace_length": trace.length,
+            "sender": sender_spec().check(trace).holds,
+            "receiver": receiver_spec().check(trace).holds,
+            "service": service_provided_spec().check(trace).holds,
+        })
+    for fault in ("no_alternation", "transmit_during_dq", "skip_ack_wait"):
+        trace = ab_protocol_faulty_trace(fault=fault)
+        rows.append({
+            "loss": f"fault:{fault}",
+            "trace_length": trace.length,
+            "sender": sender_spec().check(trace).holds,
+            "receiver": None,
+            "service": None,
+        })
+    return rows
+
+
+def test_ab_protocol_conformance(benchmark):
+    rows = benchmark.pedantic(_loss_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    correct = [r for r in rows if not str(r["loss"]).startswith("fault")]
+    faulty = [r for r in rows if str(r["loss"]).startswith("fault")]
+    assert all(r["sender"] and r["receiver"] and r["service"] for r in correct)
+    assert all(not r["sender"] for r in faulty)
+    print()
+    for row in rows:
+        print(row)
+
+
+def test_sender_spec_check_cost(benchmark):
+    trace = ab_protocol_trace(ABProtocolConfig(seed=3))
+    spec = sender_spec()
+    result = benchmark(spec.check, trace)
+    assert result.holds

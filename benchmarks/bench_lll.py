@@ -1,0 +1,67 @@
+"""Experiment E8: the Appendix C low-level language.
+
+Regenerates the §4.3 example — ``iter*(P T*, Q)`` denotes the language
+``⋁ᵢ Pⁱ;Q`` — using the bounded partial-interpretation semantics (the
+documented substitution for the non-elementary graph construction), and
+checks that the §7 LTL encoding preserves (un)satisfiability on the
+formulas the tableau can decide exactly.
+"""
+
+from repro.lll import (
+    LChop,
+    LIterStar,
+    LTrueStar,
+    LVar,
+    is_satisfiable_bounded,
+    ltl_to_lll,
+    satisfying_interpretations,
+)
+from repro.ltl import is_satisfiable
+from repro.ltl.syntax import Henceforth, LAnd, LNot, LProp, Next, Sometime, StrongUntil
+
+
+def _example_and_encoding():
+    rows = []
+    expr = LIterStar(LChop(LVar("P"), LTrueStar()), LVar("Q"))
+    for bound in (3, 4, 5):
+        interps = satisfying_interpretations(expr, bound)
+        rows.append({
+            "case": f"iter*(P T*, Q) bound={bound}",
+            "interpretations": len(interps),
+            "expected_P^i;Q_shapes": bound,
+        })
+    formulas = {
+        "[]P /\\ <>~P": LAnd(Henceforth(LProp("P")), Sometime(LNot(LProp("P")))),
+        "<>P /\\ <>~P": LAnd(Sometime(LProp("P")), Sometime(LNot(LProp("P")))),
+        "Us(P, Q)": StrongUntil(LProp("P"), LProp("Q")),
+        "X P": Next(LProp("P")),
+    }
+    for name, formula in formulas.items():
+        rows.append({
+            "case": f"LTL encoding: {name}",
+            "tableau_satisfiable": is_satisfiable(formula),
+            "lll_bounded_satisfiable": is_satisfiable_bounded(ltl_to_lll(formula), 4),
+        })
+    return rows
+
+
+def test_lll_example_and_encoding(benchmark):
+    rows = benchmark.pedantic(_example_and_encoding, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    for row in rows:
+        if "interpretations" in row:
+            assert row["interpretations"] >= row["expected_P^i;Q_shapes"]
+        else:
+            if not row["tableau_satisfiable"]:
+                assert not row["lll_bounded_satisfiable"]
+            else:
+                assert row["lll_bounded_satisfiable"]
+    print()
+    for row in rows:
+        print(row)
+
+
+def test_iter_star_semantics_cost(benchmark):
+    expr = LIterStar(LChop(LVar("P"), LTrueStar()), LVar("Q"))
+    interps = benchmark(satisfying_interpretations, expr, 5)
+    assert interps

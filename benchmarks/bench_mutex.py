@@ -1,0 +1,52 @@
+"""Experiment E5: the Chapter 8 distributed mutual-exclusion specification
+(Figure 8-1), the exclusion theorem, and the Figure 8-2 proof lemmas."""
+
+from repro.semantics import Evaluator
+from repro.specs import mutex_spec, mutual_exclusion_proof, mutual_exclusion_theorem
+from repro.systems import mutex_faulty_trace, mutex_trace
+
+
+def _sweep():
+    rows = []
+    for processes in (2, 3, 4):
+        trace = mutex_trace(processes, entries=4, seed=processes)
+        evaluator = Evaluator(trace)
+        rows.append({
+            "processes": processes,
+            "spec": mutex_spec(processes).check(trace).holds,
+            "theorem": all(evaluator.satisfies(t)
+                           for t in mutual_exclusion_theorem(processes)),
+        })
+    faulty = mutex_faulty_trace(2)
+    rows.append({
+        "processes": "2-faulty",
+        "spec": mutex_spec(2).check(faulty).holds,
+        "theorem": all(Evaluator(faulty).satisfies(t)
+                       for t in mutual_exclusion_theorem(2)),
+    })
+    script = mutual_exclusion_proof()
+    checks = script.check_on_traces(
+        [mutex_trace(2, entries=3, seed=seed) for seed in range(4)]
+    )
+    rows.append({"processes": "proof L2-L5+Theorem",
+                 "spec": all(c.holds for c in checks), "theorem": None})
+    return rows
+
+
+def test_mutual_exclusion_results(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    correct = [r for r in rows if isinstance(r["processes"], int)]
+    assert all(r["spec"] and r["theorem"] for r in correct)
+    faulty = next(r for r in rows if r["processes"] == "2-faulty")
+    assert not faulty["spec"] and not faulty["theorem"]
+    print()
+    for row in rows:
+        print(row)
+
+
+def test_mutex_spec_check_cost(benchmark):
+    spec = mutex_spec(3)
+    trace = mutex_trace(3, entries=4, seed=1)
+    result = benchmark(spec.check, trace)
+    assert result.holds

@@ -1,0 +1,53 @@
+"""Experiment E2: the Chapter 5 queue specifications (Figure 5-1 and the
+reliable queue / stack axioms) checked against simulated disciplines."""
+
+from repro.checking import ConformanceCase, run_conformance
+from repro.specs import reliable_queue_spec, stack_spec, unreliable_queue_spec
+from repro.systems import (
+    inventing_queue_trace,
+    reliable_queue_trace,
+    reordering_queue_trace,
+    stack_trace,
+    unreliable_misordering_trace,
+    unreliable_queue_trace,
+)
+
+_SEEDS = (0, 1)
+
+
+def _matrix():
+    reports = [
+        run_conformance(reliable_queue_spec(), [
+            ConformanceCase("fifo", lambda s: reliable_queue_trace(4, seed=s), True, _SEEDS),
+            ConformanceCase("lifo", lambda s: stack_trace(4, seed=s), False, _SEEDS),
+            ConformanceCase("reorder", lambda s: reordering_queue_trace(5, seed=s), False, _SEEDS),
+        ]),
+        run_conformance(stack_spec(), [
+            ConformanceCase("lifo", lambda s: stack_trace(4, seed=s), True, _SEEDS),
+            ConformanceCase("fifo", lambda s: reliable_queue_trace(4, seed=s), False, _SEEDS),
+        ]),
+        run_conformance(unreliable_queue_spec(), [
+            ConformanceCase("lossy", lambda s: unreliable_queue_trace(4, seed=s), True, _SEEDS),
+            ConformanceCase("reliable", lambda s: reliable_queue_trace(4, seed=s), True, _SEEDS),
+            ConformanceCase("misorder", lambda s: unreliable_misordering_trace(4, seed=s), False, _SEEDS),
+            ConformanceCase("invent", lambda s: inventing_queue_trace(5, seed=s), False, _SEEDS),
+        ]),
+    ]
+    return reports
+
+
+def test_queue_specification_matrix(benchmark):
+    reports = benchmark.pedantic(_matrix, rounds=1, iterations=1)
+    rows = [row for report in reports for row in report.rows()]
+    benchmark.extra_info["rows"] = rows
+    assert all(report.all_as_expected for report in reports)
+    print()
+    for report in reports:
+        print(report.summary())
+
+
+def test_single_fifo_conformance_check_cost(benchmark):
+    spec = reliable_queue_spec()
+    trace = reliable_queue_trace(4, seed=0)
+    result = benchmark(spec.check, trace)
+    assert result.holds

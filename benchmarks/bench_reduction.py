@@ -1,0 +1,61 @@
+"""Experiment E10: the Appendix A reduction of the ``*`` interval-term modifier.
+
+Checks — over exhaustive small-scope traces — that starred formulas agree with
+their reduced, modifier-free forms, and measures the cost of the semantic
+equivalence check.
+"""
+
+from repro.core.bounded_checker import check_bounded_equivalence
+from repro.semantics.reduction import eliminate_stars
+from repro.syntax.builder import (
+    event,
+    eventually,
+    forward,
+    interval,
+    land,
+    occurs,
+    prop,
+    star,
+)
+
+A, B, C, D = prop("A"), prop("B"), prop("C"), prop("D")
+
+
+def _equivalences():
+    starred_nested = interval(
+        forward(forward(event(A), star(event(B))), event(C)), eventually(D)
+    )
+    plain_nested = land(
+        interval(forward(forward(event(A), event(B)), event(C)), eventually(D)),
+        interval(forward(event(A), None), occurs(event(B))),
+    )
+    whole_term = occurs(star(forward(event(A), event(B))))
+    whole_term_expanded = land(
+        occurs(event(A)), interval(forward(event(A), None), occurs(event(B)))
+    )
+    cases = [
+        ("[(A => *B) => C]<>D", starred_nested, plain_nested, ("A", "B", "C", "D"), 3),
+        ("*(A => B)", whole_term, whole_term_expanded, ("A", "B"), 5),
+    ]
+    rows = []
+    for name, lhs, rhs, variables, max_length in cases:
+        result = check_bounded_equivalence(lhs, rhs, variables, max_length=max_length,
+                                           include_lassos=False)
+        rows.append({"equivalence": name, "holds": result.valid,
+                     "traces_checked": result.traces_checked})
+    for name, lhs, _, variables, max_length in cases:
+        reduced = eliminate_stars(lhs)
+        result = check_bounded_equivalence(lhs, reduced, variables,
+                                           max_length=max_length, include_lassos=False)
+        rows.append({"equivalence": f"{name} vs eliminate_stars", "holds": result.valid,
+                     "traces_checked": result.traces_checked})
+    return rows
+
+
+def test_star_reduction_equivalences(benchmark):
+    rows = benchmark.pedantic(_equivalences, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    assert all(row["holds"] for row in rows)
+    print()
+    for row in rows:
+        print(row)

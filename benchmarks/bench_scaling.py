@@ -1,0 +1,47 @@
+"""Experiment E9: decision-procedure scaling (the Chapter 9 complexity claim).
+
+The paper states the interval logic — like linear-time temporal logic — has a
+PSPACE-complete decision problem, so tableau graphs can grow exponentially
+with formula size.  The benchmark measures tableau size and decision time for
+a family of nested eventuality/henceforth formulas of increasing size, and
+for the bounded small-scope checker on growing valid-formula instances.
+"""
+
+import pytest
+
+from repro.core.bounded_checker import is_bounded_valid
+from repro.core.valid_formulas import v9
+from repro.ltl import TableauDecider
+from repro.ltl.syntax import Henceforth, LAnd, LImplies, LProp, Sometime, ltl_size
+from repro.syntax.builder import land, prop
+
+
+def _nested_formula(depth):
+    """``/\\_i []<> p_i  ->  <>[]p_0`` — graph size grows with depth."""
+    conjuncts = Henceforth(Sometime(LProp("p0")))
+    for index in range(1, depth):
+        conjuncts = LAnd(conjuncts, Henceforth(Sometime(LProp(f"p{index}"))))
+    return LImplies(conjuncts, Sometime(Henceforth(LProp("p0"))))
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_tableau_scaling(benchmark, depth):
+    formula = _nested_formula(depth)
+    decider = TableauDecider()
+    result = benchmark.pedantic(decider.validity, args=(formula,), rounds=1, iterations=1)
+    benchmark.extra_info["formula_size"] = ltl_size(formula)
+    benchmark.extra_info["nodes"] = result.statistics.nodes
+    benchmark.extra_info["edges"] = result.statistics.edges
+    print(f"\ndepth={depth} size={ltl_size(formula)} nodes={result.statistics.nodes} "
+          f"edges={result.statistics.edges}")
+
+
+@pytest.mark.parametrize("variables", [1, 2])
+def test_bounded_checker_scaling(benchmark, variables):
+    formula = land(*[v9(prop(f"p{i}")) for i in range(variables)])
+    names = tuple(f"p{i}" for i in range(variables))
+    result = benchmark.pedantic(
+        is_bounded_valid, args=(formula, names, 4, True), rounds=1, iterations=1
+    )
+    benchmark.extra_info["traces_checked"] = result.traces_checked
+    assert result.valid

@@ -1,0 +1,50 @@
+"""Experiment E3: the Chapter 6 self-timed protocol (Figure 6-2) and arbiter
+(Figure 6-4) specifications checked against simulated modules."""
+
+from repro.checking import ConformanceCase, run_conformance
+from repro.specs import arbiter_spec, request_ack_spec
+from repro.systems import (
+    arbiter_faulty_trace,
+    arbiter_trace,
+    request_ack_faulty_trace,
+    request_ack_trace,
+)
+
+_SEEDS = (0, 1)
+
+
+def _matrix():
+    return [
+        run_conformance(request_ack_spec(), [
+            ConformanceCase("correct", lambda s: request_ack_trace(3, seed=s), True, _SEEDS),
+            ConformanceCase("early ack drop",
+                            lambda s: request_ack_faulty_trace(3, s, "early_ack_drop"), False, _SEEDS),
+            ConformanceCase("request drop",
+                            lambda s: request_ack_faulty_trace(3, s, "request_drop"), False, _SEEDS),
+            ConformanceCase("ack never lowered",
+                            lambda s: request_ack_faulty_trace(3, s, "no_ack_lower"), False, _SEEDS),
+        ]),
+        run_conformance(arbiter_spec(), [
+            ConformanceCase("correct", lambda s: arbiter_trace(seed=s), True, _SEEDS),
+            ConformanceCase("early user ack",
+                            lambda s: arbiter_faulty_trace(seed=s, fault="early_user_ack"), False, _SEEDS),
+            ConformanceCase("simultaneous grants",
+                            lambda s: arbiter_faulty_trace(seed=s, fault="simultaneous_grants"), False, _SEEDS),
+        ]),
+    ]
+
+
+def test_selftimed_specification_matrix(benchmark):
+    reports = benchmark.pedantic(_matrix, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [row for report in reports for row in report.rows()]
+    assert all(report.all_as_expected for report in reports)
+    print()
+    for report in reports:
+        print(report.summary())
+
+
+def test_single_arbiter_check_cost(benchmark):
+    spec = arbiter_spec()
+    trace = arbiter_trace(seed=0)
+    result = benchmark(spec.check, trace)
+    assert result.holds

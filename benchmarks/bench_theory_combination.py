@@ -1,0 +1,60 @@
+"""Experiment E7: temporal logic combined with specialized theories
+(Appendix B §1 motivating example and §5.1 state vs. extralogical variables).
+"""
+
+from repro.ltl import AlgorithmB, is_valid
+from repro.ltl.syntax import Henceforth, LImplies, LOr, Sometime
+from repro.theories import default_combination, linear_atom
+
+
+def _cases():
+    a_ge1 = linear_atom("a>=1", {"a": 1}, ">=", 1)
+    a_gt0 = linear_atom("a>0", {"a": 1}, ">", 0)
+    motivating = LImplies(Henceforth(a_ge1), Sometime(a_gt0))
+    state_x = LOr(Henceforth(linear_atom("x>0", {"x": 1}, ">", 0)),
+                  Henceforth(linear_atom("x<1", {"x": 1}, "<", 1)))
+    rigid_x = LOr(
+        Henceforth(linear_atom("x>0", {"x": 1}, ">", 0, state_vars=(), rigid_vars=("x",))),
+        Henceforth(linear_atom("x<1", {"x": 1}, "<", 1, state_vars=(), rigid_vars=("x",))),
+    )
+    return {"motivating": motivating, "state_x": state_x, "rigid_x": rigid_x}
+
+
+def _run_all():
+    theory = default_combination()
+    algorithm = AlgorithmB(theory)
+    cases = _cases()
+    rows = []
+    for name, formula in cases.items():
+        result = algorithm.compute_condition(formula)
+        rows.append({
+            "formula": name,
+            "algorithm_a_valid": is_valid(formula, theory=theory),
+            "algorithm_b_valid": result.valid_modulo_theory,
+            "pure_tl_valid": result.valid_in_pure_tl,
+            "condition_disjuncts": len(result.disjuncts),
+        })
+    return rows
+
+
+def test_theory_combination_verdicts(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    verdicts = {row["formula"]: row for row in rows}
+    # Paper: [](a>=1) -> <>(a>0) is valid only modulo arithmetic.
+    assert verdicts["motivating"]["algorithm_b_valid"]
+    assert verdicts["motivating"]["algorithm_a_valid"]
+    assert not verdicts["motivating"]["pure_tl_valid"]
+    # Paper §5.1: [](x>0) \/ [](x<1) is valid iff x is extralogical.
+    assert not verdicts["state_x"]["algorithm_b_valid"]
+    assert verdicts["rigid_x"]["algorithm_b_valid"]
+    print()
+    for row in rows:
+        print(row)
+
+
+def test_algorithm_b_cost(benchmark):
+    algorithm = AlgorithmB(default_combination())
+    formula = _cases()["motivating"]
+    result = benchmark(algorithm.compute_condition, formula)
+    assert result.valid_modulo_theory

@@ -1,0 +1,31 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figure-level results
+(see DESIGN.md experiment index E1-E10) and records the reproduced rows in
+``benchmark.extra_info`` so they appear in the saved benchmark JSON; the rows
+are also printed (visible with ``pytest -s``).
+"""
+
+from repro.ltl.syntax import Henceforth, LAnd, LFalse, LImplies, LNot, LOr, LProp, Until
+
+
+def lu(p, q):
+    """The paper's LU operator (Appendix B §6), reconstructed as printed:
+    ``LU(P, Q) = U(~P, U(P /\\ ~Q, Q))`` with the paper's weak until."""
+    return Until(LNot(p), Until(LAnd(p, LNot(q)), q))
+
+
+def lua(a, b):
+    """``LUA(A, B) = LU(A, A /\\ B)`` (Appendix B §6)."""
+    return lu(a, LAnd(a, b))
+
+
+def appendix_b_formulas():
+    """The three benchmark formulas R3, R4, R5 of the Appendix B §6 table."""
+    A, B, C, X, Y = (LProp(n) for n in "ABCXY")
+    r3 = LImplies(LAnd(Henceforth(lua(A, X)), Henceforth(lua(A, Y))),
+                  Henceforth(lua(A, LAnd(X, Y))))
+    r4 = LImplies(LAnd(Henceforth(lua(A, LAnd(B, C))), Henceforth(lua(B, LAnd(A, LNot(C))))),
+                  Henceforth(lua(LOr(A, B), LFalse())))
+    r5 = LImplies(LAnd(lua(A, B), lua(B, C)), lua(LOr(A, B), C))
+    return {"R3": r3, "R4": r4, "R5": r5}

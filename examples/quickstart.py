@@ -1,0 +1,99 @@
+"""Quickstart: build interval-logic formulas, evaluate them on traces, decide validity.
+
+Run with ``python examples/quickstart.py``.
+
+The example walks through the paper's Chapter 2 material:
+
+1. the worked formula (1) ``[ x = y  =>  y = 16 ] [] x > z``;
+2. event intervals, ``begin`` / ``end``, and vacuous satisfaction;
+3. the valid-formula catalogue of Chapter 4 checked by the bounded checker;
+4. an LTL-fragment formula decided exactly by the Appendix B tableau.
+"""
+
+from repro.core.bounded_checker import is_bounded_valid
+from repro.core.valid_formulas import get
+from repro.ltl import is_valid, interval_to_ltl
+from repro.semantics import Evaluator, make_trace, boolean_trace
+from repro.syntax import parse_formula, to_unicode
+from repro.syntax.builder import (
+    always,
+    begin,
+    end,
+    eq,
+    event,
+    eventually,
+    forward,
+    gt,
+    implies,
+    interval,
+    lnot,
+    occurs,
+    prop,
+)
+
+
+def chapter_2_formula_1() -> None:
+    print("== Chapter 2, formula (1):  [ x = y  =>  y = 16 ] [] x > z ==")
+    formula = interval(
+        forward(event(eq("x", "y")), event(eq("y", 16))),
+        always(gt("x", "z")),
+    )
+    print("formula:", to_unicode(formula))
+    rows = [
+        {"x": 1, "y": 5, "z": 0},
+        {"x": 5, "y": 5, "z": 1},   # the event "x = y" occurs here
+        {"x": 7, "y": 9, "z": 2},
+        {"x": 8, "y": 16, "z": 3},  # the event "y = 16" occurs here
+        {"x": 0, "y": 0, "z": 5},
+    ]
+    good = make_trace(rows)
+    print("holds on the conforming trace:   ", Evaluator(good).satisfies(formula))
+    rows[2]["x"] = 1               # x dips below z inside the interval
+    print("holds after breaking the trace:  ", Evaluator(make_trace(rows)).satisfies(formula))
+    print()
+
+
+def events_and_vacuity() -> None:
+    print("== Events, begin/end, and vacuous satisfaction ==")
+    trace = boolean_trace(
+        ["A", "B"],
+        [[0, 0], [1, 0], [1, 0], [0, 1]],
+    )
+    evaluator = Evaluator(trace)
+    a, b = prop("A"), prop("B")
+    print("the A event is the change interval:",
+          evaluator.construct_interval(event(a)))
+    print("[end A] A        :", evaluator.satisfies(interval(end(event(a)), a)))
+    print("[begin A] ~A     :", evaluator.satisfies(interval(begin(event(a)), lnot(a))))
+    print("*(A => B)        :", evaluator.satisfies(occurs(forward(event(a), event(b)))))
+    impossible = interval(event(a & b), eventually(b))
+    print("vacuously true (A /\\ B never becomes true):",
+          evaluator.satisfies(impossible))
+    print()
+
+
+def chapter_4_catalogue() -> None:
+    print("== Chapter 4 valid formulas (small-scope check) ==")
+    for name in ("V4", "V5", "V9", "V10"):
+        entry = get(name)
+        result = is_bounded_valid(entry.formula, entry.variables, max_length=3)
+        print(f"{name}: {entry.description:<55} -> {result.valid}")
+    print()
+
+
+def tableau_decision() -> None:
+    print("== The LTL fragment decided by the Appendix B tableau ==")
+    formula = parse_formula("[] (p -> <> q) /\\ <> p -> <> q")
+    print("formula:", to_unicode(formula))
+    print("valid:", is_valid(interval_to_ltl(formula)))
+    invalid = parse_formula("<> p -> [] p")
+    print("formula:", to_unicode(invalid))
+    print("valid:", is_valid(interval_to_ltl(invalid)))
+    print()
+
+
+if __name__ == "__main__":
+    chapter_2_formula_1()
+    events_and_vacuity()
+    chapter_4_catalogue()
+    tableau_decision()

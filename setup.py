@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that legacy (non-PEP-517) editable installs work in offline environments
+that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Trace monitors, conformance campaigns, and result reporting."""
+
+from .monitor import Monitor, MonitorVerdict, SpecificationMonitor
+from .report import format_kv, format_table
+from .runner import (
+    ConformanceCase,
+    ConformanceOutcome,
+    ConformanceReport,
+    run_conformance,
+)
+
+__all__ = [
+    "Monitor",
+    "MonitorVerdict",
+    "SpecificationMonitor",
+    "format_kv",
+    "format_table",
+    "ConformanceCase",
+    "ConformanceOutcome",
+    "ConformanceReport",
+    "run_conformance",
+]

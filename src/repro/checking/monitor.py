@@ -1,0 +1,111 @@
+"""Trace monitors: incremental evaluation of interval-logic formulas.
+
+A :class:`Monitor` watches a growing prefix of a computation: states are
+appended one at a time and the monitored formulas are re-evaluated on the
+prefix (under the paper's finite-computation convention, i.e. the prefix
+extended by repeating its last state).  This is the natural way to connect a
+running simulator — or any other state source — to a specification while the
+system executes, and it is what the example applications use to show
+violations as soon as they become detectable.
+
+A verdict on a prefix is not always final (an eventuality that has not
+happened yet may still happen); the monitor therefore reports, per formula,
+the current verdict and whether it has been *stable* for a configurable
+number of steps, which in practice flags genuine violations early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.specification import Specification
+from ..semantics.evaluator import Evaluator
+from ..semantics.state import State
+from ..semantics.trace import Trace
+from ..syntax.formulas import Formula
+
+__all__ = ["MonitorVerdict", "Monitor", "SpecificationMonitor"]
+
+
+@dataclass
+class MonitorVerdict:
+    """The monitoring state of one formula."""
+
+    name: str
+    formula: Formula
+    holds: Optional[bool] = None
+    stable_for: int = 0
+    history: List[bool] = field(default_factory=list)
+
+    def update(self, value: bool) -> None:
+        if self.holds is not None and value == self.holds:
+            self.stable_for += 1
+        else:
+            self.stable_for = 0
+        self.holds = value
+        self.history.append(value)
+
+    def __str__(self) -> str:
+        verdict = "?" if self.holds is None else ("PASS" if self.holds else "FAIL")
+        return f"{verdict:4s} {self.name} (stable {self.stable_for} steps)"
+
+
+class Monitor:
+    """Re-evaluates a set of named formulas on a growing state prefix."""
+
+    def __init__(
+        self,
+        formulas: Mapping[str, Formula],
+        domain: Optional[Mapping[str, Iterable[object]]] = None,
+    ) -> None:
+        self._formulas = dict(formulas)
+        self._domain = domain
+        self._states: List[State] = []
+        self._verdicts: Dict[str, MonitorVerdict] = {
+            name: MonitorVerdict(name, formula) for name, formula in self._formulas.items()
+        }
+
+    def observe(self, state: State) -> Dict[str, MonitorVerdict]:
+        """Append a state and re-evaluate every formula on the new prefix."""
+        self._states.append(state)
+        trace = Trace(list(self._states))
+        evaluator = Evaluator(trace, self._domain)
+        for name, formula in self._formulas.items():
+            self._verdicts[name].update(evaluator.satisfies(formula))
+        return dict(self._verdicts)
+
+    def observe_trace(self, trace: Trace) -> Dict[str, MonitorVerdict]:
+        """Feed every state of an existing trace through the monitor."""
+        result: Dict[str, MonitorVerdict] = dict(self._verdicts)
+        for state in trace.states():
+            result = self.observe(state)
+        return result
+
+    @property
+    def verdicts(self) -> Dict[str, MonitorVerdict]:
+        return dict(self._verdicts)
+
+    @property
+    def prefix_length(self) -> int:
+        return len(self._states)
+
+    def failing(self) -> List[str]:
+        """Names of formulas currently evaluating to False."""
+        return [name for name, v in self._verdicts.items() if v.holds is False]
+
+
+class SpecificationMonitor(Monitor):
+    """A monitor built directly from a :class:`Specification`."""
+
+    def __init__(
+        self,
+        specification: Specification,
+        domain: Optional[Mapping[str, Iterable[object]]] = None,
+    ) -> None:
+        formulas = {
+            clause.name: clause.interpreted_formula()
+            for clause in specification.clauses
+        }
+        super().__init__(formulas, domain)
+        self.specification = specification

@@ -1,0 +1,48 @@
+"""Plain-text result tables for the reproduction experiments.
+
+The benchmarks print their findings with these helpers so that every
+experiment produces the same style of table the paper's Appendix B uses
+(columns of counts and seconds) or a simple pass/fail matrix for the
+specification case studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:
+    """Render rows as a fixed-width text table with the given column order."""
+    if not rows:
+        return "(no rows)"
+    widths = {column: len(column) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.4f}"
+            else:
+                text = str(value)
+            widths[column] = max(widths[column], len(text))
+            rendered.append(text)
+        rendered_rows.append(rendered)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for rendered in rendered_rows:
+        lines.append("  ".join(text.ljust(widths[column])
+                               for text, column in zip(rendered, columns)))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: Mapping[str, object]) -> str:
+    """Render a titled key/value block."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title]
+    for key, value in pairs.items():
+        lines.append(f"  {key.ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""The interval-logic core API.
+
+Parameterized abstract operations (Chapter 2.2), Init/Axioms specifications
+(Chapter 3), the Chapter 4 valid-formula catalogue, small-scope bounded
+validity checking, and semantic proof support for Chapter 8.
+"""
+
+from .bounded_checker import (
+    BoundedResult,
+    check_bounded_equivalence,
+    count_bounded_traces,
+    enumerate_boolean_traces,
+    find_counterexample,
+    is_bounded_valid,
+    proposition_names,
+    random_boolean_traces,
+)
+from .operations import Operation, OperationSet
+from .proof import Lemma, LemmaCheck, ProofScript
+from .specification import Clause, ClauseVerdict, Specification, SpecificationResult
+from . import valid_formulas
+
+__all__ = [
+    "BoundedResult",
+    "check_bounded_equivalence",
+    "count_bounded_traces",
+    "enumerate_boolean_traces",
+    "find_counterexample",
+    "is_bounded_valid",
+    "proposition_names",
+    "random_boolean_traces",
+    "Operation",
+    "OperationSet",
+    "Lemma",
+    "LemmaCheck",
+    "ProofScript",
+    "Clause",
+    "ClauseVerdict",
+    "Specification",
+    "SpecificationResult",
+    "valid_formulas",
+]

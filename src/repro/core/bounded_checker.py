@@ -1,0 +1,209 @@
+"""Small-scope (bounded) validity checking of interval-logic formulas.
+
+The paper decides interval logic through an (unpublished) reduction to
+linear-time temporal logic and the Appendix B/C procedures.  For the
+reproduction we complement those procedures with an exhaustive *small-scope*
+checker: it enumerates every boolean computation over a formula's atomic
+propositions up to a bounded number of states — optionally including every
+lasso (loop-back) shape, which captures infinite periodic behaviours — and
+evaluates the formula with the exact Chapter 3 semantics on each.
+
+The checker is:
+
+* **sound for refutation** — any counterexample it returns is a genuine
+  counterexample under the paper's semantics;
+* **exhaustive within the bound** — "bounded-valid" means no computation of
+  at most ``max_length`` states (with the chosen lasso shapes) falsifies the
+  formula, which is the standard small-scope evidence used by the test-suite
+  and by the Chapter 4 / Chapter 8 experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import DecisionProcedureError
+from ..semantics.evaluator import Evaluator
+from ..semantics.state import State
+from ..semantics.trace import Trace
+from ..syntax.formulas import Formula, Iff
+from ..syntax.terms import Prop
+
+__all__ = [
+    "BoundedResult",
+    "proposition_names",
+    "enumerate_boolean_traces",
+    "random_boolean_traces",
+    "find_counterexample",
+    "is_bounded_valid",
+    "check_bounded_equivalence",
+    "count_bounded_traces",
+]
+
+
+@dataclass(frozen=True)
+class BoundedResult:
+    """Outcome of a bounded validity check."""
+
+    valid: bool
+    counterexample: Optional[Trace]
+    traces_checked: int
+    max_length: int
+    variables: Tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def __str__(self) -> str:
+        verdict = "bounded-valid" if self.valid else "REFUTED"
+        return (
+            f"{verdict} over {self.traces_checked} traces "
+            f"(vars={list(self.variables)}, max_length={self.max_length})"
+        )
+
+
+def proposition_names(formula: Formula) -> Tuple[str, ...]:
+    """The boolean state variables a formula depends on.
+
+    Raises :class:`DecisionProcedureError` when the formula contains
+    non-propositional atoms (comparisons, operation predicates), since the
+    boolean small-scope enumeration cannot cover their value domains.
+    """
+    names: List[str] = []
+    for predicate in sorted(formula.atoms(), key=str):
+        if isinstance(predicate, Prop):
+            if predicate.name not in names:
+                names.append(predicate.name)
+        elif predicate.state_vars() or predicate.free_logical_vars():
+            raise DecisionProcedureError(
+                "bounded checking handles propositional formulas only; "
+                f"non-propositional atom: {predicate}"
+            )
+    return tuple(names)
+
+
+def _trace_from_rows(
+    variables: Sequence[str], rows: Sequence[Sequence[bool]], loop_start: Optional[int]
+) -> Trace:
+    states = [
+        State({name: bool(value) for name, value in zip(variables, row)})
+        for row in rows
+    ]
+    return Trace(states, loop_start=loop_start)
+
+
+def enumerate_boolean_traces(
+    variables: Sequence[str],
+    max_length: int,
+    include_lassos: bool = True,
+    min_length: int = 1,
+) -> Iterator[Trace]:
+    """Every boolean trace over ``variables`` with ``min_length..max_length`` states.
+
+    With ``include_lassos`` every loop-back position is generated for each
+    state sequence (the stutter-extension shape, ``loop_start = n``, is always
+    included); without it only the paper's finite-computation convention is
+    used.
+    """
+    if max_length < 1:
+        raise DecisionProcedureError("max_length must be at least 1")
+    variables = list(variables)
+    assignments = list(itertools.product((False, True), repeat=len(variables)))
+    for length in range(max(1, min_length), max_length + 1):
+        for rows in itertools.product(assignments, repeat=length):
+            if include_lassos:
+                for loop_start in range(1, length + 1):
+                    yield _trace_from_rows(variables, rows, loop_start)
+            else:
+                yield _trace_from_rows(variables, rows, None)
+
+
+def count_bounded_traces(
+    num_variables: int, max_length: int, include_lassos: bool = True
+) -> int:
+    """How many traces :func:`enumerate_boolean_traces` would generate."""
+    total = 0
+    per_state = 2 ** num_variables
+    for length in range(1, max_length + 1):
+        sequences = per_state ** length
+        total += sequences * (length if include_lassos else 1)
+    return total
+
+
+def random_boolean_traces(
+    variables: Sequence[str],
+    count: int,
+    max_length: int,
+    include_lassos: bool = True,
+    seed: Optional[int] = None,
+) -> Iterator[Trace]:
+    """A random sample of boolean traces (used when exhaustion is too costly)."""
+    rng = random.Random(seed)
+    variables = list(variables)
+    for _ in range(count):
+        length = rng.randint(1, max_length)
+        rows = [
+            [rng.random() < 0.5 for _ in variables]
+            for _ in range(length)
+        ]
+        loop_start = rng.randint(1, length) if include_lassos else None
+        yield _trace_from_rows(variables, rows, loop_start)
+
+
+def find_counterexample(
+    formula: Formula,
+    variables: Optional[Sequence[str]] = None,
+    max_length: int = 4,
+    include_lassos: bool = True,
+) -> Tuple[Optional[Trace], int]:
+    """Search for a trace falsifying ``formula``; return it and the count tried."""
+    if variables is None:
+        variables = proposition_names(formula)
+    if not variables:
+        variables = ("p",)
+    checked = 0
+    for trace in enumerate_boolean_traces(variables, max_length, include_lassos):
+        checked += 1
+        if not Evaluator(trace).satisfies(formula):
+            return trace, checked
+    return None, checked
+
+
+def is_bounded_valid(
+    formula: Formula,
+    variables: Optional[Sequence[str]] = None,
+    max_length: int = 4,
+    include_lassos: bool = True,
+) -> BoundedResult:
+    """Check ``formula`` on every boolean trace within the bound."""
+    if variables is None:
+        variables = proposition_names(formula)
+    if not variables:
+        variables = ("p",)
+    counterexample, checked = find_counterexample(
+        formula, variables, max_length, include_lassos
+    )
+    return BoundedResult(
+        valid=counterexample is None,
+        counterexample=counterexample,
+        traces_checked=checked,
+        max_length=max_length,
+        variables=tuple(variables),
+    )
+
+
+def check_bounded_equivalence(
+    left: Formula,
+    right: Formula,
+    variables: Optional[Sequence[str]] = None,
+    max_length: int = 4,
+    include_lassos: bool = True,
+) -> BoundedResult:
+    """Check ``left ≡ right`` on every boolean trace within the bound."""
+    if variables is None:
+        names = set(proposition_names(left)) | set(proposition_names(right))
+        variables = tuple(sorted(names))
+    return is_bounded_valid(Iff(left, right), variables, max_length, include_lassos)

@@ -1,0 +1,201 @@
+"""Parameterized abstract operations (Chapter 2.2).
+
+For an abstract operation ``O`` the paper defines state predicates ``atO``,
+``inO`` and ``afterO`` — "at the beginning", "within", and "immediately
+after" the operation — and constrains them by a temporal axiomatization:
+
+1. ``[ atO => begin afterO ] [] inO`` — from entry until just before the
+   state following the operation, control is within the operation;
+2. ``[ afterO => begin atO ] [] ~inO`` — between an operation instance and
+   the next entry, control is not within the operation;
+3. ``atO`` may be true only at the beginning of the operation;
+4. ``afterO`` may be true only immediately following an operation.
+
+Axioms 3 and 4 are stated in the paper only in prose (the displayed formulas
+are illegible in the archival scan); we reconstruct them as the natural
+interval-logic statements that ``atO`` (resp. ``afterO``) holds at the start
+of its change interval and does not recur within the same operation
+instance.  No granularity, duration or termination assumption is implied;
+:meth:`Operation.termination_axiom` provides the optional termination
+requirement ("``[ atO => * afterO ] True``").
+
+Operations may carry entry parameters and results; the ``at``/``after``
+predicates are overloaded with argument expressions exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import SpecificationError
+from ..syntax.builder import (
+    after_op,
+    always,
+    at_op,
+    begin,
+    event,
+    forward,
+    in_op,
+    interval,
+    lnot,
+    occurs,
+    star,
+    to_expr,
+)
+from ..syntax.formulas import Formula
+from ..syntax.terms import OpAfter, OpAt, OpIn, OpPhase
+from ..semantics.state import OperationRecord, State
+
+__all__ = ["Operation", "OperationSet"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An abstract operation with ``n`` entry parameters and ``m`` results.
+
+    The class is purely descriptive: it names the operation, documents its
+    arity, and builds the Chapter 2.2 predicates and axioms.  Simulators
+    record the lifecycle of each operation in the trace's states via
+    :class:`repro.semantics.state.OperationRecord`.
+    """
+
+    name: str
+    entry_parameters: Tuple[str, ...] = ()
+    result_parameters: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("operation name must be non-empty")
+        object.__setattr__(self, "entry_parameters", tuple(self.entry_parameters))
+        object.__setattr__(self, "result_parameters", tuple(self.result_parameters))
+
+    # -- predicates -------------------------------------------------------------
+
+    def at(self, *args: Any) -> Formula:
+        """``atO(args...)`` as an atomic formula."""
+        return at_op(self.name, *[to_expr(a) for a in args])
+
+    def within(self, *args: Any) -> Formula:
+        """``inO(args...)`` as an atomic formula."""
+        return in_op(self.name, *[to_expr(a) for a in args])
+
+    def after(self, *args: Any) -> Formula:
+        """``afterO(args...)`` as an atomic formula."""
+        return after_op(self.name, *[to_expr(a) for a in args])
+
+    # -- axioms -----------------------------------------------------------------
+
+    def axioms(self) -> List[Formula]:
+        """The four lifecycle axioms of Chapter 2.2 for this operation."""
+        at_f = self.at()
+        in_f = self.within()
+        after_f = self.after()
+        axiom1 = interval(forward(event(at_f), begin(event(after_f))), always(in_f))
+        axiom2 = interval(
+            forward(event(after_f), begin(event(at_f))), always(lnot(in_f))
+        )
+        # Reconstructed axiom 3: once atO has fallen it does not recur before
+        # the operation completes (atO is true only at the beginning).
+        axiom3 = interval(
+            forward(event(at_f), begin(event(after_f))),
+            interval(forward(event(lnot(at_f)), None), always(lnot(at_f))),
+        )
+        # Reconstructed axiom 4: dually, afterO is true only immediately after
+        # an operation — once it has fallen it does not recur before the next
+        # entry.
+        axiom4 = interval(
+            forward(event(after_f), begin(event(at_f))),
+            interval(forward(event(lnot(after_f)), None), always(lnot(after_f))),
+        )
+        return [axiom1, axiom2, axiom3, axiom4]
+
+    def termination_axiom(self) -> Formula:
+        """``[ atO => * afterO ] True`` — the operation always terminates."""
+        return interval(forward(event(self.at()), star(event(self.after()))), True)
+
+    # -- state construction helpers ----------------------------------------------
+
+    def record(self, phase: str, args: Sequence[Any] = (), results: Sequence[Any] = ()) -> OperationRecord:
+        """Build an :class:`OperationRecord` for this operation."""
+        if phase not in OpPhase.ALL:
+            raise SpecificationError(f"unknown phase {phase!r} for operation {self.name}")
+        return OperationRecord(phase, tuple(args), tuple(results))
+
+    def idle(self) -> OperationRecord:
+        return self.record(OpPhase.IDLE)
+
+    def entering(self, *args: Any) -> OperationRecord:
+        return self.record(OpPhase.AT, args)
+
+    def executing(self, *args: Any) -> OperationRecord:
+        return self.record(OpPhase.IN, args)
+
+    def returning(self, args: Sequence[Any] = (), results: Sequence[Any] = ()) -> OperationRecord:
+        return self.record(OpPhase.AFTER, args, results)
+
+    def __str__(self) -> str:
+        params = ", ".join(self.entry_parameters)
+        results = ", ".join(self.result_parameters)
+        arrow = f" -> ({results})" if results else ""
+        return f"{self.name}({params}){arrow}"
+
+
+class OperationSet:
+    """A named collection of operations sharing a specification.
+
+    Provides the conjunction of all lifecycle axioms and a convenient
+    ``state`` builder for simulators: ``ops.state(x=1, Enq=("at", (5,)))``.
+    """
+
+    def __init__(self, operations: Sequence[Operation]) -> None:
+        self._by_name: Dict[str, Operation] = {}
+        for op in operations:
+            if op.name in self._by_name:
+                raise SpecificationError(f"duplicate operation name: {op.name}")
+            self._by_name[op.name] = op
+
+    def __getitem__(self, name: str) -> Operation:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SpecificationError(f"unknown operation: {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._by_name)
+
+    def lifecycle_axioms(self) -> List[Formula]:
+        """The lifecycle axioms of every operation in the set."""
+        axioms: List[Formula] = []
+        for op in self._by_name.values():
+            axioms.extend(op.axioms())
+        return axioms
+
+    def state(self, values: Dict[str, Any] = None, **op_phases: Any) -> State:
+        """Build a state: keyword arguments name operations and give phases.
+
+        Each keyword value is either a phase string, a ``(phase, args)``
+        pair, or a ``(phase, args, results)`` triple.  Operations not
+        mentioned are idle.
+        """
+        records: Dict[str, OperationRecord] = {}
+        for name, spec in op_phases.items():
+            op = self[name]
+            if isinstance(spec, str):
+                records[name] = op.record(spec)
+            else:
+                parts = tuple(spec)
+                phase = parts[0]
+                args = parts[1] if len(parts) > 1 else ()
+                results = parts[2] if len(parts) > 2 else ()
+                records[name] = op.record(phase, args, results)
+        return State(values or {}, records)

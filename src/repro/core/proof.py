@@ -1,0 +1,160 @@
+"""Semantic proof support for the Chapter 8 mutual-exclusion argument.
+
+The paper proves mutual exclusion from the Figure 8-1 specification through
+lemmas L1–L5 (Figure 8-2), noting that with mechanized decision-procedure
+support "the only user input necessary, in principle, is instantiation of the
+free variable m ... and of I in step L2".
+
+This module provides the light-weight proof bookkeeping the reproduction
+needs: lemmas are (hypotheses ⊢ conclusion) records, and every proof step is
+*checked semantically* — on exhaustive bounded boolean traces and/or on
+simulator-generated traces — rather than derived syntactically.  This matches
+the reproduction's overall strategy (the Chapter 3 model is the normative
+artifact) while keeping the structure of the paper's argument visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SpecificationError
+from ..semantics.evaluator import Evaluator
+from ..semantics.trace import Trace
+from ..syntax.builder import implies, land
+from ..syntax.formulas import Formula
+from .bounded_checker import BoundedResult, is_bounded_valid
+
+__all__ = ["Lemma", "LemmaCheck", "ProofScript"]
+
+
+@dataclass(frozen=True)
+class Lemma:
+    """One step of a proof: hypotheses entail the conclusion.
+
+    ``hypotheses`` may be empty, in which case the lemma claims validity of
+    the conclusion outright.
+    """
+
+    name: str
+    conclusion: Formula
+    hypotheses: Tuple[Formula, ...] = ()
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("lemma name must be non-empty")
+        object.__setattr__(self, "hypotheses", tuple(self.hypotheses))
+
+    def as_implication(self) -> Formula:
+        """``(H1 /\\ ... /\\ Hn) -> conclusion`` (or just the conclusion)."""
+        if not self.hypotheses:
+            return self.conclusion
+        return implies(land(*self.hypotheses), self.conclusion)
+
+
+@dataclass(frozen=True)
+class LemmaCheck:
+    """The result of checking one lemma."""
+
+    lemma: Lemma
+    method: str  # "bounded" or "traces"
+    holds: bool
+    detail: str = ""
+    counterexample: Optional[Trace] = None
+
+    def __str__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        return f"{status} {self.lemma.name} [{self.method}] {self.detail}"
+
+
+class ProofScript:
+    """An ordered collection of lemmas culminating in a theorem.
+
+    The script does not track logical dependencies between steps — the
+    semantic checks are independent — but it preserves the paper's
+    presentation order and offers whole-script checking helpers.
+    """
+
+    def __init__(self, name: str, lemmas: Optional[Sequence[Lemma]] = None) -> None:
+        if not name:
+            raise SpecificationError("proof script name must be non-empty")
+        self.name = name
+        self._lemmas: List[Lemma] = list(lemmas or [])
+
+    def add(self, lemma: Lemma) -> "ProofScript":
+        self._lemmas.append(lemma)
+        return self
+
+    @property
+    def lemmas(self) -> Tuple[Lemma, ...]:
+        return tuple(self._lemmas)
+
+    def lemma(self, name: str) -> Lemma:
+        for lemma in self._lemmas:
+            if lemma.name == name:
+                return lemma
+        raise SpecificationError(f"no lemma named {name!r} in proof {self.name!r}")
+
+    # -- checking ------------------------------------------------------------------
+
+    def check_bounded(
+        self,
+        variables: Optional[Sequence[str]] = None,
+        max_length: int = 4,
+        include_lassos: bool = True,
+    ) -> List[LemmaCheck]:
+        """Check every lemma's implication with the small-scope checker."""
+        results: List[LemmaCheck] = []
+        for lemma in self._lemmas:
+            outcome: BoundedResult = is_bounded_valid(
+                lemma.as_implication(),
+                variables=variables,
+                max_length=max_length,
+                include_lassos=include_lassos,
+            )
+            results.append(
+                LemmaCheck(
+                    lemma=lemma,
+                    method="bounded",
+                    holds=outcome.valid,
+                    detail=str(outcome),
+                    counterexample=outcome.counterexample,
+                )
+            )
+        return results
+
+    def check_on_traces(self, traces: Iterable[Trace]) -> List[LemmaCheck]:
+        """Check every lemma on the supplied traces.
+
+        A lemma fails if some trace satisfies all hypotheses but not the
+        conclusion.  Typical use: traces produced by the Chapter 8 simulator.
+        """
+        trace_list = list(traces)
+        results: List[LemmaCheck] = []
+        for lemma in self._lemmas:
+            counterexample: Optional[Trace] = None
+            for trace in trace_list:
+                evaluator = Evaluator(trace)
+                if all(evaluator.satisfies(h) for h in lemma.hypotheses):
+                    if not evaluator.satisfies(lemma.conclusion):
+                        counterexample = trace
+                        break
+            results.append(
+                LemmaCheck(
+                    lemma=lemma,
+                    method="traces",
+                    holds=counterexample is None,
+                    detail=f"{len(trace_list)} traces",
+                    counterexample=counterexample,
+                )
+            )
+        return results
+
+    def summary(self, checks: Sequence[LemmaCheck]) -> str:
+        lines = [f"Proof {self.name!r}:"]
+        for check in checks:
+            lines.append("  " + str(check))
+        verdict = "ALL STEPS HOLD" if all(c.holds for c in checks) else "SOME STEPS FAIL"
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)

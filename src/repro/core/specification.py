@@ -1,0 +1,211 @@
+"""Interval-logic specifications: Init clauses plus Axioms (Chapter 3).
+
+"Interval logic specifications are divided into two parts: Init and Axioms.
+An Init portion states properties to be satisfied at (from) the beginning of
+a computation, assuming a distinguished starting state.  Formally, using
+distinguished (uninterpreted) state predicate ``start``, each interval
+formula ``alpha`` within the Init clause is interpreted as an axiom of the
+form ``start ⊃ alpha``."
+
+A :class:`Specification` bundles named Init clauses, named Axioms, and the
+abstract operations the formulas mention.  Checking a specification against
+a trace evaluates every clause on the whole computation ``<1, ∞>`` (where
+``start`` holds in the first state) and reports a per-clause verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SpecificationError
+from ..semantics.evaluator import Evaluator
+from ..semantics.trace import Trace
+from ..syntax.builder import implies, start
+from ..syntax.formulas import Formula
+from .operations import Operation, OperationSet
+
+__all__ = ["Clause", "ClauseVerdict", "SpecificationResult", "Specification"]
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One named clause of a specification."""
+
+    name: str
+    formula: Formula
+    kind: str = "axiom"  # "init" or "axiom"
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("init", "axiom"):
+            raise SpecificationError(f"clause kind must be init/axiom, got {self.kind!r}")
+
+    def interpreted_formula(self) -> Formula:
+        """The formula actually evaluated: Init clauses become ``start ⊃ alpha``."""
+        if self.kind == "init":
+            return implies(start(), self.formula)
+        return self.formula
+
+
+@dataclass(frozen=True)
+class ClauseVerdict:
+    """The outcome of evaluating one clause on one trace."""
+
+    clause: Clause
+    holds: bool
+    error: Optional[str] = None
+
+    def __str__(self) -> str:
+        status = "PASS" if self.holds else ("ERROR" if self.error else "FAIL")
+        return f"{status:5s} {self.clause.kind:5s} {self.clause.name}"
+
+
+@dataclass
+class SpecificationResult:
+    """The outcome of checking a whole specification on one trace."""
+
+    specification: "Specification"
+    verdicts: List[ClauseVerdict]
+
+    @property
+    def holds(self) -> bool:
+        return all(v.holds for v in self.verdicts)
+
+    @property
+    def failures(self) -> List[ClauseVerdict]:
+        return [v for v in self.verdicts if not v.holds]
+
+    def verdict(self, clause_name: str) -> ClauseVerdict:
+        for v in self.verdicts:
+            if v.clause.name == clause_name:
+                return v
+        raise SpecificationError(f"no clause named {clause_name!r}")
+
+    def summary(self) -> str:
+        lines = [f"Specification {self.specification.name!r}: "
+                 f"{'SATISFIED' if self.holds else 'VIOLATED'}"]
+        for v in self.verdicts:
+            lines.append("  " + str(v))
+        return "\n".join(lines)
+
+
+class Specification:
+    """A named interval-logic specification (Init clauses + Axioms).
+
+    Parameters
+    ----------
+    name:
+        A human-readable name ("Unreliable queue", "AB protocol sender", ...).
+    operations:
+        The abstract operations the specification's formulas refer to.
+    include_lifecycle_axioms:
+        When true, the Chapter 2.2 lifecycle axioms of every operation are
+        appended automatically as axioms named ``lifecycle/<op>/<k>``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        operations: Optional[Sequence[Operation]] = None,
+        include_lifecycle_axioms: bool = False,
+    ) -> None:
+        if not name:
+            raise SpecificationError("specification name must be non-empty")
+        self.name = name
+        self.operations = OperationSet(operations or [])
+        self._clauses: List[Clause] = []
+        self._names: Dict[str, int] = {}
+        if include_lifecycle_axioms:
+            for op in self.operations:
+                for index, axiom in enumerate(op.axioms(), start=1):
+                    self.add_axiom(f"lifecycle/{op.name}/{index}", axiom)
+
+    # -- construction -------------------------------------------------------------
+
+    def _add(self, clause: Clause) -> None:
+        if clause.name in self._names:
+            raise SpecificationError(
+                f"duplicate clause name {clause.name!r} in specification {self.name!r}"
+            )
+        self._names[clause.name] = len(self._clauses)
+        self._clauses.append(clause)
+
+    def add_init(self, name: str, formula: Formula, comment: str = "") -> "Specification":
+        """Add an Init clause (interpreted as ``start ⊃ formula``)."""
+        self._add(Clause(name, formula, "init", comment))
+        return self
+
+    def add_axiom(self, name: str, formula: Formula, comment: str = "") -> "Specification":
+        """Add an Axiom clause."""
+        self._add(Clause(name, formula, "axiom", comment))
+        return self
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        return tuple(self._clauses)
+
+    @property
+    def init_clauses(self) -> Tuple[Clause, ...]:
+        return tuple(c for c in self._clauses if c.kind == "init")
+
+    @property
+    def axiom_clauses(self) -> Tuple[Clause, ...]:
+        return tuple(c for c in self._clauses if c.kind == "axiom")
+
+    def clause(self, name: str) -> Clause:
+        try:
+            return self._clauses[self._names[name]]
+        except KeyError as exc:
+            raise SpecificationError(f"no clause named {name!r}") from exc
+
+    def formulas(self) -> List[Formula]:
+        """The interpreted formulas of every clause, in declaration order."""
+        return [c.interpreted_formula() for c in self._clauses]
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __str__(self) -> str:
+        return (
+            f"Specification({self.name!r}, {len(self.init_clauses)} init, "
+            f"{len(self.axiom_clauses)} axioms)"
+        )
+
+    # -- checking --------------------------------------------------------------------
+
+    def check(
+        self,
+        trace: Trace,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        stop_at_first_failure: bool = False,
+    ) -> SpecificationResult:
+        """Evaluate every clause on ``trace`` and collect verdicts.
+
+        ``domain`` optionally fixes the quantification domain of ``Forall``
+        variables; by default they range over the values observed in the
+        trace.
+        """
+        evaluator = Evaluator(trace, domain)
+        verdicts: List[ClauseVerdict] = []
+        for clause in self._clauses:
+            error: Optional[str] = None
+            try:
+                holds = evaluator.satisfies(clause.interpreted_formula())
+            except Exception as exc:  # surfaced in the verdict, not swallowed
+                holds = False
+                error = f"{type(exc).__name__}: {exc}"
+            verdicts.append(ClauseVerdict(clause, holds, error))
+            if stop_at_first_failure and not holds:
+                break
+        return SpecificationResult(self, verdicts)
+
+    def check_many(
+        self,
+        traces: Sequence[Trace],
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+    ) -> List[SpecificationResult]:
+        """Check every trace; convenience for conformance campaigns."""
+        return [self.check(trace, domain) for trace in traces]

@@ -1,0 +1,305 @@
+"""The Chapter 4 catalogue of valid formulas (V1 – V16).
+
+"In this section we present a selection of valid formulas.  Our intention
+here is simply to illustrate a style of expression and deduction rather than
+a more comprehensive list of valid formulas or a complete axiomatization."
+
+Each catalogue entry provides a *schema* (a function building the formula
+from its metavariables) plus a canonical propositional *instance* used by the
+reproduction experiments: experiment E1 (``benchmarks/bench_valid_formulas.py``)
+checks every instance with the bounded small-scope checker and reports the
+validity verdicts next to the paper's claims.
+
+Where the archival scan of the report garbles a formula, the docstring of the
+schema records the reconstruction; two formulas (V13, the interval
+partitioning rule, and V16, the composition simplification) require an
+explicit ``*I`` occurrence conjunct for validity under the paper's own
+vacuous-satisfaction semantics, which we add and flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..syntax.builder import (
+    always,
+    begin,
+    end,
+    event,
+    eventually,
+    forward,
+    backward,
+    iff,
+    implies,
+    interval,
+    land,
+    lnot,
+    lor,
+    occurs,
+    prop,
+    star,
+    whole_context,
+)
+from ..syntax.formulas import Formula
+from ..syntax.intervals import IntervalTerm
+
+__all__ = ["ValidFormula", "CATALOGUE", "catalogue", "get"]
+
+
+@dataclass(frozen=True)
+class ValidFormula:
+    """One catalogue entry: the paper's name, a description, and the instance."""
+
+    name: str
+    description: str
+    formula: Formula
+    variables: Tuple[str, ...]
+    max_length: int = 4
+    include_lassos: bool = True
+    reconstructed: bool = False
+
+    def __str__(self) -> str:
+        flag = " (reconstructed)" if self.reconstructed else ""
+        return f"{self.name}{flag}: {self.description}"
+
+
+# -- schemas -------------------------------------------------------------------
+
+
+def v1(term: IntervalTerm, alpha: Formula, beta: Formula) -> Formula:
+    """V1: ``[I]a /\\ [I]b  ===  [I](a /\\ b)`` — conjunction distributes."""
+    return iff(land(interval(term, alpha), interval(term, beta)),
+               interval(term, land(alpha, beta)))
+
+
+def v2(term: IntervalTerm, alpha: Formula, beta: Formula) -> Formula:
+    """V2: ``([I]a -> [I]b)  ===  [I](a -> b)`` — implication distributes."""
+    return iff(implies(interval(term, alpha), interval(term, beta)),
+               interval(term, implies(alpha, beta)))
+
+
+def v3(term: IntervalTerm, alpha: Formula) -> Formula:
+    """V3: ``[I]a === ~*I \\/ [*I]a`` — the fundamental case split.
+
+    The formula is true if either the interval cannot be constructed or
+    ``a`` holds for the constructed interval.
+    """
+    return iff(interval(term, alpha),
+               lor(lnot(occurs(term)), interval(star(term), alpha)))
+
+
+def v4(term: IntervalTerm) -> Formula:
+    """V4: ``*I === ~[I] False`` — interval eventuality as an interval formula."""
+    return iff(occurs(term), lnot(interval(term, False)))
+
+
+def v5(alpha: Formula) -> Formula:
+    """V5: ``*a === <>(~a /\\ <>a)`` — event eventuality via nested ``<>``."""
+    return iff(occurs(event(alpha)), eventually(land(lnot(alpha), eventually(alpha))))
+
+
+def v6(term: IntervalTerm, alpha: Formula) -> Formula:
+    """V6: ``~[I]a === [*I]~a`` — pushing negation into the interval."""
+    return iff(lnot(interval(term, alpha)), interval(star(term), lnot(alpha)))
+
+
+def v7(alpha: Formula) -> Formula:
+    """V7: ``a === [=>]a`` — the bare arrow selects the whole outer context."""
+    return iff(alpha, interval(whole_context(), alpha))
+
+
+def v8(term: IntervalTerm, alpha: Formula) -> Formula:
+    """V8: ``[]a -> [I =>][]a`` — an outer invariant holds in any tail interval."""
+    return implies(always(alpha), interval(forward(term, None), always(alpha)))
+
+
+def v9(alpha: Formula) -> Formula:
+    """V9: ``[a => begin(~a)] []a`` — between becoming true and just before
+    becoming false, ``a`` stays true."""
+    return interval(forward(event(alpha), begin(event(lnot(alpha)))), always(alpha))
+
+
+def v10(alpha: Formula, beta: Formula) -> Formula:
+    """V10: ``[begin a =>]*b \\/ [begin b =>]*a`` — fundamental event ordering."""
+    return lor(
+        interval(forward(begin(event(alpha)), None), occurs(event(beta))),
+        interval(forward(begin(event(beta)), None), occurs(event(alpha))),
+    )
+
+
+def v11(alpha: Formula, beta: Formula, gamma: Formula) -> Formula:
+    """V11: ``[a <= b]g === [=> b][~*a =>]g`` — the backward operator reduced
+    to forward operators via a nested interval event (for non-nested terms)."""
+    lhs = interval(backward(event(alpha), event(beta)), gamma)
+    rhs = interval(
+        forward(None, event(beta)),
+        interval(forward(event(lnot(occurs(event(alpha)))), None), gamma),
+    )
+    return iff(lhs, rhs)
+
+
+def v12(term_i: IntervalTerm, term_j: IntervalTerm) -> Formula:
+    """V12: ``[=> I] ~[]<>*J`` — a finite interval cannot contain an unbounded
+    number of J intervals (J an event-based term)."""
+    return interval(forward(None, term_i), lnot(always(eventually(occurs(term_j)))))
+
+
+def v13(term: IntervalTerm, p: Formula) -> Formula:
+    """V13: ``[=> I][]p /\\ [I =>][]p /\\ *I  ->  []p`` — interval partitioning.
+
+    Reconstruction note: the occurrence conjunct ``*I`` is required for
+    validity under the vacuous-satisfaction semantics (both interval formulas
+    are vacuously true when ``I`` cannot be found); the paper's prose reads
+    the rule only for the case where ``I`` partitions the context.
+    """
+    return implies(
+        land(
+            interval(forward(None, term), always(p)),
+            interval(forward(term, None), always(p)),
+            occurs(term),
+        ),
+        always(p),
+    )
+
+
+def v14(term: IntervalTerm, p: Formula) -> Formula:
+    """V14: ``<>p -> [=> I]<>p \\/ [I =>]<>p`` — the dual of V13."""
+    return implies(
+        eventually(p),
+        lor(
+            interval(forward(None, term), eventually(p)),
+            interval(forward(term, None), eventually(p)),
+        ),
+    )
+
+
+def v15(
+    term_i: IntervalTerm, term_j: IntervalTerm, term_k: IntervalTerm, p: Formula
+) -> Formula:
+    """V15: ``[I=>J][]p /\\ [(I=>J)=>K][]p  ->  [I=>(J=>K)][]p`` — composition."""
+    return implies(
+        land(
+            interval(forward(term_i, term_j), always(p)),
+            interval(forward(forward(term_i, term_j), term_k), always(p)),
+        ),
+        interval(forward(term_i, forward(term_j, term_k)), always(p)),
+    )
+
+
+def v16(term_j: IntervalTerm, term_k: IntervalTerm, alpha: Formula) -> Formula:
+    """V16: ``[=>(J=>K)]a /\\ [=> *J]~*K  ->  [=>K]a`` — when the first K also
+    follows the first J, ``=>(J=>K)`` simplifies to ``=>K``."""
+    return implies(
+        land(
+            interval(forward(None, forward(term_j, term_k)), alpha),
+            interval(forward(None, star(term_j)), lnot(occurs(term_k))),
+        ),
+        interval(forward(None, term_k), alpha),
+    )
+
+
+# -- canonical instances -------------------------------------------------------
+
+
+def _instances() -> List[ValidFormula]:
+    p, q, r = prop("p"), prop("q"), prop("r")
+    a_event = event(prop("p"))
+    b_event = event(prop("q"))
+    c_event = event(prop("r"))
+    entries = [
+        ValidFormula(
+            "V1", "conjunction distributes over an interval",
+            v1(forward(a_event, b_event), prop("r"), eventually(prop("r"))),
+            ("p", "q", "r"), max_length=4,
+        ),
+        ValidFormula(
+            "V2", "implication distributes over an interval",
+            v2(forward(a_event, b_event), prop("r"), eventually(prop("r"))),
+            ("p", "q", "r"), max_length=4,
+        ),
+        ValidFormula(
+            "V3", "fundamental case split on interval construction",
+            v3(forward(a_event, b_event), eventually(prop("r"))),
+            ("p", "q", "r"), max_length=4,
+        ),
+        ValidFormula(
+            "V4", "interval eventuality as negated vacuous interval formula",
+            v4(forward(a_event, b_event)),
+            ("p", "q"), max_length=5,
+        ),
+        ValidFormula(
+            "V5", "event eventuality via nested <>",
+            v5(prop("p")),
+            ("p",), max_length=6,
+        ),
+        ValidFormula(
+            "V6", "pushing negation into the interval",
+            v6(forward(a_event, b_event), eventually(prop("r"))),
+            ("p", "q", "r"), max_length=4,
+        ),
+        ValidFormula(
+            "V7", "the bare arrow selects the whole outer context",
+            v7(land(prop("p"), eventually(prop("q")))),
+            ("p", "q"), max_length=5,
+        ),
+        ValidFormula(
+            "V8", "outer invariants promote to tail intervals",
+            v8(a_event, prop("q")),
+            ("p", "q"), max_length=5,
+        ),
+        ValidFormula(
+            "V9", "an event's property persists until just before it falls",
+            v9(prop("p")),
+            ("p",), max_length=6,
+        ),
+        ValidFormula(
+            "V10", "fundamental event-ordering case split",
+            v10(prop("p"), prop("q")),
+            ("p", "q"), max_length=5,
+        ),
+        ValidFormula(
+            "V11", "backward operator reduced to forward operators",
+            v11(prop("p"), prop("q"), eventually(prop("r"))),
+            ("p", "q", "r"), max_length=4,
+        ),
+        ValidFormula(
+            "V12", "a bounded interval contains finitely many J intervals",
+            v12(c_event, a_event),
+            ("p", "r"), max_length=5,
+        ),
+        ValidFormula(
+            "V13", "interval partitioning of an invariant",
+            v13(a_event, prop("q")),
+            ("p", "q"), max_length=5, reconstructed=True,
+        ),
+        ValidFormula(
+            "V14", "interval partitioning of an eventuality (dual of V13)",
+            v14(a_event, prop("q")),
+            ("p", "q"), max_length=5,
+        ),
+        ValidFormula(
+            "V15", "interval composition for invariants",
+            v15(a_event, b_event, c_event, prop("s")),
+            ("p", "q", "r", "s"), max_length=3,
+        ),
+        ValidFormula(
+            "V16", "simplification of composed intervals when K follows J",
+            v16(b_event, c_event, eventually(prop("p"))),
+            ("p", "q", "r"), max_length=4, reconstructed=True,
+        ),
+    ]
+    return entries
+
+
+CATALOGUE: Dict[str, ValidFormula] = {entry.name: entry for entry in _instances()}
+
+
+def catalogue() -> List[ValidFormula]:
+    """All catalogue entries in the paper's order."""
+    return [CATALOGUE[name] for name in sorted(CATALOGUE, key=lambda n: int(n[1:]))]
+
+
+def get(name: str) -> ValidFormula:
+    """Look up a catalogue entry by name (``"V1"`` ... ``"V16"``)."""
+    return CATALOGUE[name]

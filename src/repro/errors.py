@@ -1,0 +1,91 @@
+"""Exception hierarchy for the interval-logic reproduction library.
+
+Every error raised by the public API derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  Sub-classes
+distinguish the main failure categories: malformed syntax, evaluation over a
+trace, decision-procedure construction, and theory solving.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SyntaxConstructionError(ReproError):
+    """A formula, interval term, or event term was constructed incorrectly."""
+
+
+class ParseError(ReproError):
+    """The concrete-syntax parser could not parse its input.
+
+    Attributes
+    ----------
+    text:
+        The full input text.
+    position:
+        Character offset at which parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0) -> None:
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """Semantic evaluation of a formula over a trace failed.
+
+    This indicates a genuine error (unknown state variable, unbound logical
+    variable, applying ``end`` to an infinite interval in a context where the
+    paper leaves it undefined), not a ``False`` verdict.
+    """
+
+
+class UnboundVariableError(EvaluationError):
+    """A logical (rigid) variable was used without a binding."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unbound logical variable: {name!r}")
+        self.name = name
+
+
+class UnknownStateVariableError(EvaluationError):
+    """A state variable referenced by a predicate is absent from a state."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown state variable: {name!r}")
+        self.name = name
+
+
+class UnknownOperationError(EvaluationError):
+    """An operation predicate refers to an operation absent from a state."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown operation: {name!r}")
+        self.name = name
+
+
+class TraceError(ReproError):
+    """A trace was constructed or indexed incorrectly."""
+
+
+class DecisionProcedureError(ReproError):
+    """The tableau / graph decision procedures hit an unsupported case."""
+
+
+class TranslationError(ReproError):
+    """A formula lies outside the fragment supported by a translation."""
+
+
+class TheoryError(ReproError):
+    """A specialized theory solver received literals it cannot interpret."""
+
+
+class SimulationError(ReproError):
+    """A case-study system simulator was driven into an invalid configuration."""
+
+
+class SpecificationError(ReproError):
+    """A specification object was assembled incorrectly."""

@@ -1,0 +1,40 @@
+"""The Appendix C low-level language: syntax, bounded semantics, LTL encoding."""
+
+from .syntax import (
+    LChoice,
+    LChop,
+    LConcur,
+    LConcurSame,
+    LExists,
+    LFalseExpr,
+    LForceFalse,
+    LForceTrue,
+    LInfloop,
+    LIterOpt,
+    LIterStar,
+    LLLExpression,
+    LNeg,
+    LSeq,
+    LTrueOne,
+    LTrueStar,
+    LVar,
+    check_l1_restriction,
+    lll_variables,
+    walk_lll,
+)
+from .semantics import (
+    Psi,
+    is_consistent,
+    is_satisfiable_bounded,
+    satisfying_interpretations,
+)
+from .translation import ltl_to_lll
+
+__all__ = [
+    "LChoice", "LChop", "LConcur", "LConcurSame", "LExists", "LFalseExpr",
+    "LForceFalse", "LForceTrue", "LInfloop", "LIterOpt", "LIterStar",
+    "LLLExpression", "LNeg", "LSeq", "LTrueOne", "LTrueStar", "LVar",
+    "check_l1_restriction", "lll_variables", "walk_lll",
+    "Psi", "is_consistent", "is_satisfiable_bounded", "satisfying_interpretations",
+    "ltl_to_lll",
+]

@@ -1,0 +1,283 @@
+"""Partial-interpretation semantics of the low-level language (Appendix C §3).
+
+Each expression denotes a set ``Ψ(α)`` of *partial interpretations*: finite
+sequences of conjunctions of literals (computation sequence constraints).
+The operations on partial interpretations are exactly those of the paper:
+
+* ``I ∧ J`` — pointwise conjunction, the longer sequence extending past the
+  shorter;
+* ``I J``  — concatenation with a one-element overlap;
+* ``I ; J`` — concatenation without overlap;
+* ``(∃x) I`` — delete ``x`` from every conjunction;
+* ``(Fx) I`` / ``(Tx) I`` — add ``~x`` / ``x`` to every conjunction not
+  already mentioning ``x``.
+
+The paper's semantics admits infinite interpretations (``T*``, ``infloop``,
+the iteration operators).  The reproduction computes Ψ *up to a length
+bound*: ``Psi(expression, bound)`` returns every denoted partial
+interpretation of length at most ``bound``.  Within the bound the computation
+is exact, which is what the Appendix C example (``iter*(P T*, Q)`` denotes
+``⋁ᵢ Pⁱ;Q``) and the satisfiability checks of experiment E8 need; the full
+non-elementary graph construction of §4 is out of scope and this bounded
+semantics is the documented substitution for it (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from ..errors import DecisionProcedureError
+from .syntax import (
+    LChoice,
+    LChop,
+    LConcur,
+    LConcurSame,
+    LExists,
+    LFalseExpr,
+    LForceFalse,
+    LForceTrue,
+    LInfloop,
+    LIterOpt,
+    LIterStar,
+    LLLExpression,
+    LNeg,
+    LSeq,
+    LTrueOne,
+    LTrueStar,
+    LVar,
+)
+
+__all__ = [
+    "Literal",
+    "Conjunction",
+    "PartialInterpretation",
+    "conj_and",
+    "interp_and",
+    "interp_chop",
+    "interp_seq",
+    "is_consistent",
+    "Psi",
+    "is_satisfiable_bounded",
+    "satisfying_interpretations",
+]
+
+
+Literal = Tuple[str, bool]
+Conjunction = FrozenSet[Literal]
+PartialInterpretation = Tuple[Conjunction, ...]
+
+EMPTY_CONJUNCTION: Conjunction = frozenset()
+
+
+def conj_and(left: Conjunction, right: Conjunction) -> Conjunction:
+    """Pointwise conjunction of two constraint conjunctions."""
+    return left | right
+
+
+def conj_consistent(conjunction: Conjunction) -> bool:
+    names = {}
+    for name, value in conjunction:
+        if name in names and names[name] != value:
+            return False
+        names[name] = value
+    return True
+
+
+def interp_and(left: PartialInterpretation, right: PartialInterpretation) -> PartialInterpretation:
+    """``I ∧ J``: pointwise conjunction, longer sequence extends past the shorter."""
+    length = max(len(left), len(right))
+    out: List[Conjunction] = []
+    for index in range(length):
+        conjunction = EMPTY_CONJUNCTION
+        if index < len(left):
+            conjunction = conj_and(conjunction, left[index])
+        if index < len(right):
+            conjunction = conj_and(conjunction, right[index])
+        out.append(conjunction)
+    return tuple(out)
+
+
+def interp_chop(left: PartialInterpretation, right: PartialInterpretation) -> PartialInterpretation:
+    """``I J``: concatenation with a one-element overlap."""
+    if not left:
+        return right
+    if not right:
+        return left
+    overlap = conj_and(left[-1], right[0])
+    return left[:-1] + (overlap,) + right[1:]
+
+
+def interp_seq(left: PartialInterpretation, right: PartialInterpretation) -> PartialInterpretation:
+    """``I ; J``: concatenation without overlap."""
+    return left + right
+
+
+def _hide(interpretation: PartialInterpretation, variable: str) -> PartialInterpretation:
+    return tuple(
+        frozenset(literal for literal in conjunction if literal[0] != variable)
+        for conjunction in interpretation
+    )
+
+
+def _force(interpretation: PartialInterpretation, variable: str, value: bool) -> PartialInterpretation:
+    out = []
+    for conjunction in interpretation:
+        if any(name == variable for name, _ in conjunction):
+            out.append(conjunction)
+        else:
+            out.append(conjunction | {(variable, value)})
+    return tuple(out)
+
+
+def is_consistent(interpretation: PartialInterpretation) -> bool:
+    """No conjunction of the interpretation is contradictory."""
+    return all(conj_consistent(conjunction) for conjunction in interpretation)
+
+
+def Psi(expression: LLLExpression, bound: int) -> Set[PartialInterpretation]:
+    """All partial interpretations of length at most ``bound`` denoted by the expression."""
+    if bound < 1:
+        raise DecisionProcedureError("the length bound must be at least 1")
+    return _psi(expression, bound)
+
+
+def _bounded(interps: Set[PartialInterpretation], bound: int) -> Set[PartialInterpretation]:
+    return {i for i in interps if 1 <= len(i) <= bound}
+
+
+def _psi(expression: LLLExpression, bound: int) -> Set[PartialInterpretation]:
+    if isinstance(expression, LVar):
+        return {(frozenset({(expression.name, True)}),)}
+    if isinstance(expression, LNeg):
+        return {(frozenset({(expression.name, False)}),)}
+    if isinstance(expression, LTrueOne):
+        return {(EMPTY_CONJUNCTION,)}
+    if isinstance(expression, LFalseExpr):
+        return set()
+    if isinstance(expression, LTrueStar):
+        return {tuple([EMPTY_CONJUNCTION] * n) for n in range(1, bound + 1)}
+    if isinstance(expression, LChoice):
+        return _psi(expression.left, bound) | _psi(expression.right, bound)
+    if isinstance(expression, LConcur):
+        return _bounded(
+            {interp_and(i, j)
+             for i in _psi(expression.left, bound)
+             for j in _psi(expression.right, bound)},
+            bound,
+        )
+    if isinstance(expression, LConcurSame):
+        return _bounded(
+            {interp_and(i, j)
+             for i in _psi(expression.left, bound)
+             for j in _psi(expression.right, bound)
+             if len(i) == len(j)},
+            bound,
+        )
+    if isinstance(expression, LSeq):
+        return _bounded(
+            {interp_seq(i, j)
+             for i in _psi(expression.left, bound)
+             for j in _psi(expression.right, bound)},
+            bound,
+        )
+    if isinstance(expression, LChop):
+        return _bounded(
+            {interp_chop(i, j)
+             for i in _psi(expression.left, bound)
+             for j in _psi(expression.right, bound)},
+            bound,
+        )
+    if isinstance(expression, LExists):
+        return {_hide(i, expression.variable) for i in _psi(expression.body, bound)}
+    if isinstance(expression, LForceFalse):
+        return {_force(i, expression.variable, False) for i in _psi(expression.body, bound)}
+    if isinstance(expression, LForceTrue):
+        return {_force(i, expression.variable, True) for i in _psi(expression.body, bound)}
+    if isinstance(expression, LInfloop):
+        return _psi_infloop(expression.body, bound)
+    if isinstance(expression, LIterStar):
+        return _psi_iter(expression.body, expression.until, bound, require_until=True)
+    if isinstance(expression, LIterOpt):
+        return _psi_iter(expression.body, expression.until, bound, require_until=False)
+    raise DecisionProcedureError(f"unknown LLL expression: {expression!r}")
+
+
+def _shift(interps: Set[PartialInterpretation], offset: int, bound: int) -> Set[PartialInterpretation]:
+    """``T^offset ; a`` — prefix with ``offset`` unconstrained instants."""
+    prefix = tuple([EMPTY_CONJUNCTION] * offset)
+    return _bounded({prefix + i for i in interps}, bound)
+
+
+def _psi_infloop(body: LLLExpression, bound: int) -> Set[PartialInterpretation]:
+    """``infloop(a)``: a copy of ``a`` starts at every instant.
+
+    The exact denotation ``a ∧ (T;a) ∧ (T;T;a) ∧ ...`` consists of infinite
+    interpretations only; bounded to ``bound`` instants, the reproduction
+    returns their length-``bound`` truncations — a copy of ``a`` (itself
+    truncated at the bound) is conjoined at every offset ``0 .. bound-1``.
+    """
+    def truncate(interpretation: PartialInterpretation) -> PartialInterpretation:
+        return interpretation[:bound]
+
+    base = {truncate(i) for i in _psi(body, bound)}
+    if not base:
+        return set()
+    current: Set[PartialInterpretation] = set(base)
+    for offset in range(1, bound):
+        prefix = tuple([EMPTY_CONJUNCTION] * offset)
+        shifted = {truncate(prefix + i) for i in base}
+        current = {
+            truncate(interp_and(left, right))
+            for left in current
+            for right in shifted
+        }
+        if not current:
+            break
+    return _bounded(current, bound)
+
+
+def _psi_iter(
+    body: LLLExpression,
+    until: LLLExpression,
+    bound: int,
+    require_until: bool,
+) -> Set[PartialInterpretation]:
+    """``iter*`` / ``iter(*)``: copies of ``a`` start at successive instants
+    until ``b`` starts (bounded)."""
+    base = _psi(body, bound)
+    stop = _psi(until, bound)
+    results: Set[PartialInterpretation] = set(stop)  # b starts immediately
+    accumulated: Set[PartialInterpretation] = set(base)
+    for offset in range(1, bound):
+        # b starts at instant ``offset``: all copies of a started before must
+        # end no later than b does (the paper's simultaneity requirement is
+        # relaxed to containment within the bound).
+        for left in accumulated:
+            for right in _shift(stop, offset, bound):
+                combined = interp_and(left, right)
+                if len(combined) <= bound and len(right) >= len(left):
+                    results.add(combined)
+        # Start another copy of a at instant ``offset``.
+        next_acc: Set[PartialInterpretation] = set()
+        for left in accumulated:
+            for right in _shift(base, offset, bound):
+                combined = interp_and(left, right)
+                if len(combined) <= bound:
+                    next_acc.add(combined)
+        accumulated = next_acc
+        if not accumulated:
+            break
+    if not require_until:
+        results |= _psi_infloop(body, bound)
+    return _bounded(results, bound)
+
+
+def satisfying_interpretations(expression: LLLExpression, bound: int) -> Set[PartialInterpretation]:
+    """The consistent (non-contradictory) interpretations within the bound."""
+    return {i for i in Psi(expression, bound) if is_consistent(i)}
+
+
+def is_satisfiable_bounded(expression: LLLExpression, bound: int = 4) -> bool:
+    """Is the expression satisfiable by some computation of length <= bound?"""
+    return bool(satisfying_interpretations(expression, bound))

@@ -1,0 +1,309 @@
+"""The low-level language of Appendix C (syntax).
+
+The language generalizes regular expressions over *computation sequence
+constraints*: each expression denotes a set of partial interpretations —
+finite or infinite sequences of conjunctions of propositional variables and
+their negations, specifying which events are permitted or forbidden at each
+instant.
+
+Constructs (Appendix C §2):
+
+* propositional variables and their negations, the constants ``T`` (any one
+  instant), ``F`` (nothing) and ``T*`` (any finite or infinite sequence);
+* ``a \\/ b`` — nondeterministic choice;
+* ``a /\\ b`` — concurrent execution, the longer computation extending past
+  the shorter (``AndSame`` is the equal-length variant ``as``);
+* ``a ; b`` — serial composition without overlap, ``a . b`` (Chop) — serial
+  composition with a one-state overlap;
+* ``exists x a`` — hide the local event ``x``; ``Fx a`` / ``Tx a`` — make
+  ``x`` false / true wherever unspecified;
+* ``infloop(a)`` — a copy of ``a`` begins at every instant;
+* ``iter*(a, b)`` / ``iter(*)(a, b)`` — copies of ``a`` begin at successive
+  instants until ``b`` begins (``iter*`` requires that ``b`` eventually
+  start, ``iter(*)`` does not).
+
+Appendix C restricts where the non-monotone ``Fx``/``Tx`` quantifiers may
+appear (language ``L1``); :func:`check_l1_restriction` enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple
+
+from ..errors import SyntaxConstructionError
+
+__all__ = [
+    "LLLExpression",
+    "LVar",
+    "LNeg",
+    "LTrueOne",
+    "LFalseExpr",
+    "LTrueStar",
+    "LChoice",
+    "LConcur",
+    "LConcurSame",
+    "LSeq",
+    "LChop",
+    "LExists",
+    "LForceFalse",
+    "LForceTrue",
+    "LInfloop",
+    "LIterStar",
+    "LIterOpt",
+    "walk_lll",
+    "lll_variables",
+    "check_l1_restriction",
+]
+
+
+class LLLExpression:
+    """Base class of low-level-language expressions."""
+
+    def children(self) -> Iterator["LLLExpression"]:
+        return iter(())
+
+
+@dataclass(frozen=True)
+class LVar(LLLExpression):
+    """A propositional variable: the one-instant computation in which it occurs."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxConstructionError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LNeg(LLLExpression):
+    """A negated variable: one instant in which the event does not occur."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"~{self.name}"
+
+
+@dataclass(frozen=True)
+class LTrueOne(LLLExpression):
+    """``T`` — any computation of length one."""
+
+    def __str__(self) -> str:
+        return "T"
+
+
+@dataclass(frozen=True)
+class LFalseExpr(LLLExpression):
+    """``F`` — no computation at all."""
+
+    def __str__(self) -> str:
+        return "F"
+
+
+@dataclass(frozen=True)
+class LTrueStar(LLLExpression):
+    """``T*`` — any finite or infinite computation."""
+
+    def __str__(self) -> str:
+        return "T*"
+
+
+class _Binary(LLLExpression):
+    left: LLLExpression
+    right: LLLExpression
+    SYMBOL = "?"
+
+    def children(self) -> Iterator[LLLExpression]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.SYMBOL} {self.right})"
+
+
+@dataclass(frozen=True)
+class LChoice(_Binary):
+    """``a \\/ b`` — nondeterministic choice."""
+
+    left: LLLExpression
+    right: LLLExpression
+    SYMBOL = "\\/"
+
+
+@dataclass(frozen=True)
+class LConcur(_Binary):
+    """``a /\\ b`` — concurrency, longer computation extends past the shorter."""
+
+    left: LLLExpression
+    right: LLLExpression
+    SYMBOL = "/\\"
+
+
+@dataclass(frozen=True)
+class LConcurSame(_Binary):
+    """``a as b`` — concurrency restricted to equal-length computations."""
+
+    left: LLLExpression
+    right: LLLExpression
+    SYMBOL = "as"
+
+
+@dataclass(frozen=True)
+class LSeq(_Binary):
+    """``a ; b`` — serial composition without overlap."""
+
+    left: LLLExpression
+    right: LLLExpression
+    SYMBOL = ";"
+
+
+@dataclass(frozen=True)
+class LChop(_Binary):
+    """``a b`` (concatenation) — serial composition with a one-state overlap."""
+
+    left: LLLExpression
+    right: LLLExpression
+    SYMBOL = "."
+
+
+class _Quantifier(LLLExpression):
+    variable: str
+    body: LLLExpression
+    SYMBOL = "?"
+
+    def children(self) -> Iterator[LLLExpression]:
+        yield self.body
+
+    def __str__(self) -> str:
+        return f"({self.SYMBOL}{self.variable}){self.body}"
+
+
+@dataclass(frozen=True)
+class LExists(_Quantifier):
+    """``(exists x) a`` — hide the local event ``x``."""
+
+    variable: str
+    body: LLLExpression
+    SYMBOL = "E"
+
+
+@dataclass(frozen=True)
+class LForceFalse(_Quantifier):
+    """``(Fx) a`` — ``x`` is false everywhere a value is not already specified."""
+
+    variable: str
+    body: LLLExpression
+    SYMBOL = "F"
+
+
+@dataclass(frozen=True)
+class LForceTrue(_Quantifier):
+    """``(Tx) a`` — ``x`` is true everywhere a value is not already specified."""
+
+    variable: str
+    body: LLLExpression
+    SYMBOL = "T"
+
+
+@dataclass(frozen=True)
+class LInfloop(LLLExpression):
+    """``infloop(a)`` / ``a**`` — a copy of ``a`` begins at every instant."""
+
+    body: LLLExpression
+
+    def children(self) -> Iterator[LLLExpression]:
+        yield self.body
+
+    def __str__(self) -> str:
+        return f"infloop({self.body})"
+
+
+@dataclass(frozen=True)
+class LIterStar(LLLExpression):
+    """``iter*(a, b)`` — copies of ``a`` begin at successive instants until
+    ``b`` begins, and ``b`` must eventually begin."""
+
+    body: LLLExpression
+    until: LLLExpression
+
+    def children(self) -> Iterator[LLLExpression]:
+        yield self.body
+        yield self.until
+
+    def __str__(self) -> str:
+        return f"iter*({self.body}, {self.until})"
+
+
+@dataclass(frozen=True)
+class LIterOpt(LLLExpression):
+    """``iter(*)(a, b)`` — as ``iter*`` but ``b`` need not ever begin."""
+
+    body: LLLExpression
+    until: LLLExpression
+
+    def children(self) -> Iterator[LLLExpression]:
+        yield self.body
+        yield self.until
+
+    def __str__(self) -> str:
+        return f"iter(*)({self.body}, {self.until})"
+
+
+def walk_lll(expression: LLLExpression) -> Iterator[LLLExpression]:
+    yield expression
+    for child in expression.children():
+        yield from walk_lll(child)
+
+
+def lll_variables(expression: LLLExpression) -> FrozenSet[str]:
+    """All propositional variables occurring in the expression."""
+    names = set()
+    for node in walk_lll(expression):
+        if isinstance(node, (LVar, LNeg)):
+            names.add(node.name)
+        elif isinstance(node, (LExists, LForceFalse, LForceTrue)):
+            names.add(node.variable)
+    return frozenset(names)
+
+
+_L1_ALLOWED = (LVar, LNeg, LTrueOne, LFalseExpr, LTrueStar, LSeq, LChop,
+               LConcurSame, LExists, LForceFalse, LForceTrue)
+
+
+def _free_in(expression: LLLExpression, variable: str) -> bool:
+    if isinstance(expression, (LVar, LNeg)):
+        return expression.name == variable
+    if isinstance(expression, (LExists, LForceFalse, LForceTrue)):
+        if expression.variable == variable and isinstance(expression, LExists):
+            return False
+        return _free_in(expression.body, variable)
+    return any(_free_in(child, variable) for child in expression.children())
+
+
+def check_l1_restriction(expression: LLLExpression) -> bool:
+    """Does the expression respect the Appendix C §3.1 quantifier restriction?
+
+    ``Fx``/``Tx`` may only be applied to bodies composed of sub-expressions in
+    which ``x`` does not occur free, the variable ``x`` itself, and the
+    connectives concatenation, ``;``, ``as``, and the quantifiers.
+    """
+    def body_ok(body: LLLExpression, variable: str) -> bool:
+        if not _free_in(body, variable):
+            return True
+        if isinstance(body, LVar) and body.name == variable:
+            return True
+        if isinstance(body, _L1_ALLOWED) and not isinstance(body, (LVar, LNeg)):
+            if isinstance(body, (LExists, LForceFalse, LForceTrue)):
+                return body_ok(body.body, variable)
+            return all(body_ok(child, variable) for child in body.children())
+        return False
+
+    for node in walk_lll(expression):
+        if isinstance(node, (LForceFalse, LForceTrue)):
+            if not body_ok(node.body, node.variable):
+                return False
+    return True

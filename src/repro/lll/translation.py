@@ -1,0 +1,97 @@
+"""Encoding linear-time temporal logic into the low-level language (Appendix C §7).
+
+"One can easily encode the usual discrete linear time temporal logic into L1
+by expressing ``Until(x, y)`` as ``iter(*)(x, y)`` (with no eventuality
+implied), 'next time x' as ``T;x``, 'henceforth x' as ``infloop(x)``,
+'eventually x' as ``iter*(T*, x)``, propositional variables ``p`` as
+``p T*``, ``~p`` as ``~p T*``, and Boolean ``/\\`` and ``\\/`` as
+themselves.  This requires pushing negations to the bottom."
+
+The encoding below follows that recipe over the negation-normal-form
+operators of :mod:`repro.ltl.syntax`; strong until is encoded through
+``iter*`` (which does imply the eventuality) and release through the weak
+``iter(*)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import TranslationError
+from ..ltl.syntax import (
+    Henceforth,
+    LAnd,
+    LFalse,
+    LNot,
+    LOr,
+    LProp,
+    LTrue,
+    LTLFormula,
+    Next,
+    Release,
+    Sometime,
+    StrongUntil,
+    Until,
+    to_nnf,
+)
+from .syntax import (
+    LChoice,
+    LChop,
+    LConcur,
+    LFalseExpr,
+    LInfloop,
+    LIterOpt,
+    LIterStar,
+    LLLExpression,
+    LNeg,
+    LSeq,
+    LTrueOne,
+    LTrueStar,
+    LVar,
+)
+
+__all__ = ["ltl_to_lll"]
+
+
+def _literal(formula: LTLFormula) -> LLLExpression:
+    if isinstance(formula, LProp):
+        return LChop(LVar(formula.name), LTrueStar())
+    if isinstance(formula, LNot) and isinstance(formula.operand, LProp):
+        return LChop(LNeg(formula.operand.name), LTrueStar())
+    raise TranslationError(f"not a propositional literal: {formula}")
+
+
+def ltl_to_lll(formula: LTLFormula) -> LLLExpression:
+    """Translate a propositional LTL formula into the low-level language.
+
+    Theory atoms are not supported (the LLL is purely propositional); the
+    formula is first converted to negation normal form.
+    """
+    return _translate(to_nnf(formula))
+
+
+def _translate(formula: LTLFormula) -> LLLExpression:
+    if isinstance(formula, LTrue):
+        return LTrueStar()
+    if isinstance(formula, LFalse):
+        return LFalseExpr()
+    if isinstance(formula, (LProp, LNot)):
+        return _literal(formula)
+    if isinstance(formula, LAnd):
+        return LConcur(_translate(formula.left), _translate(formula.right))
+    if isinstance(formula, LOr):
+        return LChoice(_translate(formula.left), _translate(formula.right))
+    if isinstance(formula, Next):
+        return LSeq(LTrueOne(), _translate(formula.operand))
+    if isinstance(formula, Henceforth):
+        return LInfloop(_translate(formula.operand))
+    if isinstance(formula, Sometime):
+        return LIterStar(LTrueStar(), _translate(formula.operand))
+    if isinstance(formula, StrongUntil):
+        return LIterStar(_translate(formula.left), _translate(formula.right))
+    if isinstance(formula, Until):
+        return LIterOpt(_translate(formula.left), _translate(formula.right))
+    if isinstance(formula, Release):
+        # R(q, p) = weak until of p holding with q releasing: encode through
+        # the weak iteration of p until (p /\ q).
+        released = LConcur(_translate(formula.right), _translate(formula.left))
+        return LIterOpt(_translate(formula.right), released)
+    raise TranslationError(f"cannot encode LTL formula into the LLL: {formula}")

@@ -1,0 +1,40 @@
+"""Propositional linear-time temporal logic and the Appendix B decision procedures."""
+
+from .syntax import (
+    Henceforth,
+    LAnd,
+    LFalse,
+    LIff,
+    LImplies,
+    LNot,
+    LOr,
+    LProp,
+    LTrue,
+    LTLFormula,
+    Next,
+    Release,
+    Sometime,
+    StrongUntil,
+    TheoryAtom,
+    Until,
+    lit_and,
+    lit_or,
+    ltl_size,
+    to_nnf,
+)
+from .semantics import ltl_holds, ltl_satisfies
+from .tableau import TableauGraph, build_graph
+from .decision import DecisionResult, DecisionStatistics, TableauDecider, is_satisfiable, is_valid
+from .algorithm_b import AlgorithmB, AlgorithmBResult, ConditionDisjunct
+from .translation import interval_to_ltl, is_in_ltl_fragment
+
+__all__ = [
+    "Henceforth", "LAnd", "LFalse", "LIff", "LImplies", "LNot", "LOr", "LProp",
+    "LTrue", "LTLFormula", "Next", "Release", "Sometime", "StrongUntil",
+    "TheoryAtom", "Until", "lit_and", "lit_or", "ltl_size", "to_nnf",
+    "ltl_holds", "ltl_satisfies", "TableauGraph", "build_graph",
+    "DecisionResult", "DecisionStatistics", "TableauDecider",
+    "is_satisfiable", "is_valid",
+    "AlgorithmB", "AlgorithmBResult", "ConditionDisjunct",
+    "interval_to_ltl", "is_in_ltl_fragment",
+]

@@ -1,0 +1,325 @@
+"""Algorithm B of Appendix B §5: theory-free conditions via double fixpoint.
+
+Given a temporal formula ``A``, Algorithm B constructs the tableau graph of
+``~A`` and computes a *maximal* condition ``C = \\/_i [] C_i`` — a
+disjunction of "henceforth" Boolean combinations of ``A``'s literals — such
+that ``TL |= (C -> A)``.  Theorem 1 then reduces validity modulo a theory to
+pure theory queries::
+
+    TL(T) |= A    iff    T |= C_i   for some i
+
+with every state variable universally quantified inside its ``C_i`` and the
+extralogical (rigid) variables universally quantified outside the whole
+disjunction (formula (2) of the paper).  The procedure is modular: the
+tableau never consults the theory, and the theory is consulted only on the
+final conditions.
+
+The conditions are computed from the per-node quantities ``delete(N)`` ("the
+condition under which node N is deleted") and ``fail(A, N)`` ("the condition
+under which eventuality A is unreachable from N"), defined by equations (3)
+and (4) of the paper and solved by the least/greatest double fixpoint
+iteration of §5.3.  Conditions are represented in disjunctive normal form
+over *edge-label atoms*: the atom for edge ``e`` stands for
+``[] ~prop(e)`` — "the literal conjunction labeling ``e`` can never hold".
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DecisionProcedureError
+from ..theories.base import Literal as TheoryLiteral
+from ..theories.base import Theory
+from ..theories.linear import LinearConstraint
+from .syntax import LNot, LProp, LTLFormula, TheoryAtom
+from .tableau import Edge, TableauGraph, build_graph
+
+__all__ = ["Condition", "ConditionDisjunct", "AlgorithmBResult", "AlgorithmB"]
+
+
+# A DNF condition: a frozenset of conjunctions; each conjunction is a
+# frozenset of edge-label atoms; an edge-label atom is the frozenset of
+# literals labeling the edge (identical labels share one atom).
+Atom = FrozenSet
+Conjunction = FrozenSet
+Condition = FrozenSet
+
+FALSE: Condition = frozenset()
+TRUE: Condition = frozenset({frozenset()})
+
+
+def _absorb(disjuncts: Set[Conjunction]) -> Condition:
+    """Remove conjunctions subsumed by weaker (subset) conjunctions."""
+    kept: List[Conjunction] = []
+    for conjunction in sorted(disjuncts, key=len):
+        if any(other <= conjunction for other in kept):
+            continue
+        kept.append(conjunction)
+    return frozenset(kept)
+
+
+def cond_or(left: Condition, right: Condition) -> Condition:
+    return _absorb(set(left) | set(right))
+
+
+def cond_and(left: Condition, right: Condition) -> Condition:
+    if left == FALSE or right == FALSE:
+        return FALSE
+    return _absorb({a | b for a in left for b in right})
+
+
+@dataclass(frozen=True)
+class ConditionDisjunct:
+    """One ``[] C_i``: the set of edge labels that must never hold."""
+
+    forbidden_labels: Tuple[FrozenSet[LTLFormula], ...]
+
+    def clauses(self) -> List[List[Tuple[LTLFormula, bool]]]:
+        """``C_i`` as a CNF: for each forbidden label ``l1 /\\ ... /\\ lk``,
+        the clause ``~l1 \\/ ... \\/ ~lk`` (literals as (atom, negated) pairs)."""
+        cnf: List[List[Tuple[LTLFormula, bool]]] = []
+        for label in self.forbidden_labels:
+            clause: List[Tuple[LTLFormula, bool]] = []
+            for literal in label:
+                negated = isinstance(literal, LNot)
+                atom = literal.operand if negated else literal
+                clause.append((atom, not negated))
+            cnf.append(clause)
+        return cnf
+
+    def __str__(self) -> str:
+        parts = []
+        for label in self.forbidden_labels:
+            rendered = " /\\ ".join(sorted(str(l) for l in label)) or "True"
+            parts.append(f"[]~({rendered})")
+        return " /\\ ".join(parts) if parts else "True"
+
+
+@dataclass
+class AlgorithmBResult:
+    """The condition ``C`` plus (optionally) the theory verdict."""
+
+    formula: LTLFormula
+    disjuncts: Tuple[ConditionDisjunct, ...]
+    valid_in_pure_tl: bool
+    valid_modulo_theory: Optional[bool]
+    construction_seconds: float
+    iteration_seconds: float
+    nodes: int
+    edges: int
+
+    def __str__(self) -> str:
+        rendered = " \\/ ".join(f"({d})" for d in self.disjuncts) or "False"
+        return f"C = {rendered}"
+
+
+class AlgorithmB:
+    """Compute the condition ``C`` and decide validity modulo a theory."""
+
+    def __init__(self, theory: Optional[Theory] = None) -> None:
+        self._theory = theory
+
+    # -- condition computation --------------------------------------------------------
+
+    def compute_condition(self, formula: LTLFormula) -> AlgorithmBResult:
+        start = time.perf_counter()
+        graph = build_graph(formula, negate=True)
+        construction = time.perf_counter() - start
+
+        start = time.perf_counter()
+        condition = self._double_fixpoint(graph)
+        iteration = time.perf_counter() - start
+
+        disjuncts = tuple(
+            ConditionDisjunct(tuple(sorted(conjunction, key=lambda s: sorted(map(str, s)))))
+            for conjunction in condition
+        )
+        # A is valid in pure TL iff C has a disjunct with no requirements
+        # (delete(initial) == True unconditionally).
+        valid_pure = any(len(d.forbidden_labels) == 0 for d in disjuncts)
+        valid_theory: Optional[bool] = None
+        if self._theory is not None:
+            valid_theory = self.decide_with_theory(disjuncts)
+        return AlgorithmBResult(
+            formula=formula,
+            disjuncts=disjuncts,
+            valid_in_pure_tl=valid_pure,
+            valid_modulo_theory=valid_theory,
+            construction_seconds=construction,
+            iteration_seconds=iteration,
+            nodes=graph.node_count,
+            edges=graph.edge_count,
+        )
+
+    def _double_fixpoint(self, graph: TableauGraph) -> Condition:
+        edges_of: Dict[int, List[Edge]] = {}
+        for edge in graph.edges:
+            edges_of.setdefault(edge.source, []).append(edge)
+        eventualities = sorted(
+            {ev for edge in graph.edges for ev in edge.eventualities}, key=str
+        )
+        nodes = list(graph.nodes)
+
+        delete: Dict[int, Condition] = {n: FALSE for n in nodes}
+        fail: Dict[Tuple[LTLFormula, int], Condition] = {
+            (ev, n): TRUE for ev in eventualities for n in nodes
+        }
+
+        def atom_of(edge: Edge) -> Condition:
+            """The condition ``[] ~prop(e)`` as a one-atom DNF.
+
+            An edge whose label is the empty conjunction (``True``) can never
+            be forbidden, so its condition is ``False``.
+            """
+            if not edge.literals:
+                return FALSE
+            return frozenset({frozenset({edge.literals})})
+
+        def delete_step(node: int) -> Condition:
+            result = TRUE
+            for edge in edges_of.get(node, []):
+                term = cond_or(atom_of(edge), delete[edge.target])
+                for ev in edge.eventualities:
+                    term = cond_or(term, fail[(ev, edge.target)])
+                result = cond_and(result, term)
+            if not edges_of.get(node):
+                # A node with no successors is deleted unconditionally.
+                result = TRUE
+            return result
+
+        def fail_step(ev: LTLFormula, node: int) -> Condition:
+            result = TRUE
+            for edge in edges_of.get(node, []):
+                term = cond_or(atom_of(edge), delete[edge.target])
+                if ev in edge.eventualities:
+                    term = cond_or(term, fail[(ev, edge.target)])
+                # If the eventuality is fulfilled at this node (not pending on
+                # the edge), the only way it still fails via this edge is the
+                # edge being impossible or its target deleted.
+                result = cond_and(result, term)
+            if not edges_of.get(node):
+                result = TRUE
+            return result
+
+        def fail_fixpoint() -> None:
+            """Recompute the fail conditions to their fixpoint (fail reset to True)."""
+            for key in fail:
+                fail[key] = TRUE
+            changed = True
+            while changed:
+                changed = False
+                for ev in eventualities:
+                    for node in nodes:
+                        updated = fail_step(ev, node)
+                        if updated != fail[(ev, node)]:
+                            fail[(ev, node)] = updated
+                            changed = True
+
+        def delete_fixpoint() -> bool:
+            """Iterate the delete conditions to their fixpoint; report change."""
+            any_change = False
+            changed = True
+            while changed:
+                changed = False
+                for node in nodes:
+                    updated = cond_or(delete[node], delete_step(node))
+                    if updated != delete[node]:
+                        delete[node] = updated
+                        changed = True
+                        any_change = True
+            return any_change
+
+        # The paper's steps 3-6: iterate (fail to fixpoint with fail reset to
+        # True, then delete to fixpoint) until delete stabilizes.
+        while True:
+            fail_fixpoint()
+            if not delete_fixpoint():
+                break
+
+        # C is the conjunction of delete over the initial covers of ~A.
+        condition = TRUE
+        for initial in graph.initial_nodes:
+            condition = cond_and(condition, delete[initial])
+        return condition
+
+    # -- theory queries ----------------------------------------------------------------
+
+    def decide_with_theory(self, disjuncts: Sequence[ConditionDisjunct]) -> bool:
+        """Theorem 1 / formula (2): validity of ``A`` in ``TL(T)``."""
+        if self._theory is None:
+            raise DecisionProcedureError("no theory configured for Algorithm B")
+        rigid_vars: Set[str] = set()
+        for disjunct in disjuncts:
+            for label in disjunct.forbidden_labels:
+                for literal in label:
+                    atom = literal.operand if isinstance(literal, LNot) else literal
+                    if isinstance(atom, TheoryAtom):
+                        rigid_vars.update(atom.rigid_vars)
+        # Simple case (no extralogical variables): exists i with T |= C_i.
+        for disjunct in disjuncts:
+            clauses = self._to_theory_clauses(disjunct.clauses())
+            if self._theory.is_valid_clauses(clauses):
+                return True
+        if not rigid_vars:
+            return False
+        # Extralogical variables: T |= forall rigid . \/_i (forall state . C_i).
+        # State variables are renamed apart per disjunct and the disjunction of
+        # CNFs is distributed back into one CNF.
+        renamed: List[List[List[TheoryLiteral]]] = []
+        for index, disjunct in enumerate(disjuncts):
+            clauses = self._to_theory_clauses(disjunct.clauses(), suffix=f"__d{index}",
+                                              rigid=rigid_vars)
+            renamed.append(clauses)
+        if not renamed:
+            return False
+        distributed: List[List[TheoryLiteral]] = []
+        for selection in itertools.product(*renamed):
+            merged: List[TheoryLiteral] = []
+            for clause in selection:
+                merged.extend(clause)
+            distributed.append(merged)
+        return self._theory.is_valid_clauses(distributed)
+
+    @staticmethod
+    def _rename_atom(atom: TheoryAtom, suffix: str, rigid: Set[str]) -> TheoryAtom:
+        """Rename the state variables of an atom (linear payloads and names)."""
+        mapping = {v: v + suffix for v in atom.state_vars if v not in rigid}
+        constraint = atom.constraint
+        if isinstance(constraint, LinearConstraint):
+            coefficients = {
+                mapping.get(name, name): value for name, value in constraint.coefficients
+            }
+            constraint = LinearConstraint.make(coefficients, constraint.op, constraint.constant)
+        new_state = tuple(mapping.get(v, v) for v in atom.state_vars)
+        name = atom.name + suffix if mapping else atom.name
+        return TheoryAtom(name=name, constraint=constraint,
+                          state_vars=new_state, rigid_vars=atom.rigid_vars)
+
+    def _to_theory_clauses(
+        self,
+        clauses: List[List[Tuple[LTLFormula, bool]]],
+        suffix: str = "",
+        rigid: Optional[Set[str]] = None,
+    ) -> List[List[TheoryLiteral]]:
+        """Convert edge-label clauses to theory literals, wrapping plain
+        propositions as uninterpreted theory atoms."""
+        rigid = rigid or set()
+        converted: List[List[TheoryLiteral]] = []
+        for clause in clauses:
+            theory_clause: List[TheoryLiteral] = []
+            for atom, negated in clause:
+                if isinstance(atom, TheoryAtom):
+                    renamed = self._rename_atom(atom, suffix, rigid) if suffix else atom
+                    theory_clause.append((renamed, negated))
+                elif isinstance(atom, LProp):
+                    name = atom.name + suffix if suffix else atom.name
+                    theory_clause.append((TheoryAtom(name=name), negated))
+                else:
+                    raise DecisionProcedureError(
+                        f"unexpected literal atom in condition: {atom!r}"
+                    )
+            converted.append(theory_clause)
+        return converted

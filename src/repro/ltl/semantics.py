@@ -1,0 +1,147 @@
+"""Explicit-model semantics for propositional LTL over lasso traces.
+
+Used to cross-check the tableau decision procedures: a formula the tableau
+declares satisfiable should have a model, and a formula declared valid must
+hold on every randomly generated lasso trace.
+
+Interpretations follow Appendix B: an interpretation is an infinite sequence
+of states, each assigning Boolean values to the propositional symbols; the
+connectives are interpreted as usual, with the paper's ``U`` being weak.  We
+represent infinite interpretations with the same lasso traces used by the
+interval-logic evaluator (boolean state variables named after the
+propositions).  Theory atoms are evaluated like propositions via their
+``name`` — callers generating models for combined theories must supply
+consistent valuations themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ..errors import EvaluationError
+from ..semantics.trace import INFINITY, Trace
+from .syntax import (
+    Henceforth,
+    LAnd,
+    LFalse,
+    LIff,
+    LImplies,
+    LNot,
+    LOr,
+    LProp,
+    LTrue,
+    LTLFormula,
+    Next,
+    Release,
+    Sometime,
+    StrongUntil,
+    TheoryAtom,
+    Until,
+)
+
+__all__ = ["ltl_holds", "ltl_satisfies"]
+
+
+def _rep_positions(trace: Trace, position: int) -> range:
+    """Positions whose suffixes are pairwise distinct, from ``position`` on."""
+    if position >= trace.loop_start:
+        return range(position, position + trace.period)
+    return range(position, trace.length + 1)
+
+
+def ltl_holds(formula: LTLFormula, trace: Trace, position: int = 1,
+              _memo: Union[Dict, None] = None) -> bool:
+    """Does ``formula`` hold at ``position`` (1-based) of the lasso ``trace``?"""
+    if _memo is None:
+        _memo = {}
+    canonical = position if position <= trace.length else trace.canonical(position)
+    key = (formula, canonical)
+    if key in _memo:
+        return _memo[key]
+    # Seed the memo to break cycles through the lasso for the fixpoint
+    # operators; the seed values are the correct limits (least fixpoint for
+    # Us, greatest for R).
+    if isinstance(formula, StrongUntil):
+        _memo[key] = False
+    elif isinstance(formula, Release):
+        _memo[key] = True
+    result = _evaluate(formula, trace, canonical, _memo)
+    _memo[key] = result
+    return result
+
+
+def _evaluate(formula: LTLFormula, trace: Trace, position: int, memo: Dict) -> bool:
+    state = trace.state_at(position)
+    if isinstance(formula, LTrue):
+        return True
+    if isinstance(formula, LFalse):
+        return False
+    if isinstance(formula, (LProp, TheoryAtom)):
+        return bool(state.get(formula.name, False))
+    if isinstance(formula, LNot):
+        return not ltl_holds(formula.operand, trace, position, memo)
+    if isinstance(formula, LAnd):
+        return ltl_holds(formula.left, trace, position, memo) and ltl_holds(
+            formula.right, trace, position, memo
+        )
+    if isinstance(formula, LOr):
+        return ltl_holds(formula.left, trace, position, memo) or ltl_holds(
+            formula.right, trace, position, memo
+        )
+    if isinstance(formula, LImplies):
+        return (not ltl_holds(formula.left, trace, position, memo)) or ltl_holds(
+            formula.right, trace, position, memo
+        )
+    if isinstance(formula, LIff):
+        return ltl_holds(formula.left, trace, position, memo) == ltl_holds(
+            formula.right, trace, position, memo
+        )
+    if isinstance(formula, Next):
+        return ltl_holds(formula.operand, trace, position + 1, memo)
+    if isinstance(formula, Henceforth):
+        return all(
+            ltl_holds(formula.operand, trace, k, memo)
+            for k in _rep_positions(trace, position)
+        )
+    if isinstance(formula, Sometime):
+        return any(
+            ltl_holds(formula.operand, trace, k, memo)
+            for k in _rep_positions(trace, position)
+        )
+    if isinstance(formula, Until):
+        # Weak until: []p or (q at some u >= t with p at all t <= v < u).
+        return _evaluate(Henceforth(formula.left), trace, position, memo) or _evaluate(
+            StrongUntil(formula.left, formula.right), trace, position, memo
+        )
+    if isinstance(formula, StrongUntil):
+        # Bounded unrolling over distinct suffixes: q must hold at some
+        # representative position with p holding before it; because the
+        # suffixes repeat beyond one period, scanning the representatives plus
+        # one extra period is exhaustive.
+        positions = list(_rep_positions(trace, position))
+        extra = range(positions[-1] + 1, positions[-1] + 1 + trace.period)
+        for u in list(positions) + list(extra):
+            if ltl_holds(formula.right, trace, u, memo):
+                if all(ltl_holds(formula.left, trace, v, memo) for v in range(position, u)):
+                    return True
+        return False
+    if isinstance(formula, Release):
+        # R(q, p): p holds up to and including the first q (or forever).
+        positions = list(_rep_positions(trace, position))
+        extra = range(positions[-1] + 1, positions[-1] + 1 + trace.period)
+        scanned = list(positions) + list(extra)
+        for u in scanned:
+            if not ltl_holds(formula.right, trace, u, memo):
+                # p fails at u: need some q at v <= u releasing the obligation
+                # strictly before the failure... R requires p until (and
+                # including) the instant q first holds.
+                return any(
+                    ltl_holds(formula.left, trace, v, memo) for v in range(position, u)
+                )
+        return True
+    raise EvaluationError(f"unknown LTL formula node: {formula!r}")
+
+
+def ltl_satisfies(trace: Trace, formula: LTLFormula) -> bool:
+    """Does the computation (position 1) satisfy ``formula``?"""
+    return ltl_holds(formula, trace, 1)

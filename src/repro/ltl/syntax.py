@@ -1,0 +1,378 @@
+"""Propositional linear-time temporal logic (the Appendix B substrate).
+
+Appendix B works with discrete linear-time propositional temporal logic whose
+formulas are built from predicate symbols / atoms, the Boolean connectives,
+and the temporal connectives ``[]`` (henceforth), ``<>`` (eventually), ``U``
+(until) and ``o`` (next time).  Its ``U`` is the *weak* until: ``U(p, q)`` is
+true if ``p`` is henceforth true and ``q`` never becomes true.
+
+Atoms come in two flavours:
+
+* :class:`LProp` — an uninterpreted propositional symbol;
+* :class:`TheoryAtom` — an assertion in a specialized theory (e.g.
+  ``x > 0``), carrying the constraint payload understood by the theory
+  solvers of :mod:`repro.theories` and the variables it mentions, each marked
+  *state* (value may change with time) or *extralogical* (rigid).
+
+Negation-normal-form conversion targets the operator set
+``{literal, /\\, \\/, X, U_s (strong until), R (release)}`` used by the
+tableau construction; the surface operators are translated by::
+
+    <> a      =  U_s(True, a)
+    [] a      =  R(False, a)
+    U(p, q)   =  R(q, p \\/ q)          (weak until)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterator, Mapping, Optional, Tuple
+
+from ..errors import SyntaxConstructionError
+
+__all__ = [
+    "LTLFormula",
+    "LTrue",
+    "LFalse",
+    "LProp",
+    "TheoryAtom",
+    "LNot",
+    "LAnd",
+    "LOr",
+    "LImplies",
+    "LIff",
+    "Next",
+    "Henceforth",
+    "Sometime",
+    "Until",
+    "StrongUntil",
+    "Release",
+    "lit_and",
+    "lit_or",
+    "to_nnf",
+    "ltl_size",
+    "walk_ltl",
+]
+
+
+class LTLFormula:
+    """Base class of LTL formulas."""
+
+    def children(self) -> Iterator["LTLFormula"]:
+        return iter(())
+
+    def __and__(self, other: "LTLFormula") -> "LTLFormula":
+        return LAnd(self, other)
+
+    def __or__(self, other: "LTLFormula") -> "LTLFormula":
+        return LOr(self, other)
+
+    def __invert__(self) -> "LTLFormula":
+        return LNot(self)
+
+
+@dataclass(frozen=True)
+class LTrue(LTLFormula):
+    def __str__(self) -> str:
+        return "True"
+
+
+@dataclass(frozen=True)
+class LFalse(LTLFormula):
+    def __str__(self) -> str:
+        return "False"
+
+
+@dataclass(frozen=True)
+class LProp(LTLFormula):
+    """An uninterpreted propositional symbol."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxConstructionError("proposition name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TheoryAtom(LTLFormula):
+    """An atom interpreted by a specialized theory.
+
+    ``constraint`` is an opaque hashable payload the theory solver
+    understands (the linear-arithmetic theory uses
+    :class:`repro.theories.linear.LinearConstraint`).  ``state_vars`` and
+    ``rigid_vars`` list the variables the constraint mentions, split by kind
+    (Appendix B §2): state variables may change value from instant to
+    instant, extralogical (rigid) variables may not.
+    """
+
+    name: str
+    constraint: Any = None
+    state_vars: Tuple[str, ...] = ()
+    rigid_vars: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxConstructionError("theory atom name must be non-empty")
+        object.__setattr__(self, "state_vars", tuple(self.state_vars))
+        object.__setattr__(self, "rigid_vars", tuple(self.rigid_vars))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LNot(LTLFormula):
+    operand: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.operand
+
+    def __str__(self) -> str:
+        return f"~{self.operand}"
+
+
+@dataclass(frozen=True)
+class LAnd(LTLFormula):
+    left: LTLFormula
+    right: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"({self.left} /\\ {self.right})"
+
+
+@dataclass(frozen=True)
+class LOr(LTLFormula):
+    left: LTLFormula
+    right: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"({self.left} \\/ {self.right})"
+
+
+@dataclass(frozen=True)
+class LImplies(LTLFormula):
+    left: LTLFormula
+    right: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class LIff(LTLFormula):
+    left: LTLFormula
+    right: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+@dataclass(frozen=True)
+class Next(LTLFormula):
+    """``o a`` — true now iff ``a`` is true at the next instant."""
+
+    operand: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.operand
+
+    def __str__(self) -> str:
+        return f"X{self.operand}"
+
+
+@dataclass(frozen=True)
+class Henceforth(LTLFormula):
+    """``[] a``."""
+
+    operand: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.operand
+
+    def __str__(self) -> str:
+        return f"[]{self.operand}"
+
+
+@dataclass(frozen=True)
+class Sometime(LTLFormula):
+    """``<> a``."""
+
+    operand: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.operand
+
+    def __str__(self) -> str:
+        return f"<>{self.operand}"
+
+
+@dataclass(frozen=True)
+class Until(LTLFormula):
+    """The paper's weak until: ``U(p, q)`` does not imply ``<> q``."""
+
+    left: LTLFormula
+    right: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"U({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class StrongUntil(LTLFormula):
+    """Strong until (implies the eventuality of its second argument)."""
+
+    left: LTLFormula
+    right: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"Us({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class Release(LTLFormula):
+    """Release — the dual of strong until: ``R(q, p) === ~Us(~q, ~p)``."""
+
+    left: LTLFormula
+    right: LTLFormula
+
+    def children(self) -> Iterator[LTLFormula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"R({self.left}, {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def lit_and(*operands: LTLFormula) -> LTLFormula:
+    items = list(operands)
+    if not items:
+        return LTrue()
+    result = items[0]
+    for item in items[1:]:
+        result = LAnd(result, item)
+    return result
+
+
+def lit_or(*operands: LTLFormula) -> LTLFormula:
+    items = list(operands)
+    if not items:
+        return LFalse()
+    result = items[0]
+    for item in items[1:]:
+        result = LOr(result, item)
+    return result
+
+
+def walk_ltl(formula: LTLFormula) -> Iterator[LTLFormula]:
+    yield formula
+    for child in formula.children():
+        yield from walk_ltl(formula=child)
+
+
+def ltl_size(formula: LTLFormula) -> int:
+    return sum(1 for _ in walk_ltl(formula))
+
+
+def _negate(formula: LTLFormula) -> LTLFormula:
+    """Push one negation through a formula (used by NNF conversion)."""
+    if isinstance(formula, LTrue):
+        return LFalse()
+    if isinstance(formula, LFalse):
+        return LTrue()
+    if isinstance(formula, (LProp, TheoryAtom)):
+        return LNot(formula)
+    if isinstance(formula, LNot):
+        return to_nnf(formula.operand)
+    if isinstance(formula, LAnd):
+        return LOr(_negate(formula.left), _negate(formula.right))
+    if isinstance(formula, LOr):
+        return LAnd(_negate(formula.left), _negate(formula.right))
+    if isinstance(formula, LImplies):
+        return LAnd(to_nnf(formula.left), _negate(formula.right))
+    if isinstance(formula, LIff):
+        return to_nnf(LNot(LAnd(LImplies(formula.left, formula.right),
+                                LImplies(formula.right, formula.left))))
+    if isinstance(formula, Next):
+        return Next(_negate(formula.operand))
+    if isinstance(formula, Henceforth):
+        # ~[]a = <>~a
+        return StrongUntil(LTrue(), _negate(formula.operand))
+    if isinstance(formula, Sometime):
+        # ~<>a = []~a
+        return Release(LFalse(), _negate(formula.operand))
+    if isinstance(formula, Until):
+        # Weak until U(p, q) = R(q, p \/ q); negate the release form.
+        return _negate(to_nnf(formula))
+    if isinstance(formula, StrongUntil):
+        return Release(_negate(formula.left), _negate(formula.right))
+    if isinstance(formula, Release):
+        return StrongUntil(_negate(formula.left), _negate(formula.right))
+    raise SyntaxConstructionError(f"cannot negate LTL formula: {formula!r}")
+
+
+def to_nnf(formula: LTLFormula) -> LTLFormula:
+    """Negation normal form over ``{literal, /\\, \\/, X, Us, R}``."""
+    if isinstance(formula, (LTrue, LFalse, LProp, TheoryAtom)):
+        return formula
+    if isinstance(formula, LNot):
+        return _negate(formula.operand)
+    if isinstance(formula, LAnd):
+        return LAnd(to_nnf(formula.left), to_nnf(formula.right))
+    if isinstance(formula, LOr):
+        return LOr(to_nnf(formula.left), to_nnf(formula.right))
+    if isinstance(formula, LImplies):
+        return LOr(_negate(formula.left), to_nnf(formula.right))
+    if isinstance(formula, LIff):
+        return LAnd(
+            LOr(_negate(formula.left), to_nnf(formula.right)),
+            LOr(_negate(formula.right), to_nnf(formula.left)),
+        )
+    if isinstance(formula, Next):
+        return Next(to_nnf(formula.operand))
+    if isinstance(formula, Henceforth):
+        return Release(LFalse(), to_nnf(formula.operand))
+    if isinstance(formula, Sometime):
+        return StrongUntil(LTrue(), to_nnf(formula.operand))
+    if isinstance(formula, Until):
+        # Weak until: U(p, q) = R(q, p \/ q).
+        p = to_nnf(formula.left)
+        q = to_nnf(formula.right)
+        return Release(q, LOr(p, q))
+    if isinstance(formula, StrongUntil):
+        return StrongUntil(to_nnf(formula.left), to_nnf(formula.right))
+    if isinstance(formula, Release):
+        return Release(to_nnf(formula.left), to_nnf(formula.right))
+    raise SyntaxConstructionError(f"cannot normalize LTL formula: {formula!r}")

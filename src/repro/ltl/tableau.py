@@ -1,0 +1,322 @@
+"""The tableau graph construction of Appendix B §3.
+
+Given a temporal formula ``A``, validity is decided by negating ``A`` and
+constructing a graph ``G = Graph(~A)`` representing the set of models of
+``~A``:
+
+* nodes represent states and are labeled with the formulas that must be true
+  in the state;
+* edges are labeled with conjunctions of literals (the propositional
+  commitments of the source state) and possibly with *eventualities* —
+  temporal formulas that must eventually be satisfied on any model passing
+  through the edge;
+* an eventuality on an edge can be satisfied iff there is a path from the
+  edge's terminal node to some node having the eventuality's goal among its
+  labels.
+
+The construction here is the classical expansion tableau over the
+negation-normal-form operators ``{literal, /\\, \\/, X, Us, R}``:
+
+* a *cover* of a set of formulas is computed by decomposing every
+  non-elementary formula (``a /\\ b`` into both, ``a \\/ b`` by branching,
+  ``Us(p, q)`` into ``q`` or ``p /\\ X Us(p, q)`` — recording the eventuality
+  ``q`` in the latter branch — and ``R(q, p)`` into ``p /\\ (q \\/ X R(q, p))``);
+* each fully decomposed, propositionally consistent cover becomes a node;
+* the successors of a node are the covers of its ``X``-obligations.
+
+``Iter(G)`` — the deletion iteration — lives in :mod:`repro.ltl.decision`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DecisionProcedureError
+from .syntax import (
+    LAnd,
+    LFalse,
+    LNot,
+    LOr,
+    LProp,
+    LTrue,
+    LTLFormula,
+    Next,
+    Release,
+    StrongUntil,
+    TheoryAtom,
+    to_nnf,
+)
+
+__all__ = ["Literal", "Node", "Edge", "TableauGraph", "build_graph", "cover_sets"]
+
+
+Literal = LTLFormula  # an LProp / TheoryAtom or its LNot
+
+
+def _is_literal(formula: LTLFormula) -> bool:
+    if isinstance(formula, (LProp, TheoryAtom)):
+        return True
+    if isinstance(formula, LNot) and isinstance(formula.operand, (LProp, TheoryAtom)):
+        return True
+    return False
+
+
+def _complement(literal: Literal) -> Literal:
+    if isinstance(literal, LNot):
+        return literal.operand
+    return LNot(literal)
+
+
+@dataclass(frozen=True)
+class Node:
+    """A tableau node: a fully decomposed, consistent set of formulas."""
+
+    index: int
+    formulas: FrozenSet[LTLFormula]
+    literals: FrozenSet[Literal]
+    next_obligations: FrozenSet[LTLFormula]
+    eventualities: FrozenSet[LTLFormula]
+
+    def label(self) -> str:
+        return "{" + ", ".join(sorted(str(f) for f in self.formulas)) + "}"
+
+    def __str__(self) -> str:
+        return f"N{self.index}{self.label()}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A tableau edge: source commitments, eventualities carried across."""
+
+    source: int
+    target: int
+    literals: FrozenSet[Literal]
+    eventualities: FrozenSet[LTLFormula]
+
+    def __str__(self) -> str:
+        lits = ", ".join(sorted(str(l) for l in self.literals)) or "True"
+        return f"N{self.source} --[{lits}]--> N{self.target}"
+
+
+class TableauGraph:
+    """The graph ``Graph(~A)`` plus bookkeeping used by the decision procedures."""
+
+    def __init__(self, formula: LTLFormula) -> None:
+        self.formula = formula
+        self.nodes: Dict[int, Node] = {}
+        self.edges: List[Edge] = []
+        self.initial_nodes: List[int] = []
+        self._cover_index: Dict[FrozenSet[LTLFormula], List[int]] = {}
+
+    # -- structure queries ---------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def successors(self, node_index: int) -> List[Edge]:
+        return [e for e in self.edges if e.source == node_index]
+
+    def predecessors(self, node_index: int) -> List[Edge]:
+        return [e for e in self.edges if e.target == node_index]
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def __str__(self) -> str:
+        return (
+            f"TableauGraph({self.formula}, {self.node_count} nodes, "
+            f"{self.edge_count} edges, {len(self.initial_nodes)} initial)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cover computation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Cover:
+    """A partially decomposed set of formulas during expansion."""
+
+    pending: List[LTLFormula]
+    done: Set[LTLFormula] = field(default_factory=set)
+    literals: Set[Literal] = field(default_factory=set)
+    next_obligations: Set[LTLFormula] = field(default_factory=set)
+    eventualities: Set[LTLFormula] = field(default_factory=set)
+
+    def clone(self) -> "_Cover":
+        return _Cover(
+            pending=list(self.pending),
+            done=set(self.done),
+            literals=set(self.literals),
+            next_obligations=set(self.next_obligations),
+            eventualities=set(self.eventualities),
+        )
+
+    def consistent(self) -> bool:
+        for literal in self.literals:
+            if _complement(literal) in self.literals:
+                return False
+        return True
+
+
+def cover_sets(
+    formulas: Iterable[LTLFormula],
+) -> List[Tuple[FrozenSet[Literal], FrozenSet[LTLFormula], FrozenSet[LTLFormula], FrozenSet[LTLFormula]]]:
+    """Fully decompose ``formulas`` into consistent covers.
+
+    Each returned tuple is ``(literals, next_obligations, eventualities,
+    all_formulas)``; inconsistent covers (containing complementary literals
+    or ``False``) are dropped.
+    """
+    results = []
+    seen: Set[Tuple[FrozenSet, FrozenSet]] = set()
+    stack = [_Cover(pending=list(formulas))]
+    while stack:
+        cover = stack.pop()
+        if not cover.pending:
+            if not cover.consistent():
+                continue
+            key = (frozenset(cover.literals), frozenset(cover.next_obligations))
+            full = frozenset(cover.done)
+            if (key, full) in seen:
+                continue
+            seen.add((key, full))
+            results.append(
+                (
+                    frozenset(cover.literals),
+                    frozenset(cover.next_obligations),
+                    frozenset(cover.eventualities),
+                    full,
+                )
+            )
+            continue
+        formula = cover.pending.pop()
+        if formula in cover.done:
+            stack.append(cover)
+            continue
+        cover.done.add(formula)
+        if isinstance(formula, LTrue):
+            stack.append(cover)
+        elif isinstance(formula, LFalse):
+            continue  # inconsistent branch
+        elif _is_literal(formula):
+            cover.literals.add(formula)
+            stack.append(cover)
+        elif isinstance(formula, Next):
+            cover.next_obligations.add(formula.operand)
+            stack.append(cover)
+        elif isinstance(formula, LAnd):
+            cover.pending.append(formula.left)
+            cover.pending.append(formula.right)
+            stack.append(cover)
+        elif isinstance(formula, LOr):
+            left = cover.clone()
+            left.pending.append(formula.left)
+            stack.append(left)
+            right = cover
+            right.pending.append(formula.right)
+            stack.append(right)
+        elif isinstance(formula, StrongUntil):
+            # Us(p, q) = q \/ (p /\ X Us(p, q));   eventuality: q.
+            fulfil = cover.clone()
+            fulfil.pending.append(formula.right)
+            stack.append(fulfil)
+            defer = cover
+            defer.pending.append(formula.left)
+            defer.next_obligations.add(formula)
+            defer.eventualities.add(formula)
+            stack.append(defer)
+        elif isinstance(formula, Release):
+            # R(q, p) = p /\ (q \/ X R(q, p)).
+            release_now = cover.clone()
+            release_now.pending.append(formula.right)
+            release_now.pending.append(formula.left)
+            stack.append(release_now)
+            defer = cover
+            defer.pending.append(formula.right)
+            defer.next_obligations.add(formula)
+            stack.append(defer)
+        elif isinstance(formula, LNot):
+            raise DecisionProcedureError(
+                f"tableau input must be in negation normal form, found {formula}"
+            )
+        else:
+            raise DecisionProcedureError(
+                f"unsupported formula in tableau construction: {formula}"
+            )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+
+def build_graph(formula: LTLFormula, negate: bool = False) -> TableauGraph:
+    """Construct ``Graph(formula)`` (or ``Graph(~formula)`` with ``negate``).
+
+    The returned graph's ``initial_nodes`` are the covers of the (possibly
+    negated) root formula; every node's outgoing edges carry the node's own
+    literal commitments, following Appendix B's convention that the ``i``-th
+    edge of a path constrains the ``i``-th state.
+    """
+    from .syntax import LNot as _LNot  # local alias to avoid confusion
+
+    root = to_nnf(_LNot(formula)) if negate else to_nnf(formula)
+    graph = TableauGraph(root)
+
+    node_of_cover: Dict[Tuple[FrozenSet, FrozenSet, FrozenSet, FrozenSet], int] = {}
+    expansion_queue: List[int] = []
+
+    def intern_cover(cover) -> int:
+        literals, nexts, eventualities, full = cover
+        key = (literals, nexts, eventualities, full)
+        if key in node_of_cover:
+            return node_of_cover[key]
+        index = len(graph.nodes)
+        node = Node(
+            index=index,
+            formulas=full,
+            literals=literals,
+            next_obligations=nexts,
+            eventualities=eventualities,
+        )
+        graph.nodes[index] = node
+        node_of_cover[key] = index
+        expansion_queue.append(index)
+        return index
+
+    for cover in cover_sets([root]):
+        graph.initial_nodes.append(intern_cover(cover))
+
+    expanded: Set[int] = set()
+    cover_cache: Dict[FrozenSet[LTLFormula], List] = {}
+    while expansion_queue:
+        index = expansion_queue.pop()
+        if index in expanded:
+            continue
+        expanded.add(index)
+        node = graph.nodes[index]
+        obligations = frozenset(node.next_obligations)
+        if obligations not in cover_cache:
+            cover_cache[obligations] = cover_sets(obligations)
+        successor_covers = cover_cache[obligations]
+        for cover in successor_covers:
+            target = intern_cover(cover)
+            graph.edges.append(
+                Edge(
+                    source=index,
+                    target=target,
+                    literals=node.literals,
+                    eventualities=node.eventualities,
+                )
+            )
+    return graph

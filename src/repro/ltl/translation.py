@@ -1,0 +1,95 @@
+"""Translation of the LTL fragment of interval logic into propositional LTL.
+
+The paper notes that interval logic "has a complete axiomatization, through a
+reduction to linear-time temporal logic"; the full reduction is not given.
+This module translates the *LTL fragment* of the interval language — formulas
+built from propositional atoms, the Boolean connectives, ``[]``, ``<>``, and
+interval-eventualities ``*e`` over events defined by propositional formulas
+(via valid formula V5: ``*a === <>(~a /\\ <>a)``) — so that the Appendix B
+tableau can decide them exactly.  Formulas outside the fragment raise
+:class:`repro.errors.TranslationError`; they are handled by the bounded
+small-scope checker instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..errors import TranslationError
+from ..syntax.formulas import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+)
+from ..syntax.intervals import EventTerm
+from ..syntax.terms import Prop
+from .syntax import (
+    Henceforth,
+    LAnd,
+    LFalse,
+    LIff,
+    LImplies,
+    LNot,
+    LOr,
+    LProp,
+    LTrue,
+    LTLFormula,
+    Sometime,
+)
+
+__all__ = ["interval_to_ltl", "is_in_ltl_fragment"]
+
+
+def interval_to_ltl(formula: Formula) -> LTLFormula:
+    """Translate an interval-logic formula in the LTL fragment to LTL."""
+    if isinstance(formula, Atom):
+        predicate = formula.predicate
+        if isinstance(predicate, Prop):
+            return LProp(predicate.name)
+        raise TranslationError(
+            f"only propositional atoms are in the LTL fragment: {predicate}"
+        )
+    if isinstance(formula, TrueFormula):
+        return LTrue()
+    if isinstance(formula, FalseFormula):
+        return LFalse()
+    if isinstance(formula, Not):
+        return LNot(interval_to_ltl(formula.operand))
+    if isinstance(formula, And):
+        return LAnd(interval_to_ltl(formula.left), interval_to_ltl(formula.right))
+    if isinstance(formula, Or):
+        return LOr(interval_to_ltl(formula.left), interval_to_ltl(formula.right))
+    if isinstance(formula, Implies):
+        return LImplies(interval_to_ltl(formula.left), interval_to_ltl(formula.right))
+    if isinstance(formula, Iff):
+        return LIff(interval_to_ltl(formula.left), interval_to_ltl(formula.right))
+    if isinstance(formula, Always):
+        return Henceforth(interval_to_ltl(formula.operand))
+    if isinstance(formula, Eventually):
+        return Sometime(interval_to_ltl(formula.operand))
+    if isinstance(formula, Occurs):
+        term = formula.term
+        if isinstance(term, EventTerm):
+            # Valid formula V5: *a  ===  <>(~a /\ <>a).
+            body = interval_to_ltl(term.formula)
+            return Sometime(LAnd(LNot(body), Sometime(body)))
+        raise TranslationError(
+            "only event-term occurrences are in the LTL fragment: " f"{formula}"
+        )
+    raise TranslationError(f"formula outside the LTL fragment: {formula}")
+
+
+def is_in_ltl_fragment(formula: Formula) -> bool:
+    """Can the formula be translated by :func:`interval_to_ltl`?"""
+    try:
+        interval_to_ltl(formula)
+        return True
+    except TranslationError:
+        return False

@@ -1,0 +1,245 @@
+"""The interval construction function ``F`` of Chapter 3.
+
+Given an interval term, a context interval ``<i, j>`` and a direction of
+search (forward ``F`` or backward ``B``), the function returns the interval
+the term denotes within the context, or the null interval ``⊥`` when the
+interval cannot be constructed.  All functions on intervals are strict on
+``⊥``; the satisfaction relation makes any formula vacuously true on ``⊥``
+(partial-correctness semantics).
+
+The defining clauses implemented verbatim from the paper:
+
+* an event term ``a`` denotes the interval of change ``<k-1, k>`` in which
+  ``a`` changes from false to true; forward search takes the minimum of the
+  changeset, backward search the maximum (``⊥`` for an infinite changeset);
+* ``begin I`` / ``end I`` are the unit intervals at the first / last state of
+  ``I`` (``end`` is ``⊥`` for an infinite ``I``);
+* ``I =>`` is ``<last(F(I, ctx, d)), j>``; ``=> J`` is
+  ``<i, last(F(J, ctx, F))>``; ``=>`` alone is the whole context;
+  ``I => J`` composes the two;
+* ``I <=`` is ``<last(F(I, ctx, B)), j>`` (most recent ``I``); ``<= J`` is
+  ``<i, last(F(J, ctx, d))>``; ``I <= J`` composes them, locating ``J``
+  first and then searching backward for ``I``.
+
+Event formulas may be arbitrary interval formulas, so the constructor needs
+to evaluate formulas on suffix contexts; it receives that capability as a
+callback (``holds(formula, lo, hi, env)``) to avoid a circular dependency
+with the evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Union
+
+from ..errors import EvaluationError
+from ..syntax.intervals import (
+    Backward,
+    Begin,
+    End,
+    EventTerm,
+    Forward,
+    IntervalTerm,
+    Star,
+)
+from .trace import INFINITY, Trace
+
+__all__ = ["Interval", "BOTTOM", "Direction", "IntervalConstructor"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-null interval ``<lo, hi>`` of 1-based positions (``hi`` may be ∞)."""
+
+    lo: int
+    hi: Union[int, float]
+
+    def __post_init__(self) -> None:
+        if self.hi != INFINITY and self.lo > self.hi:
+            raise EvaluationError(f"malformed interval <{self.lo}, {self.hi}>")
+
+    @property
+    def is_infinite(self) -> bool:
+        return self.hi == INFINITY
+
+    @property
+    def first(self) -> int:
+        """``first(<i, j>) = i``."""
+        return self.lo
+
+    @property
+    def last(self) -> Union[int, float]:
+        """``last(<i, j>) = j`` (∞ for an infinite interval)."""
+        return self.hi
+
+    def __str__(self) -> str:
+        hi = "oo" if self.is_infinite else str(self.hi)
+        return f"<{self.lo}, {hi}>"
+
+
+#: The null interval ``⊥`` returned when an interval cannot be constructed.
+BOTTOM: Optional[Interval] = None
+
+
+class Direction:
+    """Direction-of-search constants for the construction function."""
+
+    FORWARD = "F"
+    BACKWARD = "B"
+
+
+HoldsCallback = Callable[[Any, int, Union[int, float], Mapping[str, Any]], bool]
+
+
+class IntervalConstructor:
+    """Computes ``F(I, <i, j>, d)`` over a fixed trace.
+
+    Parameters
+    ----------
+    trace:
+        The computation the intervals are located in.
+    holds:
+        Callback evaluating an interval formula on a context of the trace;
+        supplied by :class:`repro.semantics.evaluator.Evaluator`.
+    """
+
+    def __init__(self, trace: Trace, holds: HoldsCallback) -> None:
+        self._trace = trace
+        self._holds = holds
+
+    # -- events -----------------------------------------------------------------
+
+    def find_event(
+        self,
+        formula: Any,
+        context: Optional[Interval],
+        direction: str,
+        env: Mapping[str, Any],
+    ) -> Optional[Interval]:
+        """Locate the first/last event of ``formula`` within ``context``.
+
+        The changeset of Chapter 3: positions ``k`` in ``<i+1, j>`` with
+        ``<k-1, j> |= not formula`` and ``<k, j> |= formula``; each event is
+        the change interval ``<k-1, k>``.  Backward search returns ``⊥`` when
+        the changeset is infinite (an event recurring in the cycle of an
+        infinite context).
+        """
+        if context is BOTTOM:
+            return BOTTOM
+        i, j = context.lo, context.hi
+        bound = self._trace.scan_bound(i, j)
+        found = []
+        for k in range(i + 1, bound + 1):
+            before = self._holds(formula, k - 1, j, env)
+            if before:
+                continue
+            if self._holds(formula, k, j, env):
+                if direction == Direction.FORWARD:
+                    return Interval(k - 1, k)
+                found.append(k)
+        if direction == Direction.FORWARD:
+            return BOTTOM
+        if not found:
+            return BOTTOM
+        if j == INFINITY:
+            # Events whose change pair lies in the repeating cycle recur
+            # infinitely often; the changeset is then infinite and max is ⊥.
+            for k in found:
+                if self._trace.repeats_forever(k - 1):
+                    return BOTTOM
+        k = max(found)
+        return Interval(k - 1, k)
+
+    # -- the construction function ----------------------------------------------
+
+    def construct(
+        self,
+        term: IntervalTerm,
+        context: Optional[Interval],
+        direction: str,
+        env: Mapping[str, Any],
+    ) -> Optional[Interval]:
+        """``F(term, context, direction)`` — strict on ``⊥``."""
+        if context is BOTTOM:
+            return BOTTOM
+        if isinstance(term, Star):
+            # The * modifier does not change which interval is constructed;
+            # its "must be found" requirement is a formula-level obligation
+            # extracted by the Appendix A reduction.
+            return self.construct(term.term, context, direction, env)
+        if isinstance(term, EventTerm):
+            return self.find_event(term.formula, context, direction, env)
+        if isinstance(term, Begin):
+            inner = self.construct(term.term, context, direction, env)
+            if inner is BOTTOM:
+                return BOTTOM
+            return Interval(inner.first, inner.first)
+        if isinstance(term, End):
+            inner = self.construct(term.term, context, direction, env)
+            if inner is BOTTOM or inner.is_infinite:
+                return BOTTOM
+            return Interval(int(inner.last), int(inner.last))
+        if isinstance(term, Forward):
+            return self._construct_forward(term, context, direction, env)
+        if isinstance(term, Backward):
+            return self._construct_backward(term, context, direction, env)
+        raise EvaluationError(f"unknown interval term: {term!r}")
+
+    def _construct_forward(
+        self,
+        term: Forward,
+        context: Interval,
+        direction: str,
+        env: Mapping[str, Any],
+    ) -> Optional[Interval]:
+        left, right = term.left, term.right
+        if left is None and right is None:
+            return context
+        if left is not None and right is None:
+            # I =>  : from the end of the next I to the end of the context.
+            inner = self.construct(left, context, direction, env)
+            if inner is BOTTOM or inner.is_infinite:
+                return BOTTOM
+            return Interval(int(inner.last), context.hi)
+        if left is None and right is not None:
+            # => J : from the start of the context to the end of the first J.
+            inner = self.construct(right, context, Direction.FORWARD, env)
+            if inner is BOTTOM or inner.is_infinite:
+                return BOTTOM
+            return Interval(context.lo, int(inner.last))
+        # I => J : compose the two.
+        prefix = self._construct_forward(Forward(left, None), context, direction, env)
+        return self._construct_forward(
+            Forward(None, right), prefix, Direction.FORWARD, env
+        ) if prefix is not BOTTOM else BOTTOM
+
+    def _construct_backward(
+        self,
+        term: Backward,
+        context: Interval,
+        direction: str,
+        env: Mapping[str, Any],
+    ) -> Optional[Interval]:
+        left, right = term.left, term.right
+        if left is None and right is None:
+            # <=  with no arguments is equivalent to => (the whole context).
+            return context
+        if left is not None and right is None:
+            # I <= : from the end of the most recent I to the end of the context.
+            inner = self.construct(left, context, Direction.BACKWARD, env)
+            if inner is BOTTOM or inner.is_infinite:
+                return BOTTOM
+            return Interval(int(inner.last), context.hi)
+        if left is None and right is not None:
+            # <= J : equivalent to => J except the inner direction follows d.
+            inner = self.construct(right, context, direction, env)
+            if inner is BOTTOM or inner.is_infinite:
+                return BOTTOM
+            return Interval(context.lo, int(inner.last))
+        # I <= J : locate J first, then search backward for the most recent I.
+        suffix = self._construct_backward(Backward(None, right), context, direction, env)
+        if suffix is BOTTOM:
+            return BOTTOM
+        return self._construct_backward(
+            Backward(left, None), suffix, Direction.FORWARD, env
+        )

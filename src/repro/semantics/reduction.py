@@ -1,0 +1,215 @@
+r"""Reduction of formulas containing the ``*`` interval-term modifier (Appendix A).
+
+The ``*`` modifier on an interval term adds the requirement that the marked
+sub-interval *must be found* whenever its surrounding context is established;
+it contributes only linguistic expressive power.  Appendix A reduces any
+formula containing the modifier to an equivalent modifier-free formula, based
+on the equivalence::
+
+    [ I ] alpha  ===  [ I' ] alpha  /\  [ I ] true
+
+where ``I'`` omits the ``*`` modifiers, together with rules that push the
+remaining ``[ I ] true`` obligation down to interval-eventuality formulas
+``*J`` (the :class:`repro.syntax.formulas.Occurs` connective, which is core
+language: ``*J === ~[J] False``).
+
+Chapter 2.1 records the worked instance that anchors our reconstruction of
+the (partly garbled in the source scan) composite rules::
+
+    [ *(A => B) => C ] <>D   ===   [ (A => B) => C ] <>D  /\  *(A => B)
+    *(A => B)                ===   *A  /\  [ A => ] *B
+
+Concretely the obligation of a term is computed recursively:
+
+* events contribute nothing (stars inside an event's *formula* are handled by
+  the ordinary formula rewrite);
+* ``begin I`` / ``end I`` contribute the obligation of ``I``;
+* ``*I`` contributes ``Occurs(strip(I))`` conjoined with the obligation of
+  ``I`` itself;
+* ``I => J`` contributes the obligation of ``I`` in the current context and
+  the obligation of ``J`` relocated into the context ``[ strip(I) => ]``;
+* ``I <= J`` contributes the obligation of ``J`` in the current context and
+  the obligation of ``I`` relocated into the context ``[ => strip(J) ]``.
+
+The evaluator applies this reduction on the fly whenever it meets a starred
+term, so the reduction *is* the semantics of ``*``; the test-suite checks the
+documented equivalences hold semantically on exhaustive small traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..syntax.formulas import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntervalFormula,
+    NextBinding,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+    conjoin,
+)
+from ..syntax.intervals import (
+    Backward,
+    Begin,
+    End,
+    EventTerm,
+    Forward,
+    IntervalTerm,
+    Star,
+)
+
+__all__ = [
+    "strip_stars",
+    "term_obligation",
+    "eliminate_stars",
+    "has_star",
+    "occurs_requirement",
+]
+
+
+def has_star(term: IntervalTerm) -> bool:
+    """True when the term contains a ``*`` modifier anywhere."""
+    return term.has_star()
+
+
+def strip_stars(term: IntervalTerm) -> IntervalTerm:
+    """The term ``I'`` obtained by omitting every ``*`` modifier in ``I``."""
+    if isinstance(term, Star):
+        return strip_stars(term.term)
+    if isinstance(term, EventTerm):
+        return EventTerm(eliminate_stars(term.formula))
+    if isinstance(term, Begin):
+        return Begin(strip_stars(term.term))
+    if isinstance(term, End):
+        return End(strip_stars(term.term))
+    if isinstance(term, Forward):
+        return Forward(
+            strip_stars(term.left) if term.left is not None else None,
+            strip_stars(term.right) if term.right is not None else None,
+        )
+    if isinstance(term, Backward):
+        return Backward(
+            strip_stars(term.left) if term.left is not None else None,
+            strip_stars(term.right) if term.right is not None else None,
+        )
+    return term
+
+
+def _is_trivially_true(formula: Formula) -> bool:
+    return isinstance(formula, TrueFormula)
+
+
+def term_obligation(term: IntervalTerm) -> Formula:
+    """The ``[ I ] true`` obligation of a (possibly starred) interval term.
+
+    The result is a modifier-free formula that is valid (``True``) when the
+    term carries no ``*`` modifier.
+    """
+    if isinstance(term, EventTerm):
+        return TrueFormula()
+    if isinstance(term, Star):
+        inner = term_obligation(term.term)
+        must_occur = Occurs(strip_stars(term.term))
+        if _is_trivially_true(inner):
+            return must_occur
+        return And(must_occur, inner)
+    if isinstance(term, (Begin, End)):
+        return term_obligation(term.term)
+    if isinstance(term, Forward):
+        parts: List[Formula] = []
+        if term.left is not None:
+            left_req = term_obligation(term.left)
+            if not _is_trivially_true(left_req):
+                parts.append(left_req)
+        if term.right is not None:
+            right_req = term_obligation(term.right)
+            if not _is_trivially_true(right_req):
+                if term.left is not None:
+                    parts.append(
+                        IntervalFormula(Forward(strip_stars(term.left), None), right_req)
+                    )
+                else:
+                    parts.append(right_req)
+        return conjoin(tuple(parts)) if parts else TrueFormula()
+    if isinstance(term, Backward):
+        parts = []
+        if term.right is not None:
+            right_req = term_obligation(term.right)
+            if not _is_trivially_true(right_req):
+                parts.append(right_req)
+        if term.left is not None:
+            left_req = term_obligation(term.left)
+            if not _is_trivially_true(left_req):
+                if term.right is not None:
+                    parts.append(
+                        IntervalFormula(Forward(None, strip_stars(term.right)), left_req)
+                    )
+                else:
+                    parts.append(left_req)
+        return conjoin(tuple(parts)) if parts else TrueFormula()
+    return TrueFormula()
+
+
+def occurs_requirement(term: IntervalTerm) -> Formula:
+    """The modifier-free formula equivalent to ``*I`` for a starred term ``I``."""
+    stripped = Occurs(strip_stars(term))
+    obligation = term_obligation(term)
+    if _is_trivially_true(obligation):
+        return stripped
+    return And(stripped, obligation)
+
+
+def eliminate_stars(formula: Formula) -> Formula:
+    """Rewrite ``formula`` into an equivalent formula without ``*`` modifiers.
+
+    Interval formulas over starred terms become the conjunction of the
+    stripped interval formula and the term's obligation; ``Occurs`` over a
+    starred term becomes the stripped occurrence conjoined with the
+    obligation; all other connectives are rewritten structurally.
+    """
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(eliminate_stars(formula.operand))
+    if isinstance(formula, And):
+        return And(eliminate_stars(formula.left), eliminate_stars(formula.right))
+    if isinstance(formula, Or):
+        return Or(eliminate_stars(formula.left), eliminate_stars(formula.right))
+    if isinstance(formula, Implies):
+        return Implies(eliminate_stars(formula.left), eliminate_stars(formula.right))
+    if isinstance(formula, Iff):
+        return Iff(eliminate_stars(formula.left), eliminate_stars(formula.right))
+    if isinstance(formula, Always):
+        return Always(eliminate_stars(formula.operand))
+    if isinstance(formula, Eventually):
+        return Eventually(eliminate_stars(formula.operand))
+    if isinstance(formula, Forall):
+        return Forall(formula.variables, eliminate_stars(formula.body))
+    if isinstance(formula, NextBinding):
+        return NextBinding(
+            formula.operation, formula.variables, eliminate_stars(formula.body)
+        )
+    if isinstance(formula, Occurs):
+        if has_star(formula.term):
+            return occurs_requirement(formula.term)
+        return Occurs(strip_stars(formula.term))
+    if isinstance(formula, IntervalFormula):
+        body = eliminate_stars(formula.body)
+        if has_star(formula.term):
+            stripped = IntervalFormula(strip_stars(formula.term), body)
+            obligation = term_obligation(formula.term)
+            if _is_trivially_true(obligation):
+                return stripped
+            return And(stripped, obligation)
+        return IntervalFormula(strip_stars(formula.term), body)
+    return formula

@@ -1,0 +1,34 @@
+"""The paper's specifications (Chapters 5-8) written against the public API."""
+
+from .queue_specs import (
+    QUEUE_OPERATIONS,
+    reliable_queue_spec,
+    stack_spec,
+    unreliable_queue_spec,
+)
+from .selftimed_specs import arbiter_spec, request_ack_spec
+from .ab_protocol_specs import (
+    RECEIVER_OPERATIONS,
+    SENDER_OPERATIONS,
+    receiver_spec,
+    sender_spec,
+    service_provided_spec,
+)
+from .mutex_specs import mutex_spec, mutual_exclusion_proof, mutual_exclusion_theorem
+
+__all__ = [
+    "QUEUE_OPERATIONS",
+    "reliable_queue_spec",
+    "stack_spec",
+    "unreliable_queue_spec",
+    "arbiter_spec",
+    "request_ack_spec",
+    "RECEIVER_OPERATIONS",
+    "SENDER_OPERATIONS",
+    "receiver_spec",
+    "sender_spec",
+    "service_provided_spec",
+    "mutex_spec",
+    "mutual_exclusion_proof",
+    "mutual_exclusion_theorem",
+]

@@ -1,0 +1,292 @@
+"""Chapter 7: Alternating Bit protocol specifications (Figures 7-3 and 7-4).
+
+The sender and receiver processes are specified through the abstract
+operations of §7.3 (``Dq``, ``Ts``, ``Rs`` for the sender; ``Rr``, ``Tr``,
+``Enq`` for the receiver) plus the auxiliary expected-sequence-number state
+components the paper introduces (here ``exp_s`` and ``exp_r``).
+
+Where the archival scan garbles a formula, the clause here encodes the
+corresponding *informal requirement* listed in §7.5 (the six sender and six
+receiver requirements); each clause's comment records which requirement it
+captures.  Two reconstructions are noteworthy:
+
+* sender liveness A2's retransmission conjunct is conditioned on the
+  acknowledgment not having arrived (the paper states it for infinite
+  behaviours; on finite computations the unconditional form is unsatisfiable
+  by any terminating run);
+* the receiver alternation clause is stated invariantly (``[]``), matching
+  the "successive messages" reading.
+
+The service-provided specification (§7.4) is the reliable-queue axiom with
+``Send``/``Rec`` in place of ``Enq``/``Dq``.
+"""
+
+from __future__ import annotations
+
+from ..core.operations import Operation
+from ..core.specification import Specification
+from ..syntax.builder import (
+    after_op,
+    always,
+    apply_fn,
+    at_op,
+    backward,
+    eq,
+    event,
+    end,
+    forall,
+    forward,
+    iff,
+    implies,
+    in_op,
+    interval,
+    land,
+    lnot,
+    lor,
+    lvar,
+    occurs,
+    var,
+)
+
+__all__ = [
+    "SENDER_OPERATIONS",
+    "RECEIVER_OPERATIONS",
+    "sender_spec",
+    "receiver_spec",
+    "service_provided_spec",
+]
+
+
+SENDER_OPERATIONS = (
+    Operation("Send", entry_parameters=("m",)),
+    Operation("Dq", result_parameters=("m",)),
+    Operation("Ts", entry_parameters=("m", "v")),
+    Operation("Rs", entry_parameters=("m", "v")),
+)
+
+RECEIVER_OPERATIONS = (
+    Operation("Rr", entry_parameters=("m", "v")),
+    Operation("Tr", entry_parameters=("m", "v")),
+    Operation("Enq", entry_parameters=("m",)),
+    Operation("Rec", result_parameters=("m",)),
+)
+
+
+def sender_spec() -> Specification:
+    """Figure 7-3: the AB-protocol Sender process."""
+    spec = Specification("AB protocol sender (Figure 7-3)", SENDER_OPERATIONS)
+    m, v = lvar("m"), lvar("v")
+    flipped = apply_fn("flip", v)
+    after_dq_m = event(after_op("Dq", m))
+    at_dq = event(at_op("Dq"))
+
+    # Init: no transmissions before the first dequeue; at the first dequeue
+    # the expected sequence number carries its distinguished initial value.
+    spec.add_init(
+        "Init",
+        land(
+            interval(forward(None, at_dq), lnot(occurs(event(at_op("Ts"))))),
+            interval(forward(at_dq, None), eq(var("exp_s"), 0)),
+        ),
+        comment="no transmission before the first dequeue; exp starts at its initial value",
+    )
+
+    # A1 antecedent: right after dequeuing m the expected sequence number is v.
+    antecedent = interval(forward(after_dq_m, None), eq(var("exp_s"), v))
+    # Requirement 1: successive messages use alternating sequence numbers —
+    # at the next dequeue the expected number is the complement of v.
+    alternation = interval(
+        forward(after_dq_m, None),
+        interval(end(at_dq), eq(var("exp_s"), flipped)),
+    )
+    # Requirement 5 (safety half): an uncorrupted acknowledgment with the
+    # transmitted sequence number is received before the next dequeue.
+    ack_before_next = interval(
+        forward(after_dq_m, at_dq),
+        occurs(event(after_op("Rs", m, v))),
+    )
+    # Requirement 3: until the next dequeue only <m, v> packets are transmitted.
+    only_current_packet = interval(
+        forward(after_dq_m, at_dq),
+        always(interval(end(event(at_op("Ts"))), at_op("Ts", m, v))),
+    )
+    spec.add_axiom(
+        "A1",
+        forall(("m", "v"), implies(antecedent, land(alternation, ack_before_next,
+                                                    only_current_packet))),
+        comment="alternating sequence numbers; ack before next dequeue; only the "
+                "current packet transmitted in the interim",
+    )
+
+    # A2 (liveness): repeated acknowledgments force the next dequeue, and an
+    # unacknowledged packet keeps being retransmitted while no dequeue occurs.
+    repeated_acks = implies(
+        always(occurs(event(after_op("Rs", m, v)))),
+        occurs(at_dq),
+    )
+    keep_retransmitting = implies(
+        land(lnot(occurs(at_dq)), lnot(occurs(event(after_op("Rs", m, v))))),
+        always(occurs(event(at_op("Ts", m, v)))),
+    )
+    spec.add_axiom(
+        "A2",
+        forall(
+            ("m", "v"),
+            implies(
+                antecedent,
+                interval(forward(after_dq_m, None),
+                         land(repeated_acks, keep_retransmitting)),
+            ),
+        ),
+        comment="repeated acknowledgments lead to another dequeue; continual "
+                "retransmission while unacknowledged",
+    )
+
+    # A3: no packet may be transmitted during a dequeue.
+    spec.add_axiom(
+        "A3",
+        always(implies(in_op("Dq"), lnot(in_op("Ts")))),
+        comment="no transmission while the Sender is dequeuing",
+    )
+    return spec
+
+
+def receiver_spec() -> Specification:
+    """Figure 7-4: the AB-protocol Receiver process."""
+    spec = Specification("AB protocol receiver (Figure 7-4)", RECEIVER_OPERATIONS)
+    m, v = lvar("m"), lvar("v")
+    p, q, n = lvar("p"), lvar("q"), lvar("n")
+    flipped_v = apply_fn("flip", v)
+
+    # Init: no delivery or acknowledgment before the first packet arrives.
+    spec.add_init(
+        "Init",
+        interval(
+            forward(None, event(at_op("Rr"))),
+            land(lnot(occurs(event(at_op("Enq")))), lnot(occurs(event(at_op("Tr"))))),
+        ),
+        comment="until receipt of an initial packet there is no delivery or acknowledgment",
+    )
+
+    # A1: between a packet receipt and the next receipt, acknowledgments are
+    # sent only for that packet.
+    spec.add_axiom(
+        "A1",
+        forall(
+            ("m", "v"),
+            interval(
+                forward(event(after_op("Rr", m, v)), event(after_op("Rr"))),
+                always(interval(end(event(at_op("Tr"))), at_op("Tr", m, v))),
+            ),
+        ),
+        comment="until the next packet is received, acknowledgments only for the last packet",
+    )
+
+    # A2 (liveness): packets received continually are eventually acknowledged.
+    spec.add_axiom(
+        "A2",
+        forall(
+            ("m", "v"),
+            implies(
+                always(occurs(event(after_op("Rr", m, v)))),
+                occurs(event(at_op("Tr", m, v))),
+            ),
+        ),
+        comment="repeatedly received packets must eventually be acknowledged",
+    )
+
+    # A3 clause 1: successive deliveries result from alternating sequence numbers.
+    at_enq = event(at_op("Enq"))
+    spec.add_axiom(
+        "A3/alternation",
+        always(
+            forall(
+                "v",
+                implies(
+                    interval(forward(at_enq, None), eq(var("exp_r"), v)),
+                    interval(
+                        forward(at_enq, None),
+                        interval(end(at_enq), eq(var("exp_r"), flipped_v)),
+                    ),
+                ),
+            )
+        ),
+        comment="successive deliveries come from packets with alternating sequence numbers",
+    )
+
+    # A3 clause 2: a delivered message was previously received.
+    spec.add_axiom(
+        "A3/receipt-before-delivery",
+        forall(
+            "m",
+            interval(
+                forward(None, event(at_op("Enq", m))),
+                lor(
+                    occurs(event(after_op("Rr", m, 0))),
+                    occurs(event(after_op("Rr", m, 1))),
+                ),
+            ),
+        ),
+        comment="only messages from received packets may be delivered",
+    )
+
+    # A3 clause 3: the message of a received packet is delivered before a
+    # packet with a different sequence number is acknowledged.
+    spec.add_axiom(
+        "A3/deliver-before-new-ack",
+        forall(
+            ("p", "q", "v"),
+            interval(
+                forward(
+                    event(after_op("Rr", p, v)),
+                    event(at_op("Tr", q, apply_fn("flip", v))),
+                ),
+                occurs(event(at_op("Enq", p))),
+            ),
+        ),
+        comment="a received message is delivered before a differently-numbered packet is acknowledged",
+    )
+
+    # A3 clause 4: acknowledging a packet ensures its message is delivered
+    # (before or after the acknowledgment).
+    spec.add_axiom(
+        "A3/ack-implies-delivery",
+        forall(
+            ("n", "v"),
+            implies(
+                occurs(event(at_op("Tr", n, v))),
+                occurs(event(at_op("Enq", n))),
+            ),
+        ),
+        comment="acknowledging a packet ensures delivery of its message",
+    )
+    return spec
+
+
+def service_provided_spec() -> Specification:
+    """§7.4: the service provided is a reliable queue over Send/Rec."""
+    spec = Specification(
+        "AB protocol service provided (Chapter 7.4)",
+        (
+            Operation("Send", entry_parameters=("m",)),
+            Operation("Rec", result_parameters=("m",)),
+        ),
+    )
+    a, b = lvar("a"), lvar("b")
+    spec.add_axiom(
+        "Queue",
+        forall(
+            ("a", "b"),
+            interval(
+                backward(None, event(after_op("Rec", b))),
+                iff(
+                    occurs(event(after_op("Rec", a))),
+                    occurs(
+                        backward(event(at_op("Send", a)), event(at_op("Send", b)))
+                    ),
+                ),
+            ),
+        ),
+        comment="messages are delivered exactly once, in the order they were sent",
+    )
+    return spec

@@ -1,0 +1,171 @@
+r"""Chapter 8: the distributed mutual-exclusion specification and theorem.
+
+Figure 8-1, for processes ``i`` and ``j`` over the shared flags ``x(i)`` and
+critical-section indicators ``cs(i)``::
+
+    Init.  forall m . ~x(m)
+    A1.    i != j  ->  [ x(i) <= cs(i) ] <> ~x(j)
+    A2.    [] ( cs(i) -> x(i) )
+
+(The paper writes A2 as the state implication ``cs(i) ⊃ x(i)``; as a
+specification clause it is intended invariantly, hence the ``[]``.)
+
+The theorem proved in Chapter 8 is mutual exclusion::
+
+    [] ~( cs(i) /\ cs(j) )        for all i != j
+
+and :func:`mutual_exclusion_proof` packages the paper's lemmas L2–L5 (the
+semantically checkable steps of Figure 8-2) for the proof-support module.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.proof import Lemma, ProofScript
+from ..core.specification import Specification
+from ..syntax.builder import (
+    always,
+    backward,
+    begin,
+    event,
+    eventually,
+    forward,
+    implies,
+    interval,
+    land,
+    lnot,
+    occurs,
+    prop,
+)
+from ..syntax.formulas import Formula
+from ..systems.mutex import cs_name, flag_name
+
+__all__ = [
+    "mutex_spec",
+    "mutual_exclusion_theorem",
+    "mutual_exclusion_proof",
+]
+
+
+def mutex_spec(processes: int = 2) -> Specification:
+    """Figure 8-1 for ``processes`` processes."""
+    spec = Specification("Distributed mutual exclusion (Figure 8-1)")
+    for i in range(1, processes + 1):
+        spec.add_init(f"Init/{i}", lnot(prop(flag_name(i))),
+                      comment="all processes have relinquished their claims")
+    for i in range(1, processes + 1):
+        x_i = prop(flag_name(i))
+        cs_i = prop(cs_name(i))
+        for j in range(1, processes + 1):
+            if i == j:
+                continue
+            x_j = prop(flag_name(j))
+            spec.add_axiom(
+                f"A1/{i}{j}",
+                always(
+                    interval(
+                        backward(event(x_i), event(cs_i)),
+                        eventually(lnot(x_j)),
+                    )
+                ),
+                comment="for the interval back from entering the section to the most "
+                        "recent setting of x(i), x(j) is found false at some moment",
+            )
+        spec.add_axiom(
+            f"A2/{i}",
+            always(implies(cs_i, x_i)),
+            comment="x(i) remains true while i is in the critical section",
+        )
+    return spec
+
+
+def mutual_exclusion_theorem(processes: int = 2) -> List[Formula]:
+    """``[] ~(cs(i) /\\ cs(j))`` for every pair of distinct processes."""
+    theorems = []
+    for i in range(1, processes + 1):
+        for j in range(i + 1, processes + 1):
+            theorems.append(
+                always(lnot(land(prop(cs_name(i)), prop(cs_name(j)))))
+            )
+    return theorems
+
+
+def mutual_exclusion_proof() -> ProofScript:
+    """The semantically checkable steps of the Figure 8-2 proof (two processes).
+
+    L2–L5 are stated for processes 1 and 2 with the interval variable ``I``
+    of the paper's L2 already instantiated to the L5 interval, as the paper
+    itself prescribes; the final step is the theorem derived from the
+    Figure 8-1 axioms.
+    """
+    x1, x2 = prop(flag_name(1)), prop(flag_name(2))
+    cs1, cs2 = prop(cs_name(1)), prop(cs_name(2))
+    spec = mutex_spec(2)
+    axioms = [clause.interpreted_formula() for clause in spec.clauses]
+
+    script = ProofScript("Mutual exclusion (Figure 8-2)")
+    # L2 (instantiated): if x(1) holds throughout the x(2)<=cs(2) search
+    # context, the x(2) <= cs(2) interval cannot have found a false x(1);
+    # with axiom A1 for process 2 this refutes an overlapping entry by 2.
+    script.add(
+        Lemma(
+            "L2",
+            conclusion=always(
+                interval(
+                    backward(event(x2), event(cs2)),
+                    implies(always(x1), eventually(lnot(x1))),
+                )
+            ),
+            hypotheses=tuple(axioms),
+            comment="instantiating I in L2 with the interval of L5 and using A1(2,1)",
+        )
+    )
+    # L3: x(m) holds from its setting up to the entry of the critical section.
+    script.add(
+        Lemma(
+            "L3",
+            conclusion=always(interval(backward(event(x1), event(cs1)), always(x1))),
+            hypotheses=tuple(axioms),
+            comment="x(m) is true throughout the interval from setting x(m) to entering",
+        )
+    )
+    # L4: x(m) holds from the entry until the exit of the critical section.
+    script.add(
+        Lemma(
+            "L4",
+            conclusion=always(
+                interval(
+                    forward(event(cs1), begin(event(lnot(cs1)))),
+                    always(x1),
+                )
+            ),
+            hypotheses=tuple(axioms),
+            comment="x(m) remains true through the critical section",
+        )
+    )
+    # L5: the composed interval, from the setting of x(m) preceding entry
+    # until the exit (if any).
+    script.add(
+        Lemma(
+            "L5",
+            conclusion=always(
+                interval(
+                    backward(event(x1), event(cs1)),
+                    interval(forward(None, begin(event(lnot(cs1)))), always(x1)),
+                )
+            ),
+            hypotheses=tuple(axioms),
+            comment="combining L3 and L4 for the composed interval",
+        )
+    )
+    # The theorem.
+    script.add(
+        Lemma(
+            "Theorem",
+            conclusion=always(lnot(land(cs1, cs2))),
+            hypotheses=tuple(axioms),
+            comment="no pair of processes is ever in the critical section together",
+        )
+    )
+    return script

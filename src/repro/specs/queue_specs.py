@@ -1,0 +1,174 @@
+"""Chapter 5: queue, stack, and unreliable-queue specifications.
+
+The reliable queue axiom (the paper's ``Queue.`` formula)::
+
+    forall a, b .
+      [ <= afterDq(b) ] ( *afterDq(a)  ===  *(atEnq(a) <= atEnq(b)) )
+
+"for all a and b, if we dequeue b, then any other value a will be dequeued in
+the interim if and only if it was enqueued prior to b".  Exchanging the
+``atEnq`` terms yields the stack (LIFO) specification.
+
+The unreliable queue of Figure 5-1 weakens this to the lossy setting: values
+may be lost but dequeued values appear in enqueue order (I1), must have been
+enqueued (I2), repeated enqueues of a value are consecutive (I3), and the two
+liveness axioms A1/A2 require dequeues to return when traffic persists and
+enqueues to terminate.
+"""
+
+from __future__ import annotations
+
+from ..core.operations import Operation
+from ..core.specification import Specification
+from ..syntax.builder import (
+    after_op,
+    always,
+    at_op,
+    backward,
+    event,
+    forall,
+    forward,
+    iff,
+    implies,
+    interval,
+    land,
+    lnot,
+    lvar,
+    ne,
+    occurs,
+    star,
+)
+
+__all__ = [
+    "QUEUE_OPERATIONS",
+    "reliable_queue_spec",
+    "stack_spec",
+    "unreliable_queue_spec",
+]
+
+
+QUEUE_OPERATIONS = (
+    Operation("Enq", entry_parameters=("value",)),
+    Operation("Dq", result_parameters=("value",)),
+)
+
+
+def _fifo_body(first: str, second: str):
+    """``*afterDq(a) === *(atEnq(first) <= atEnq(second))`` under [<= afterDq(b)]."""
+    return iff(
+        occurs(event(after_op("Dq", lvar("a")))),
+        occurs(
+            backward(
+                event(at_op("Enq", lvar(first))),
+                event(at_op("Enq", lvar(second))),
+            )
+        ),
+    )
+
+
+def reliable_queue_spec() -> Specification:
+    """The paper's ``Queue.`` axiom (first-in first-out behaviour)."""
+    spec = Specification("Reliable queue (Chapter 5)", QUEUE_OPERATIONS)
+    spec.add_axiom(
+        "Queue",
+        forall(
+            ("a", "b"),
+            interval(
+                backward(None, event(after_op("Dq", lvar("b")))),
+                _fifo_body("a", "b"),
+            ),
+        ),
+        comment="values are dequeued in the interim iff enqueued prior to b",
+    )
+    return spec
+
+
+def stack_spec() -> Specification:
+    """The ``Stack.`` variant: exchange the atEnq terms (last-in first-out)."""
+    spec = Specification("Stack (Chapter 5)", QUEUE_OPERATIONS)
+    spec.add_axiom(
+        "Stack",
+        forall(
+            ("a", "b"),
+            interval(
+                backward(None, event(after_op("Dq", lvar("b")))),
+                _fifo_body("b", "a"),
+            ),
+        ),
+        comment="values are dequeued in the interim iff enqueued after b",
+    )
+    return spec
+
+
+def unreliable_queue_spec() -> Specification:
+    """Figure 5-1: the unreliable queue with distinct (per-burst) items."""
+    spec = Specification("Unreliable queue (Figure 5-1)", QUEUE_OPERATIONS)
+    at_enq_a = at_op("Enq", lvar("a"))
+    at_enq_b = at_op("Enq", lvar("b"))
+    after_dq_a = after_op("Dq", lvar("a"))
+    after_dq_b = after_op("Dq", lvar("b"))
+
+    # I1: [ *(atEnq(a) => atEnq(b)) <= (afterDq(a) => afterDq(b)) ] True —
+    # dequeuing a before b requires the corresponding enqueue order.
+    spec.add_init(
+        "I1",
+        forall(
+            ("a", "b"),
+            implies(
+                ne(lvar("a"), lvar("b")),
+                interval(
+                    backward(
+                        star(forward(event(at_enq_a), event(at_enq_b))),
+                        forward(event(after_dq_a), event(after_dq_b)),
+                    ),
+                    True,
+                ),
+            ),
+        ),
+        comment="dequeue order follows enqueue order for delivered values",
+    )
+    # I2: [ => afterDq(a) ] *atEnq(a) — values are enqueued before dequeued.
+    spec.add_init(
+        "I2",
+        forall(
+            "a",
+            interval(forward(None, event(after_dq_a)), occurs(event(at_enq_a))),
+        ),
+        comment="a value must be enqueued before it can be dequeued",
+    )
+    # I3: [ atEnq(c) => atEnq(c) ] (d != c -> ~*atEnq(d)) — repeated enqueues
+    # of the same value are consecutive.
+    at_enq_c = at_op("Enq", lvar("c"))
+    at_enq_d = at_op("Enq", lvar("d"))
+    spec.add_init(
+        "I3",
+        forall(
+            ("c", "d"),
+            interval(
+                forward(event(at_enq_c), event(at_enq_c)),
+                implies(ne(lvar("d"), lvar("c")), lnot(occurs(event(at_enq_d)))),
+            ),
+        ),
+        comment="repeated enqueues of a value must be consecutive",
+    )
+    # A1: [] ( *atEnq /\ *atDq -> *afterDq ) — persistent traffic makes the
+    # dequeue return (items may be lost, but not all of them forever).
+    spec.add_axiom(
+        "A1",
+        always(
+            implies(
+                land(occurs(event(at_op("Enq"))), occurs(event(at_op("Dq")))),
+                occurs(event(after_op("Dq"))),
+            )
+        ),
+        comment="repeated enqueues ensure the dequeue operation returns",
+    )
+    # A2: [ atEnq => ] *afterEnq — the enqueue operation terminates.
+    spec.add_axiom(
+        "A2",
+        interval(
+            forward(event(at_op("Enq")), None), occurs(event(after_op("Enq")))
+        ),
+        comment="the Enq operation terminates",
+    )
+    return spec

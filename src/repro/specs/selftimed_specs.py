@@ -1,0 +1,107 @@
+r"""Chapter 6: request/acknowledge protocol and arbiter specifications.
+
+Figure 6-2 (request/acknowledgment protocol), with state predicates ``R``
+(request signal up) and ``A`` (acknowledge signal up)::
+
+    Init.  ~R /\ ~A
+    A1.    [ R => *A ] ( ~A /\ [] R )
+    A2.    [ A => begin(*~R) ] ( R /\ [] A )
+    A3.    [ begin(~R) => ] *~A
+
+A1: a request, only initiatable while the acknowledgment is down, stays up at
+least until the acknowledgment rises (which must happen).  A2: the
+acknowledgment rises only while the request is up and stays up until the
+request starts to fall.  A3: once the request has been lowered the
+acknowledgment is eventually lowered too.
+
+Figure 6-4 (arbiter) — for each user ``i``, from the user request ``URi``
+until the first moment both ``TAi`` and ``RMA`` hold: no user acknowledgment,
+the transfer request ``TRi`` is raised and held, the resource request ``RMR``
+is initially down, raised within the interval and held once raised; and the
+two transfer requests are never up simultaneously (A2).
+"""
+
+from __future__ import annotations
+
+from ..core.specification import Specification
+from ..syntax.builder import (
+    always,
+    begin,
+    event,
+    forward,
+    interval,
+    land,
+    lnot,
+    occurs,
+    prop,
+    star,
+)
+
+__all__ = ["request_ack_spec", "arbiter_spec"]
+
+
+def request_ack_spec() -> Specification:
+    """Figure 6-2: the request/acknowledgment protocol axioms."""
+    r = prop("R")
+    a = prop("A")
+    spec = Specification("Request/acknowledge protocol (Figure 6-2)")
+    spec.add_init("Init", land(lnot(r), lnot(a)),
+                  comment="the axioms are implied from a point where a request has been reset")
+    spec.add_axiom(
+        "A1",
+        interval(forward(event(r), star(event(a))), land(lnot(a), always(r))),
+        comment="a request is initiatable only with the acknowledgment down and "
+                "remains up at least until the acknowledgment is raised",
+    )
+    spec.add_axiom(
+        "A2",
+        interval(
+            forward(event(a), begin(star(event(lnot(r))))),
+            land(r, always(a)),
+        ),
+        comment="the acknowledgment, once raised, remains up as long as the request stays up",
+    )
+    spec.add_axiom(
+        "A3",
+        interval(forward(begin(event(lnot(r))), None), occurs(event(lnot(a)))),
+        comment="after lowering the request, the acknowledgment must later be lowered",
+    )
+    return spec
+
+
+def arbiter_spec(users: int = 2) -> Specification:
+    """Figure 6-4: the arbiter axioms for ``users`` user modules."""
+    spec = Specification("Arbiter (Figure 6-4)")
+    rmr = prop("RMR")
+    rma = prop("RMA")
+    for i in range(1, users + 1):
+        ur = prop(f"UR{i}")
+        ua = prop(f"UA{i}")
+        tr = prop(f"TR{i}")
+        ta = prop(f"TA{i}")
+        spec.add_init(f"Init/{i}", lnot(ur),
+                      comment="all user request signals start low")
+        # Outer interval: from URi until TAi /\ RMA first hold.
+        inner_rmr = interval(forward(star(event(rmr)), None), always(rmr))
+        contained = interval(
+            forward(star(event(tr)), None),
+            land(always(tr), lnot(rmr), inner_rmr),
+        )
+        spec.add_axiom(
+            f"A1/{i}",
+            interval(
+                forward(event(ur), event(land(ta, rma))),
+                land(always(lnot(ua)), contained),
+            ),
+            comment="no user ack until both module acks; TRi raised and held; "
+                    "RMR initially down, raised and then held",
+        )
+    # A2: the transfer requests of distinct users are mutually exclusive.
+    for i in range(1, users + 1):
+        for j in range(i + 1, users + 1):
+            spec.add_axiom(
+                f"A2/{i}{j}",
+                always(lnot(land(prop(f"TR{i}"), prop(f"TR{j}")))),
+                comment="transfer requests of distinct users never overlap",
+            )
+    return spec

@@ -1,0 +1,356 @@
+"""A fluent construction DSL for interval-logic formulas.
+
+Writing the paper's specifications directly with the AST constructors is
+verbose; this module provides short helpers so a specification reads close to
+the paper's notation.  Example — valid formula V9,
+``[ alpha => begin(not alpha) ] [] alpha``::
+
+    from repro.syntax.builder import prop, event, begin, forward, interval, always
+
+    a = prop("a")
+    f = interval(forward(event(a), begin(event(~a))), always(a))
+
+The helpers never hide structure: each returns exactly one AST node (or the
+obvious composition for ``forward``/``backward`` with event coercion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from ..errors import SyntaxConstructionError
+from .formulas import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntervalFormula,
+    NextBinding,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+    conjoin,
+    disjoin,
+)
+from .intervals import Backward, Begin, End, EventTerm, Forward, IntervalTerm, Star
+from .terms import (
+    Apply,
+    BinOp,
+    Cmp,
+    Const,
+    Expr,
+    FalsePredicate,
+    LogicalVar,
+    OpAfter,
+    OpAt,
+    OpIn,
+    Predicate,
+    Prop,
+    StartPredicate,
+    TruePredicate,
+    Var,
+)
+
+__all__ = [
+    "prop",
+    "atom",
+    "true",
+    "false",
+    "start",
+    "var",
+    "lvar",
+    "const",
+    "add",
+    "sub",
+    "apply_fn",
+    "cmp",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "land",
+    "lor",
+    "lnot",
+    "implies",
+    "iff",
+    "always",
+    "eventually",
+    "interval",
+    "occurs",
+    "forall",
+    "bind_next",
+    "event",
+    "begin",
+    "end",
+    "forward",
+    "backward",
+    "star",
+    "at_op",
+    "in_op",
+    "after_op",
+    "whole_context",
+    "to_formula",
+    "to_term",
+    "to_expr",
+]
+
+
+FormulaLike = Union[Formula, Predicate, bool]
+TermLike = Union[IntervalTerm, Formula, Predicate, bool]
+ExprLike = Union[Expr, int, float, str]
+
+
+def to_expr(value: ExprLike) -> Expr:
+    """Coerce a Python value into a state expression.
+
+    Strings become state variables, numbers become constants, and existing
+    expressions pass through unchanged.  Use :func:`lvar` / :func:`const`
+    explicitly when a string should be a rigid variable or a literal string.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    if isinstance(value, bool):
+        raise SyntaxConstructionError(
+            "booleans are formulas, not state expressions; use true()/false()"
+        )
+    if isinstance(value, (int, float)):
+        return Const(value)
+    return Const(value)
+
+
+def to_formula(value: FormulaLike) -> Formula:
+    """Coerce predicates and booleans into formulas."""
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, Predicate):
+        return Atom(value)
+    if value is True:
+        return TrueFormula()
+    if value is False:
+        return FalseFormula()
+    raise SyntaxConstructionError(f"cannot interpret {value!r} as a formula")
+
+
+def to_term(value: TermLike) -> IntervalTerm:
+    """Coerce formulas/predicates into event terms; pass interval terms through."""
+    if isinstance(value, IntervalTerm):
+        return value
+    return EventTerm(to_formula(value))
+
+
+# -- atoms and expressions ---------------------------------------------------
+
+
+def prop(name: str) -> Formula:
+    """A boolean state variable used as an atomic formula."""
+    return Atom(Prop(name))
+
+
+def atom(predicate: Predicate) -> Formula:
+    """Wrap an arbitrary predicate as an atomic formula."""
+    return Atom(predicate)
+
+
+def true() -> Formula:
+    return TrueFormula()
+
+
+def false() -> Formula:
+    return FalseFormula()
+
+
+def start() -> Formula:
+    """The distinguished ``start`` predicate used for Init clauses."""
+    return Atom(StartPredicate())
+
+
+def var(name: str) -> Expr:
+    """A state variable as an expression."""
+    return Var(name)
+
+
+def lvar(name: str) -> Expr:
+    """A logical (rigid) variable as an expression."""
+    return LogicalVar(name)
+
+
+def const(value: Any) -> Expr:
+    """A literal constant as an expression."""
+    return Const(value)
+
+
+def add(left: ExprLike, right: ExprLike) -> Expr:
+    return BinOp("+", to_expr(left), to_expr(right))
+
+
+def sub(left: ExprLike, right: ExprLike) -> Expr:
+    return BinOp("-", to_expr(left), to_expr(right))
+
+
+def apply_fn(name: str, *args: ExprLike) -> Expr:
+    """Apply a registered named function, e.g. ``apply_fn("flip", var("exp"))``."""
+    return Apply(name, tuple(to_expr(a) for a in args))
+
+
+def cmp(left: ExprLike, op: str, right: ExprLike) -> Formula:
+    """A comparison predicate as an atomic formula."""
+    return Atom(Cmp(to_expr(left), op, to_expr(right)))
+
+
+def eq(left: ExprLike, right: ExprLike) -> Formula:
+    return cmp(left, "==", right)
+
+
+def ne(left: ExprLike, right: ExprLike) -> Formula:
+    return cmp(left, "!=", right)
+
+
+def lt(left: ExprLike, right: ExprLike) -> Formula:
+    return cmp(left, "<", right)
+
+
+def le(left: ExprLike, right: ExprLike) -> Formula:
+    return cmp(left, "<=", right)
+
+
+def gt(left: ExprLike, right: ExprLike) -> Formula:
+    return cmp(left, ">", right)
+
+
+def ge(left: ExprLike, right: ExprLike) -> Formula:
+    return cmp(left, ">=", right)
+
+
+# -- propositional and temporal connectives ---------------------------------
+
+
+def land(*operands: FormulaLike) -> Formula:
+    """N-ary conjunction."""
+    return conjoin(tuple(to_formula(op) for op in operands))
+
+
+def lor(*operands: FormulaLike) -> Formula:
+    """N-ary disjunction."""
+    return disjoin(tuple(to_formula(op) for op in operands))
+
+
+def lnot(operand: FormulaLike) -> Formula:
+    return Not(to_formula(operand))
+
+
+def implies(left: FormulaLike, right: FormulaLike) -> Formula:
+    return Implies(to_formula(left), to_formula(right))
+
+
+def iff(left: FormulaLike, right: FormulaLike) -> Formula:
+    return Iff(to_formula(left), to_formula(right))
+
+
+def always(operand: FormulaLike) -> Formula:
+    """``[] alpha``."""
+    return Always(to_formula(operand))
+
+
+def eventually(operand: FormulaLike) -> Formula:
+    """``<> alpha``."""
+    return Eventually(to_formula(operand))
+
+
+def interval(term: TermLike, body: FormulaLike) -> Formula:
+    """``[ I ] alpha``."""
+    return IntervalFormula(to_term(term), to_formula(body))
+
+
+def occurs(term: TermLike) -> Formula:
+    """``*I`` — the interval can be constructed."""
+    return Occurs(to_term(term))
+
+
+def forall(variables: Union[str, Sequence[str]], body: FormulaLike) -> Formula:
+    """Universal quantification over rigid variables."""
+    if isinstance(variables, str):
+        variables = (variables,)
+    return Forall(tuple(variables), to_formula(body))
+
+
+def bind_next(
+    operation: str, variables: Union[str, Sequence[str]], body: FormulaLike
+) -> Formula:
+    """The ``atO↑(a)`` next-call parameter-binding convention of Chapter 2.2."""
+    if isinstance(variables, str):
+        variables = (variables,)
+    return NextBinding(operation, tuple(variables), to_formula(body))
+
+
+# -- interval terms ----------------------------------------------------------
+
+
+def event(formula: FormulaLike) -> IntervalTerm:
+    """The event defined by a formula becoming true."""
+    return EventTerm(to_formula(formula))
+
+
+def begin(term: TermLike) -> IntervalTerm:
+    return Begin(to_term(term))
+
+
+def end(term: TermLike) -> IntervalTerm:
+    return End(to_term(term))
+
+
+def forward(
+    left: Optional[TermLike] = None, right: Optional[TermLike] = None
+) -> IntervalTerm:
+    """``I => J`` with either argument omissible."""
+    return Forward(
+        to_term(left) if left is not None else None,
+        to_term(right) if right is not None else None,
+    )
+
+
+def backward(
+    left: Optional[TermLike] = None, right: Optional[TermLike] = None
+) -> IntervalTerm:
+    """``I <= J`` with either argument omissible."""
+    return Backward(
+        to_term(left) if left is not None else None,
+        to_term(right) if right is not None else None,
+    )
+
+
+def star(term: TermLike) -> IntervalTerm:
+    """The ``*`` interval-term modifier (the interval must be found)."""
+    return Star(to_term(term))
+
+
+def whole_context() -> IntervalTerm:
+    """``=>`` with no arguments — the entire outer context (formula V7)."""
+    return Forward(None, None)
+
+
+# -- operation predicates ----------------------------------------------------
+
+
+def at_op(operation: str, *args: ExprLike) -> Formula:
+    """``atO(args...)`` as an atomic formula."""
+    return Atom(OpAt(operation, tuple(to_expr(a) for a in args)))
+
+
+def in_op(operation: str, *args: ExprLike) -> Formula:
+    """``inO(args...)`` as an atomic formula."""
+    return Atom(OpIn(operation, tuple(to_expr(a) for a in args)))
+
+
+def after_op(operation: str, *args: ExprLike) -> Formula:
+    """``afterO(args...)`` as an atomic formula."""
+    return Atom(OpAfter(operation, tuple(to_expr(a) for a in args)))

@@ -1,0 +1,506 @@
+"""Interval-logic formulas (Chapter 2 / Chapter 3 syntax).
+
+The grammar of interval formulas from Chapter 3 is::
+
+    <interval formula> alpha ::= P | not beta | beta <connective> gamma
+                               | <> beta | [] beta | *I | [ I ] beta
+
+where ``P`` ranges over atomic state predicates and ``I`` over interval
+terms.  The propositional connectives provided are conjunction, disjunction,
+implication and equivalence; ``[] / <>`` are the familiar *henceforth* /
+*eventually* operators re-interpreted over the current interval; ``*I`` is
+the interval-eventuality ("the interval I can be constructed"); and
+``[ I ] alpha`` is the interval formula proper: the next time interval ``I``
+can be constructed in the current context, ``alpha`` holds for it (vacuously
+true if ``I`` cannot be found).
+
+Additionally this module provides:
+
+* :class:`Forall` — outermost universal quantification over logical (rigid)
+  variables, used by the queue / protocol specifications (``∀ a, b . ...``);
+* :class:`NextBinding` — the ``atO↑(a)`` parameter-binding convention of
+  Chapter 2.2, reduced away by :mod:`repro.semantics.reduction`.
+
+All nodes are immutable, hashable, comparable structurally, and expose
+``free_logical_vars`` / ``state_vars`` / ``atoms`` for use by the bounded
+checker and the decision procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterator, Mapping, Tuple
+
+from ..errors import SyntaxConstructionError
+from .intervals import EventTerm, IntervalTerm, walk_term
+from .terms import Predicate
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "TrueFormula",
+    "FalseFormula",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Always",
+    "Eventually",
+    "IntervalFormula",
+    "Occurs",
+    "Forall",
+    "NextBinding",
+    "walk_formula",
+    "formula_size",
+    "conjoin",
+    "disjoin",
+]
+
+
+class Formula:
+    """Base class of interval-logic formulas."""
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def state_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        """The set of atomic state predicates occurring in the formula."""
+        raise NotImplementedError
+
+    def children(self) -> Iterator["Formula"]:
+        """Direct sub-formulas (interval-term event formulas included)."""
+        return iter(())
+
+    def interval_terms(self) -> Iterator[IntervalTerm]:
+        """Interval terms attached directly to this node."""
+        return iter(())
+
+    # -- convenient operator overloading for building specifications -------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        """``f >> g`` builds the implication ``f ⊃ g``."""
+        return Implies(self, other)
+
+
+def _term_formulas(term: IntervalTerm) -> Iterator["Formula"]:
+    """Yield the event formulas embedded in an interval term."""
+    for sub in walk_term(term):
+        if isinstance(sub, EventTerm):
+            yield sub.formula
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic state predicate used as a formula.
+
+    For a simple state predicate ``P``, the interval formula ``[ I ] P``
+    requires ``P`` to be true in the *first* state of the interval
+    (Chapter 2), which is exactly the satisfaction clause for atoms in the
+    Chapter 3 model.
+    """
+
+    predicate: Predicate
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.predicate, Predicate):
+            raise SyntaxConstructionError(
+                f"Atom requires a Predicate, got {type(self.predicate).__name__}"
+            )
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.predicate.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.predicate.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return frozenset({self.predicate})
+
+    def __str__(self) -> str:
+        return str(self.predicate)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant formula ``True``."""
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "True"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The constant formula ``False``."""
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "False"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.operand.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.operand.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return self.operand.atoms()
+
+    def children(self) -> Iterator[Formula]:
+        yield self.operand
+
+    def __str__(self) -> str:
+        return f"~{self.operand}"
+
+
+class _Binary(Formula):
+    """Shared implementation of binary propositional connectives."""
+
+    left: Formula
+    right: Formula
+    SYMBOL = "?"
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.left.free_logical_vars() | self.right.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.left.state_vars() | self.right.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return self.left.atoms() | self.right.atoms()
+
+    def children(self) -> Iterator[Formula]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.SYMBOL} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(_Binary):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+    SYMBOL = "/\\"
+
+
+@dataclass(frozen=True)
+class Or(_Binary):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+    SYMBOL = "\\/"
+
+
+@dataclass(frozen=True)
+class Implies(_Binary):
+    """Implication (the paper's ``⊃``)."""
+
+    left: Formula
+    right: Formula
+    SYMBOL = "->"
+
+
+@dataclass(frozen=True)
+class Iff(_Binary):
+    """Equivalence (the paper's ``≡``)."""
+
+    left: Formula
+    right: Formula
+    SYMBOL = "<->"
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """``[] alpha`` — alpha holds at every suffix of the current interval."""
+
+    operand: Formula
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.operand.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.operand.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return self.operand.atoms()
+
+    def children(self) -> Iterator[Formula]:
+        yield self.operand
+
+    def __str__(self) -> str:
+        return f"[]{self.operand}"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """``<> alpha`` — alpha holds at some suffix of the current interval."""
+
+    operand: Formula
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.operand.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.operand.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return self.operand.atoms()
+
+    def children(self) -> Iterator[Formula]:
+        yield self.operand
+
+    def __str__(self) -> str:
+        return f"<>{self.operand}"
+
+
+def _term_logical_vars(term: IntervalTerm) -> FrozenSet[str]:
+    out: FrozenSet[str] = frozenset()
+    for f in _term_formulas(term):
+        out |= f.free_logical_vars()
+    return out
+
+
+def _term_state_vars(term: IntervalTerm) -> FrozenSet[str]:
+    out: FrozenSet[str] = frozenset()
+    for f in _term_formulas(term):
+        out |= f.state_vars()
+    return out
+
+
+def _term_atoms(term: IntervalTerm) -> FrozenSet[Predicate]:
+    out: FrozenSet[Predicate] = frozenset()
+    for f in _term_formulas(term):
+        out |= f.atoms()
+    return out
+
+
+@dataclass(frozen=True)
+class IntervalFormula(Formula):
+    """``[ I ] alpha`` — the heart of the interval logic.
+
+    The next time the interval ``I`` can be constructed in the current
+    context, ``alpha`` holds for that interval; vacuously satisfied when
+    ``I`` cannot be found (partial-correctness semantics, Chapter 3).
+    """
+
+    term: IntervalTerm
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.term, IntervalTerm):
+            raise SyntaxConstructionError(
+                f"IntervalFormula requires an IntervalTerm, got "
+                f"{type(self.term).__name__}"
+            )
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return _term_logical_vars(self.term) | self.body.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return _term_state_vars(self.term) | self.body.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return _term_atoms(self.term) | self.body.atoms()
+
+    def children(self) -> Iterator[Formula]:
+        yield from _term_formulas(self.term)
+        yield self.body
+
+    def interval_terms(self) -> Iterator[IntervalTerm]:
+        yield self.term
+
+    def __str__(self) -> str:
+        return f"[{self.term}] {self.body}"
+
+
+@dataclass(frozen=True)
+class Occurs(Formula):
+    """``*I`` — the interval ``I`` can be constructed in the current context.
+
+    Defined in Chapter 2 as ``¬[I] False`` (valid formula V4); the evaluator
+    treats it primitively and tests agreement with the definition.
+    """
+
+    term: IntervalTerm
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.term, IntervalTerm):
+            raise SyntaxConstructionError(
+                f"Occurs requires an IntervalTerm, got {type(self.term).__name__}"
+            )
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return _term_logical_vars(self.term)
+
+    def state_vars(self) -> FrozenSet[str]:
+        return _term_state_vars(self.term)
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return _term_atoms(self.term)
+
+    def children(self) -> Iterator[Formula]:
+        yield from _term_formulas(self.term)
+
+    def interval_terms(self) -> Iterator[IntervalTerm]:
+        yield self.term
+
+    def __str__(self) -> str:
+        return f"*({self.term})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Outermost universal quantification over logical (rigid) variables.
+
+    Chapter 2.2: "Since a and b are free variables, for all a and b such that
+    we can find an interval ... ".  Quantification ranges over a value domain
+    supplied at evaluation time (for trace conformance the domain defaults to
+    the values observed in the trace).
+    """
+
+    variables: Tuple[str, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise SyntaxConstructionError("Forall requires at least one variable")
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.body.free_logical_vars() - frozenset(self.variables)
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.body.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return self.body.atoms()
+
+    def children(self) -> Iterator[Formula]:
+        yield self.body
+
+    def __str__(self) -> str:
+        return f"forall {', '.join(self.variables)} . {self.body}"
+
+
+@dataclass(frozen=True)
+class NextBinding(Formula):
+    """The parameter-binding convention ``[ atO(a) => atO↑(b) ] body``.
+
+    ``NextBinding(op_event, variables, term, body)`` is not part of the core
+    grammar; Chapter 2.2 sketches a general reduction for the ``atO↑(b)``
+    event that binds ``b`` to the parameter of the *next* call.  We represent
+    the binding explicitly: ``variables`` are bound, within ``body``, to the
+    arguments of the next occurrence of operation ``operation`` found while
+    constructing the designated interval.  The reduction module rewrites it
+    into a quantified plain formula; the evaluator also supports it directly.
+    """
+
+    operation: str
+    variables: Tuple[str, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise SyntaxConstructionError("NextBinding requires an operation name")
+        if not self.variables:
+            raise SyntaxConstructionError("NextBinding requires at least one variable")
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.body.free_logical_vars() - frozenset(self.variables)
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.body.state_vars()
+
+    def atoms(self) -> FrozenSet[Predicate]:
+        return self.body.atoms()
+
+    def children(self) -> Iterator[Formula]:
+        yield self.body
+
+    def __str__(self) -> str:
+        vars_ = ", ".join(self.variables)
+        return f"bind-next {self.operation}({vars_}) . {self.body}"
+
+
+# ---------------------------------------------------------------------------
+# Generic helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_formula(formula: Formula) -> Iterator[Formula]:
+    """Yield ``formula`` and all sub-formulas in pre-order.
+
+    Event formulas buried inside interval terms are included, since they are
+    formulas of the language in their own right.
+    """
+    yield formula
+    for child in formula.children():
+        yield from walk_formula(child)
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of formula nodes — used by the scaling benchmarks."""
+    return sum(1 for _ in walk_formula(formula))
+
+
+def conjoin(formulas: "Tuple[Formula, ...]") -> Formula:
+    """Fold a sequence of formulas into a conjunction (True when empty)."""
+    items = list(formulas)
+    if not items:
+        return TrueFormula()
+    result = items[0]
+    for item in items[1:]:
+        result = And(result, item)
+    return result
+
+
+def disjoin(formulas: "Tuple[Formula, ...]") -> Formula:
+    """Fold a sequence of formulas into a disjunction (False when empty)."""
+    items = list(formulas)
+    if not items:
+        return FalseFormula()
+    result = items[0]
+    for item in items[1:]:
+        result = Or(result, item)
+    return result

@@ -1,0 +1,244 @@
+"""Interval terms of the interval logic (Chapter 2 / Chapter 3 syntax).
+
+The grammar of interval terms from Chapter 3 is::
+
+    <interval term> I ::= A | begin J | end J
+                        | J => K        (either argument may be omitted)
+                        | J <= K        (either argument may be omitted)
+    <event term>    A ::= alpha         (an interval formula used as an event)
+
+plus the ``*`` interval-term modifier of Chapter 2.1, which is syntactic
+sugar eliminated by :mod:`repro.semantics.reduction` (Appendix A).
+
+An *event* defined by a formula ``beta`` occurs when ``beta`` changes from
+False to True; the event denotes the two-state interval of change containing
+the ``not beta`` and ``beta`` states.  ``begin I`` / ``end I`` extract the
+unit intervals at the first / last state of ``I``.  ``I => J`` locates the
+first ``I`` interval in context, then searches forward from its end for
+``J``; ``I <= J`` locates the first ``J`` and then searches backward for the
+most recent ``I`` (Chapter 2.1).
+
+Event terms hold an arbitrary interval *formula*; to avoid a circular import
+with :mod:`repro.syntax.formulas` the formula is stored untyped and accessed
+through the shared ``free_logical_vars`` / ``state_vars`` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, Optional
+
+from ..errors import SyntaxConstructionError
+
+__all__ = [
+    "IntervalTerm",
+    "EventTerm",
+    "Begin",
+    "End",
+    "Forward",
+    "Backward",
+    "Star",
+    "walk_term",
+]
+
+
+class IntervalTerm:
+    """Base class for interval terms."""
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def state_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def has_star(self) -> bool:
+        """True if a ``*`` modifier occurs anywhere inside the term."""
+        return any(isinstance(t, Star) for t in walk_term(self))
+
+    def children(self) -> Iterator["IntervalTerm"]:
+        """Direct interval-term children (used by generic traversals)."""
+        return iter(())
+
+
+@dataclass(frozen=True)
+class EventTerm(IntervalTerm):
+    """An event defined by an interval formula (the change False -> True)."""
+
+    formula: Any
+
+    def __post_init__(self) -> None:
+        if self.formula is None:
+            raise SyntaxConstructionError("event term requires a formula")
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.formula.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.formula.state_vars()
+
+    def __str__(self) -> str:
+        return str(self.formula)
+
+
+@dataclass(frozen=True)
+class Begin(IntervalTerm):
+    """``begin I`` — the unit interval containing the first state of ``I``."""
+
+    term: IntervalTerm
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.term.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.term.state_vars()
+
+    def children(self) -> Iterator[IntervalTerm]:
+        yield self.term
+
+    def __str__(self) -> str:
+        return f"begin({self.term})"
+
+
+@dataclass(frozen=True)
+class End(IntervalTerm):
+    """``end I`` — the unit interval containing the last state of ``I``.
+
+    Undefined (returns the null interval) when ``I`` is infinite, per the
+    Chapter 3 definition of ``last(<i, oo>)``.
+    """
+
+    term: IntervalTerm
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.term.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.term.state_vars()
+
+    def children(self) -> Iterator[IntervalTerm]:
+        yield self.term
+
+    def __str__(self) -> str:
+        return f"end({self.term})"
+
+
+@dataclass(frozen=True)
+class Forward(IntervalTerm):
+    """The right-arrow operator ``I => J`` with optional arguments.
+
+    * ``I =>``   (``right is None``): from the end of the first ``I`` interval
+      to the end of the outer context.
+    * ``=> J``   (``left is None``): from the start of the outer context to
+      the end of the first ``J`` interval.
+    * ``I => J``: the composition — from the end of the first ``I`` to the end
+      of the first ``J`` located within ``I =>``.
+    * ``=>``     (both ``None``): the entire outer context.
+    """
+
+    left: Optional[IntervalTerm] = None
+    right: Optional[IntervalTerm] = None
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        if self.left is not None:
+            out |= self.left.free_logical_vars()
+        if self.right is not None:
+            out |= self.right.free_logical_vars()
+        return out
+
+    def state_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        if self.left is not None:
+            out |= self.left.state_vars()
+        if self.right is not None:
+            out |= self.right.state_vars()
+        return out
+
+    def children(self) -> Iterator[IntervalTerm]:
+        if self.left is not None:
+            yield self.left
+        if self.right is not None:
+            yield self.right
+
+    def __str__(self) -> str:
+        left = str(self.left) if self.left is not None else ""
+        right = str(self.right) if self.right is not None else ""
+        return f"({left} => {right})".replace("(  =>  )", "(=>)")
+
+
+@dataclass(frozen=True)
+class Backward(IntervalTerm):
+    """The left-arrow operator ``I <= J`` with optional arguments.
+
+    ``I <= J`` first locates the first ``J`` interval in context and then
+    searches *backward* from its end for the most recent ``I`` interval; the
+    derived interval runs from ``end I`` to ``end J``.  ``I <=`` starts at the
+    end of the *last* ``I`` interval and extends for the remainder of the
+    context (vacuous when ``I`` occurs infinitely often).  ``<= J`` and
+    ``<=`` are equivalent to ``=> J`` and ``=>`` respectively (Chapter 2.1).
+    """
+
+    left: Optional[IntervalTerm] = None
+    right: Optional[IntervalTerm] = None
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        if self.left is not None:
+            out |= self.left.free_logical_vars()
+        if self.right is not None:
+            out |= self.right.free_logical_vars()
+        return out
+
+    def state_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        if self.left is not None:
+            out |= self.left.state_vars()
+        if self.right is not None:
+            out |= self.right.state_vars()
+        return out
+
+    def children(self) -> Iterator[IntervalTerm]:
+        if self.left is not None:
+            yield self.left
+        if self.right is not None:
+            yield self.right
+
+    def __str__(self) -> str:
+        left = str(self.left) if self.left is not None else ""
+        right = str(self.right) if self.right is not None else ""
+        return f"({left} <= {right})"
+
+
+@dataclass(frozen=True)
+class Star(IntervalTerm):
+    """The ``*`` interval-term modifier — the interval *must* be found.
+
+    ``*I`` adds the requirement that ``I`` occurs in the designated context;
+    it contributes only linguistic expressive power and is eliminated by the
+    Appendix A reduction rules (see :mod:`repro.semantics.reduction`).
+    """
+
+    term: IntervalTerm
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.term.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.term.state_vars()
+
+    def children(self) -> Iterator[IntervalTerm]:
+        yield self.term
+
+    def __str__(self) -> str:
+        return f"*{self.term}"
+
+
+def walk_term(term: IntervalTerm) -> Iterator[IntervalTerm]:
+    """Yield ``term`` and every interval term nested inside it (pre-order).
+
+    Event terms are leaves from the point of view of this traversal even
+    though their defining formulas may contain further interval formulas.
+    """
+    yield term
+    for child in term.children():
+        yield from walk_term(child)

@@ -1,0 +1,428 @@
+"""A concrete-syntax parser for interval-logic formulas.
+
+The accepted notation is the ASCII rendering produced by
+:func:`repro.syntax.pretty.to_ascii`::
+
+    formula  := "forall" names "." formula
+              | iff
+    iff      := impl ("<->" impl)*
+    impl     := or ("->" impl)?                     (right associative)
+    or       := and ("\\/" and)*
+    and      := unary ("/\\" unary)*
+    unary    := "~" unary | "[]" unary | "<>" unary
+              | "[" term "]" unary
+              | "*" "(" term ")"
+              | primary
+    primary  := "true" | "false" | "start" | "(" formula ")"
+              | ("at" | "in" | "after") NAME ["(" exprs ")"]
+              | expr CMP expr
+              | NAME                                (boolean state variable)
+
+    term     := [simple] ("=>" | "<=") [simple]     (arrow, args omissible)
+              | simple
+    simple   := "*" simple
+              | "begin" "(" term ")" | "end" "(" term ")"
+              | "(" term ")"
+              | unary                               (an event formula)
+
+    expr     := atomexpr (("+" | "-") atomexpr)*
+    atomexpr := NUMBER | "?" NAME | NAME ["(" exprs ")"] | "(" expr ")"
+
+``?name`` denotes a logical (rigid) variable; a bare ``NAME`` in expression
+position denotes a state variable and in formula position a boolean state
+variable.  ``NAME(args)`` in expression position applies a registered
+function (e.g. ``flip(exp)``).
+
+The parser exists for tests, examples and interactive exploration; programs
+normally build formulas with :mod:`repro.syntax.builder`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .formulas import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntervalFormula,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+)
+from .intervals import Backward, Begin, End, EventTerm, Forward, IntervalTerm, Star
+from .terms import (
+    Apply,
+    BinOp,
+    Cmp,
+    Const,
+    Expr,
+    LogicalVar,
+    OpAfter,
+    OpAt,
+    OpIn,
+    Prop,
+    StartPredicate,
+    Var,
+)
+
+__all__ = ["parse_formula", "parse_term", "tokenize"]
+
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"\d+(\.\d+)?"),
+    ("ARROW_F", r"=>"),
+    ("ARROW_B", r"<="),
+    ("IFF", r"<->"),
+    ("IMPLIES", r"->"),
+    ("ALWAYS", r"\[\]"),
+    ("EVENTUALLY", r"<>"),
+    ("AND", r"/\\"),
+    ("OR", r"\\/"),
+    ("CMP", r"==|!=|>=|>|<"),
+    ("EQ_SINGLE", r"="),
+    ("LBRACK", r"\["),
+    ("RBRACK", r"\]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("TILDE", r"~"),
+    ("STAR", r"\*"),
+    ("QMARK", r"\?"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("WS", r"\s+"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"forall", "begin", "end", "true", "false", "start", "at", "in", "after"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens, raising :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at offset {position}",
+                text=text,
+                position=position,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            if kind == "NAME" and value in _KEYWORDS:
+                kind = value.upper()
+            tokens.append(Token(kind, value, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.kind} ({token.value!r}) "
+                f"at offset {token.position}",
+                text=self.text,
+                position=token.position,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} at offset {token.position} (found {token.value!r})",
+            text=self.text,
+            position=token.position,
+        )
+
+    # -- formulas ------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        if self.peek().kind == "FORALL":
+            self.advance()
+            names = [self.expect("NAME").value]
+            while self.accept("COMMA"):
+                names.append(self.expect("NAME").value)
+            self.expect("DOT")
+            return Forall(tuple(names), self.parse_formula())
+        return self.parse_iff()
+
+    def parse_iff(self) -> Formula:
+        left = self.parse_implies()
+        while self.accept("IFF"):
+            right = self.parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.accept("IMPLIES"):
+            return Implies(left, self.parse_implies())
+        return left
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self.accept("OR"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_unary()
+        while self.accept("AND"):
+            left = And(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token.kind == "TILDE":
+            self.advance()
+            return Not(self.parse_unary())
+        if token.kind == "ALWAYS":
+            self.advance()
+            return Always(self.parse_unary())
+        if token.kind == "EVENTUALLY":
+            self.advance()
+            return Eventually(self.parse_unary())
+        if token.kind == "LBRACK":
+            self.advance()
+            term = self.parse_term()
+            self.expect("RBRACK")
+            return IntervalFormula(term, self.parse_unary())
+        if token.kind == "STAR":
+            self.advance()
+            self.expect("LPAREN")
+            term = self.parse_term()
+            self.expect("RPAREN")
+            return Occurs(term)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Formula:
+        token = self.peek()
+        if token.kind == "TRUE":
+            self.advance()
+            return TrueFormula()
+        if token.kind == "FALSE":
+            self.advance()
+            return FalseFormula()
+        if token.kind == "START":
+            self.advance()
+            return Atom(StartPredicate())
+        if token.kind in ("AT", "IN", "AFTER"):
+            return self.parse_operation_predicate()
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect("RPAREN")
+            return inner
+        # A comparison or a bare boolean state variable.
+        return self.parse_comparison_or_prop()
+
+    def parse_operation_predicate(self) -> Formula:
+        phase = self.advance().kind  # AT / IN / AFTER
+        name = self.expect("NAME").value
+        args: Tuple[Expr, ...] = ()
+        if self.accept("LPAREN"):
+            arg_list = [self.parse_expr()]
+            while self.accept("COMMA"):
+                arg_list.append(self.parse_expr())
+            self.expect("RPAREN")
+            args = tuple(arg_list)
+        cls = {"AT": OpAt, "IN": OpIn, "AFTER": OpAfter}[phase]
+        return Atom(cls(name, args))
+
+    _CMP_KINDS = ("CMP", "EQ_SINGLE", "ARROW_B")
+
+    def parse_comparison_or_prop(self) -> Formula:
+        # Try a comparison first; fall back to a boolean proposition.
+        saved = self.index
+        try:
+            left = self.parse_expr()
+        except ParseError:
+            self.index = saved
+            raise self.error("expected a formula")
+        token = self.peek()
+        if token.kind in self._CMP_KINDS:
+            self.advance()
+            op = token.value if token.kind == "CMP" else ("<=" if token.kind == "ARROW_B" else "==")
+            right = self.parse_expr()
+            return Atom(Cmp(left, op, right))
+        if isinstance(left, Var):
+            return Atom(Prop(left.name))
+        self.index = saved
+        raise self.error("expression used where a formula was expected")
+
+    # -- interval terms ------------------------------------------------------
+
+    _ARROW_KINDS = ("ARROW_F", "ARROW_B")
+
+    def parse_term(self) -> IntervalTerm:
+        token = self.peek()
+        left: Optional[IntervalTerm] = None
+        if token.kind not in self._ARROW_KINDS:
+            left = self.parse_simple_term()
+        token = self.peek()
+        if token.kind in self._ARROW_KINDS:
+            self.advance()
+            right: Optional[IntervalTerm] = None
+            if self.peek().kind not in ("RBRACK", "RPAREN", "EOF"):
+                right = self.parse_simple_term()
+                follow = self.peek()
+                if follow.kind in self._ARROW_KINDS:
+                    # Right-nested arrows:  A => B => C parses as A => (B => C).
+                    self.advance()
+                    inner_right = None
+                    if self.peek().kind not in ("RBRACK", "RPAREN", "EOF"):
+                        inner_right = self.parse_simple_term()
+                    inner_cls = Forward if follow.kind == "ARROW_F" else Backward
+                    right = inner_cls(right, inner_right)
+            cls = Forward if token.kind == "ARROW_F" else Backward
+            return cls(left, right)
+        if left is None:
+            raise self.error("expected an interval term")
+        return left
+
+    def parse_simple_term(self) -> IntervalTerm:
+        token = self.peek()
+        if token.kind == "STAR":
+            self.advance()
+            return Star(self.parse_simple_term())
+        if token.kind == "BEGIN":
+            self.advance()
+            self.expect("LPAREN")
+            inner = self.parse_term()
+            self.expect("RPAREN")
+            return Begin(inner)
+        if token.kind == "END":
+            self.advance()
+            self.expect("LPAREN")
+            inner = self.parse_term()
+            self.expect("RPAREN")
+            return End(inner)
+        if token.kind == "LPAREN":
+            # A parenthesized interval term (which may itself be an event
+            # formula in parentheses; EventTerm of that formula is equivalent).
+            saved = self.index
+            self.advance()
+            try:
+                inner = self.parse_term()
+                self.expect("RPAREN")
+                return inner
+            except ParseError:
+                self.index = saved
+        # Otherwise: an event defined by a unary formula.
+        return EventTerm(self.parse_unary())
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_atom_expr()
+        while self.peek().kind in ("PLUS", "MINUS"):
+            op = "+" if self.advance().kind == "PLUS" else "-"
+            right = self.parse_atom_expr()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_atom_expr(self) -> Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.value
+            return Const(float(text) if "." in text else int(text))
+        if token.kind == "QMARK":
+            self.advance()
+            name = self.expect("NAME").value
+            return LogicalVar(name)
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "NAME":
+            self.advance()
+            name = token.value
+            if self.peek().kind == "LPAREN":
+                self.advance()
+                args = [self.parse_expr()]
+                while self.accept("COMMA"):
+                    args.append(self.parse_expr())
+                self.expect("RPAREN")
+                return Apply(name, tuple(args))
+            return Var(name)
+        raise self.error("expected an expression")
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse ``text`` into an interval-logic formula."""
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    token = parser.peek()
+    if token.kind != "EOF":
+        raise ParseError(
+            f"trailing input at offset {token.position}: {token.value!r}",
+            text=text,
+            position=token.position,
+        )
+    return formula
+
+
+def parse_term(text: str) -> IntervalTerm:
+    """Parse ``text`` into an interval term."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    token = parser.peek()
+    if token.kind != "EOF":
+        raise ParseError(
+            f"trailing input at offset {token.position}: {token.value!r}",
+            text=text,
+            position=token.position,
+        )
+    return term

@@ -1,0 +1,176 @@
+"""Pretty-printing of interval-logic formulas.
+
+Two renderings are provided:
+
+* :func:`to_ascii` — the plain notation used by ``str()`` on AST nodes
+  (``[]``, ``<>``, ``=>``, ``<=``, ``/\\``, ``\\/``, ``->``);
+* :func:`to_unicode` — the paper's notation with ``□``, ``◇``, ``⇒``, ``⇐``,
+  ``∧``, ``∨``, ``⊃``, ``≡``, ``¬`` and ``∀``.
+
+:func:`render_tree` produces an indented structural dump that is useful when
+debugging why a formula does not hold on a trace.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .formulas import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntervalFormula,
+    NextBinding,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+)
+from .intervals import Backward, Begin, End, EventTerm, Forward, IntervalTerm, Star
+
+__all__ = ["to_ascii", "to_unicode", "render_tree"]
+
+
+_UNICODE = {
+    "always": "□",
+    "eventually": "◇",
+    "not": "¬",
+    "and": " ∧ ",
+    "or": " ∨ ",
+    "implies": " ⊃ ",
+    "iff": " ≡ ",
+    "forward": " ⇒ ",
+    "backward": " ⇐ ",
+    "forall": "∀",
+}
+
+_ASCII = {
+    "always": "[]",
+    "eventually": "<>",
+    "not": "~",
+    "and": " /\\ ",
+    "or": " \\/ ",
+    "implies": " -> ",
+    "iff": " <-> ",
+    "forward": " => ",
+    "backward": " <= ",
+    "forall": "forall ",
+}
+
+
+def _render_term(term: IntervalTerm, symbols: dict) -> str:
+    if isinstance(term, EventTerm):
+        return _render(term.formula, symbols)
+    if isinstance(term, Begin):
+        return f"begin({_render_term(term.term, symbols)})"
+    if isinstance(term, End):
+        return f"end({_render_term(term.term, symbols)})"
+    if isinstance(term, Star):
+        return f"*{_render_term(term.term, symbols)}"
+    if isinstance(term, Forward):
+        left = _render_term(term.left, symbols) if term.left is not None else ""
+        right = _render_term(term.right, symbols) if term.right is not None else ""
+        return f"({left}{symbols['forward']}{right})"
+    if isinstance(term, Backward):
+        left = _render_term(term.left, symbols) if term.left is not None else ""
+        right = _render_term(term.right, symbols) if term.right is not None else ""
+        return f"({left}{symbols['backward']}{right})"
+    return str(term)
+
+
+def _render(formula: Formula, symbols: dict) -> str:
+    if isinstance(formula, Atom):
+        return str(formula.predicate)
+    if isinstance(formula, TrueFormula):
+        return "True"
+    if isinstance(formula, FalseFormula):
+        return "False"
+    if isinstance(formula, Not):
+        return f"{symbols['not']}{_render(formula.operand, symbols)}"
+    if isinstance(formula, And):
+        return f"({_render(formula.left, symbols)}{symbols['and']}{_render(formula.right, symbols)})"
+    if isinstance(formula, Or):
+        return f"({_render(formula.left, symbols)}{symbols['or']}{_render(formula.right, symbols)})"
+    if isinstance(formula, Implies):
+        return f"({_render(formula.left, symbols)}{symbols['implies']}{_render(formula.right, symbols)})"
+    if isinstance(formula, Iff):
+        return f"({_render(formula.left, symbols)}{symbols['iff']}{_render(formula.right, symbols)})"
+    if isinstance(formula, Always):
+        return f"{symbols['always']}{_render(formula.operand, symbols)}"
+    if isinstance(formula, Eventually):
+        return f"{symbols['eventually']}{_render(formula.operand, symbols)}"
+    if isinstance(formula, IntervalFormula):
+        return f"[{_render_term(formula.term, symbols)}] {_render(formula.body, symbols)}"
+    if isinstance(formula, Occurs):
+        return f"*({_render_term(formula.term, symbols)})"
+    if isinstance(formula, Forall):
+        vars_ = ", ".join(formula.variables)
+        return f"{symbols['forall']}{vars_} . {_render(formula.body, symbols)}"
+    if isinstance(formula, NextBinding):
+        vars_ = ", ".join(formula.variables)
+        return f"bind-next {formula.operation}({vars_}) . {_render(formula.body, symbols)}"
+    return str(formula)
+
+
+def to_ascii(formula: Formula) -> str:
+    """Render a formula in plain ASCII notation."""
+    return _render(formula, _ASCII)
+
+
+def to_unicode(formula: Formula) -> str:
+    """Render a formula in the paper's mathematical notation."""
+    return _render(formula, _UNICODE)
+
+
+def _tree_lines(node, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(node, Atom):
+        lines.append(f"{pad}Atom {node.predicate}")
+        return
+    if isinstance(node, (TrueFormula, FalseFormula)):
+        lines.append(f"{pad}{type(node).__name__}")
+        return
+    if isinstance(node, IntervalFormula):
+        lines.append(f"{pad}IntervalFormula")
+        _term_tree_lines(node.term, indent + 1, lines)
+        _tree_lines(node.body, indent + 1, lines)
+        return
+    if isinstance(node, Occurs):
+        lines.append(f"{pad}Occurs")
+        _term_tree_lines(node.term, indent + 1, lines)
+        return
+    if isinstance(node, Forall):
+        lines.append(f"{pad}Forall {', '.join(node.variables)}")
+        _tree_lines(node.body, indent + 1, lines)
+        return
+    if isinstance(node, NextBinding):
+        lines.append(f"{pad}NextBinding {node.operation}({', '.join(node.variables)})")
+        _tree_lines(node.body, indent + 1, lines)
+        return
+    lines.append(f"{pad}{type(node).__name__}")
+    for child in node.children():
+        _tree_lines(child, indent + 1, lines)
+
+
+def _term_tree_lines(term: IntervalTerm, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(term, EventTerm):
+        lines.append(f"{pad}EventTerm")
+        _tree_lines(term.formula, indent + 1, lines)
+        return
+    lines.append(f"{pad}{type(term).__name__}")
+    for child in term.children():
+        _term_tree_lines(child, indent + 1, lines)
+
+
+def render_tree(formula: Formula) -> str:
+    """Render the structural tree of a formula, one node per line."""
+    lines: List[str] = []
+    _tree_lines(formula, 0, lines)
+    return "\n".join(lines)

@@ -1,0 +1,516 @@
+"""State expressions and atomic state predicates.
+
+The interval logic of the paper is built over *state predicates*: boolean
+observations of a single state of the computation.  Chapter 2 uses predicates
+such as ``x >= 5``, ``x = y``, ``at Dq`` and parameterized operation
+predicates ``atO(v1, ..., vn)``.  This module provides the expression and
+predicate ASTs used for all of them.
+
+Two kinds of variables appear in expressions, mirroring Appendix B's
+distinction:
+
+* **state variables** (:class:`Var`) — their value is read from the state and
+  may change from state to state;
+* **logical variables** (:class:`LogicalVar`) — rigid variables bound by an
+  outer quantifier or by the ``atO↑(a)`` parameter-binding convention; their
+  value comes from the evaluation environment and never changes with time.
+
+All AST nodes are immutable and hashable so formulas can be used as dictionary
+keys by the decision procedures.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from ..errors import (
+    EvaluationError,
+    SyntaxConstructionError,
+    UnboundVariableError,
+    UnknownOperationError,
+    UnknownStateVariableError,
+)
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "LogicalVar",
+    "BinOp",
+    "Apply",
+    "FUNCTION_REGISTRY",
+    "register_function",
+    "Predicate",
+    "Prop",
+    "Cmp",
+    "TruePredicate",
+    "FalsePredicate",
+    "OpPhase",
+    "OpAt",
+    "OpIn",
+    "OpAfter",
+    "StartPredicate",
+    "flip",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of state expressions (terms denoting values, not booleans)."""
+
+    def evaluate(self, state: "Mapping[str, Any]", env: Mapping[str, Any]) -> Any:
+        """Return the value of the expression in ``state`` under ``env``."""
+        raise NotImplementedError
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        """Names of logical (rigid) variables occurring in the expression."""
+        return frozenset()
+
+    def state_vars(self) -> FrozenSet[str]:
+        """Names of state variables occurring in the expression."""
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant value (number, string, tuple, ...)."""
+
+    value: Any
+
+    def evaluate(self, state: Mapping[str, Any], env: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A state variable; its value is looked up in the current state."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxConstructionError("state variable name must be non-empty")
+
+    def evaluate(self, state: Mapping[str, Any], env: Mapping[str, Any]) -> Any:
+        try:
+            return state[self.name]
+        except KeyError as exc:
+            raise UnknownStateVariableError(self.name) from exc
+
+    def state_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LogicalVar(Expr):
+    """A rigid (extralogical) variable; its value is read from the environment."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxConstructionError("logical variable name must be non-empty")
+
+    def evaluate(self, state: Mapping[str, Any], env: Mapping[str, Any]) -> Any:
+        try:
+            return env[self.name]
+        except KeyError as exc:
+            raise UnboundVariableError(self.name) from exc
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+_BIN_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "//": operator.floordiv,
+    "%": operator.mod,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """An arithmetic combination of two expressions (``+ - * // %``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BIN_OPS:
+            raise SyntaxConstructionError(f"unknown arithmetic operator: {self.op!r}")
+
+    def evaluate(self, state: Mapping[str, Any], env: Mapping[str, Any]) -> Any:
+        lhs = self.left.evaluate(state, env)
+        rhs = self.right.evaluate(state, env)
+        try:
+            return _BIN_OPS[self.op](lhs, rhs)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise EvaluationError(
+                f"cannot evaluate {lhs!r} {self.op} {rhs!r}: {exc}"
+            ) from exc
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.left.free_logical_vars() | self.right.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.left.state_vars() | self.right.state_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def flip(value: Any) -> Any:
+    """The sequence-number complement written ``v̄`` in Chapter 7 (mod-2 flip)."""
+    return 1 - int(value)
+
+
+FUNCTION_REGISTRY: Dict[str, Callable[..., Any]] = {
+    "flip": flip,
+    "abs": abs,
+    "min": min,
+    "max": max,
+}
+
+
+def register_function(name: str, fn: Callable[..., Any]) -> None:
+    """Register ``fn`` so :class:`Apply` expressions may call it by ``name``."""
+    if not callable(fn):
+        raise SyntaxConstructionError("registered function must be callable")
+    FUNCTION_REGISTRY[name] = fn
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    """Application of a registered named function to argument expressions."""
+
+    function: str
+    args: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.function not in FUNCTION_REGISTRY:
+            raise SyntaxConstructionError(
+                f"function {self.function!r} is not registered; "
+                "use register_function() first"
+            )
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def evaluate(self, state: Mapping[str, Any], env: Mapping[str, Any]) -> Any:
+        values = [arg.evaluate(state, env) for arg in self.args]
+        return FUNCTION_REGISTRY[self.function](*values)
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.free_logical_vars()
+        return out
+
+    def state_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.state_vars()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.function}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+class Predicate:
+    """Base class of atomic state predicates.
+
+    A predicate is evaluated against a single state (a mapping of state
+    variables plus, for operation predicates, an operation record) and an
+    environment binding logical variables.
+    """
+
+    def holds(self, state: Any, env: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def atom_key(self) -> Any:
+        """A hashable key identifying this predicate as a propositional atom."""
+        return self
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The constant predicate ``True``."""
+
+    def holds(self, state: Any, env: Mapping[str, Any]) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalsePredicate(Predicate):
+    """The constant predicate ``False``."""
+
+    def holds(self, state: Any, env: Mapping[str, Any]) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Prop(Predicate):
+    """A boolean state variable used directly as a proposition."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxConstructionError("proposition name must be non-empty")
+
+    def holds(self, state: Any, env: Mapping[str, Any]) -> bool:
+        try:
+            return bool(state[self.name])
+        except KeyError as exc:
+            raise UnknownStateVariableError(self.name) from exc
+
+    def state_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_CMP_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Cmp(Predicate):
+    """A comparison between two state expressions, e.g. ``x >= 5`` or ``x == y``."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise SyntaxConstructionError(f"unknown comparison operator: {self.op!r}")
+
+    def holds(self, state: Any, env: Mapping[str, Any]) -> bool:
+        lhs = self.left.evaluate(state, env)
+        rhs = self.right.evaluate(state, env)
+        try:
+            return bool(_CMP_OPS[self.op](lhs, rhs))
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot compare {lhs!r} {self.op} {rhs!r}: {exc}"
+            ) from exc
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        return self.left.free_logical_vars() | self.right.free_logical_vars()
+
+    def state_vars(self) -> FrozenSet[str]:
+        return self.left.state_vars() | self.right.state_vars()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+# ---------------------------------------------------------------------------
+# Operation predicates (Chapter 2.2)
+# ---------------------------------------------------------------------------
+
+
+class OpPhase:
+    """Phase names of an abstract operation's lifecycle within a state."""
+
+    IDLE = "idle"
+    AT = "at"
+    IN = "in"
+    AFTER = "after"
+
+    ALL = (IDLE, AT, IN, AFTER)
+
+
+_NO_OPERATIONS = object()
+
+
+def _operation_record(state: Any, op_name: str) -> Any:
+    """Return the operation record for ``op_name`` from a state.
+
+    The state protocol: a state exposes ``operations`` (a mapping from
+    operation name to a record mapping with keys ``phase`` and ``args``), or
+    it stores the phase under the plain key ``<phase>_<op>`` for boolean-only
+    encodings.  :mod:`repro.semantics.state` provides the canonical state
+    class implementing the former.  An operation absent from a state that
+    *does* carry an ``operations`` mapping is idle (``None`` is returned);
+    :data:`_NO_OPERATIONS` signals that the state uses the boolean encoding.
+    """
+    operations = getattr(state, "operations", None)
+    if operations is None:
+        return _NO_OPERATIONS
+    return operations.get(op_name)
+
+
+def _args_match(
+    expected: Sequence[Expr],
+    actual: Sequence[Any],
+    state: Any,
+    env: Mapping[str, Any],
+) -> bool:
+    if len(expected) != len(actual):
+        return False
+    for expr, value in zip(expected, actual):
+        if expr.evaluate(state, env) != value:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class _OpPredicateBase(Predicate):
+    """Common implementation for ``atO``, ``inO`` and ``afterO`` predicates.
+
+    With no argument expressions the predicate only constrains the phase; with
+    arguments it additionally requires the operation's recorded argument tuple
+    to equal the evaluated argument expressions (the overloading described in
+    Chapter 2.2).
+    """
+
+    operation: str
+    args: Tuple[Expr, ...] = field(default_factory=tuple)
+
+    PHASE = ""
+    #: Phases the predicate accepts; ``inO`` holds from ``atO`` up to (not
+    #: including) ``afterO``, so it accepts both the ``at`` and ``in`` phases.
+    PHASES: ClassVar[Tuple[str, ...]] = ()
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise SyntaxConstructionError("operation name must be non-empty")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def holds(self, state: Any, env: Mapping[str, Any]) -> bool:
+        record = _operation_record(state, self.operation)
+        if record is None:
+            # The state tracks operations but this one is idle.
+            return False
+        if record is _NO_OPERATIONS:
+            # Fall back to a boolean encoding "<phase>_<op>" for simple states.
+            phase_ok = False
+            for phase in self.PHASES:
+                key = f"{phase}_{self.operation}"
+                try:
+                    phase_ok = phase_ok or bool(state[key])
+                except (KeyError, TypeError) as exc:
+                    raise UnknownOperationError(self.operation) from exc
+            if not phase_ok:
+                return False
+            if not self.args:
+                return True
+            try:
+                actual = state[f"args_{self.operation}"]
+            except (KeyError, TypeError):
+                return False
+            return _args_match(self.args, actual, state, env)
+        if record.get("phase") not in self.PHASES:
+            return False
+        if not self.args:
+            return True
+        return _args_match(self.args, record.get("args", ()), state, env)
+
+    def free_logical_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.free_logical_vars()
+        return out
+
+    def state_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.state_vars()
+        return out
+
+    def __str__(self) -> str:
+        if self.args:
+            return f"{self.PHASE} {self.operation}({', '.join(map(str, self.args))})"
+        return f"{self.PHASE} {self.operation}"
+
+
+@dataclass(frozen=True)
+class OpAt(_OpPredicateBase):
+    """``atO(args...)`` — control is at the entry point of operation ``O``."""
+
+    PHASE = OpPhase.AT
+    PHASES = (OpPhase.AT,)
+
+
+@dataclass(frozen=True)
+class OpIn(_OpPredicateBase):
+    """``inO(args...)`` — control is within operation ``O``.
+
+    Chapter 2.2: axioms 1 and 2 define ``inO`` to be true exactly from
+    ``atO`` to the state immediately preceding ``afterO``, so the predicate
+    holds in both the ``at`` and ``in`` lifecycle phases.
+    """
+
+    PHASE = OpPhase.IN
+    PHASES = (OpPhase.AT, OpPhase.IN)
+
+
+@dataclass(frozen=True)
+class OpAfter(_OpPredicateBase):
+    """``afterO(args...)`` — control is immediately after operation ``O``."""
+
+    PHASE = OpPhase.AFTER
+    PHASES = (OpPhase.AFTER,)
+
+
+@dataclass(frozen=True)
+class StartPredicate(Predicate):
+    """The distinguished ``start`` predicate used to interpret Init clauses.
+
+    Chapter 3: every formula in an ``Init`` clause is interpreted as an axiom
+    ``start ⊃ α`` where ``start`` holds exactly in the first state of the
+    computation.  Trace evaluation marks the first state with the boolean
+    state variable ``__start__``; traces built by :class:`repro.semantics.trace.Trace`
+    do this automatically.
+    """
+
+    def holds(self, state: Any, env: Mapping[str, Any]) -> bool:
+        try:
+            return bool(state["__start__"])
+        except (KeyError, TypeError):
+            return False
+
+    def __str__(self) -> str:
+        return "start"

@@ -1,0 +1,41 @@
+"""Discrete-event simulators for the paper's case studies (Chapters 5-8)."""
+
+from .simulator import OperationDriver, TraceBuilder
+from .queues import (
+    inventing_queue_trace,
+    reliable_queue_trace,
+    reordering_queue_trace,
+    stack_trace,
+    unreliable_misordering_trace,
+    unreliable_queue_trace,
+)
+from .selftimed import (
+    arbiter_faulty_trace,
+    arbiter_trace,
+    request_ack_faulty_trace,
+    request_ack_trace,
+)
+from .ab_protocol import ABProtocolConfig, ab_protocol_faulty_trace, ab_protocol_trace
+from .mutex import cs_name, flag_name, mutex_faulty_trace, mutex_trace
+
+__all__ = [
+    "OperationDriver",
+    "TraceBuilder",
+    "inventing_queue_trace",
+    "reliable_queue_trace",
+    "reordering_queue_trace",
+    "stack_trace",
+    "unreliable_misordering_trace",
+    "unreliable_queue_trace",
+    "arbiter_faulty_trace",
+    "arbiter_trace",
+    "request_ack_faulty_trace",
+    "request_ack_trace",
+    "ABProtocolConfig",
+    "ab_protocol_faulty_trace",
+    "ab_protocol_trace",
+    "cs_name",
+    "flag_name",
+    "mutex_faulty_trace",
+    "mutex_trace",
+]

@@ -1,0 +1,171 @@
+"""The Alternating Bit protocol over an unreliable medium (Chapter 7).
+
+The simulation mirrors Figure 7-2: a Sender entity (input queue + Sender
+process) and a Receiver entity (Receiver process + output queue) communicate
+through two lossy channels (packets one way, acknowledgments the other).
+Operations recorded in the trace, with their parameters, follow §7.3:
+
+* ``Send(m)`` / ``Rec(m)`` — the user-visible service;
+* ``Dq(m)`` — the Sender obtaining the next message from its queue;
+* ``Ts(m, v)`` / ``Rr(m, v)`` — packet transmission / reception;
+* ``Tr(m, v)`` / ``Rs(m, v)`` — acknowledgment transmission / reception;
+* ``Enq(m)`` — the Receiver delivering a message into its output queue.
+
+The state variables ``exp_s`` and ``exp_r`` are the sender's and receiver's
+expected sequence numbers (the paper's ``exp`` components, one per process).
+Packet and acknowledgment losses are driven by a seeded RNG; retransmission
+continues until the acknowledgment with the current sequence number arrives.
+
+A faulty sender variant that does not alternate sequence numbers is provided
+for the falsification half of experiment E4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..semantics.trace import Trace
+from .simulator import OperationDriver, TraceBuilder
+
+__all__ = ["ABProtocolConfig", "ab_protocol_trace", "ab_protocol_faulty_trace"]
+
+
+@dataclass(frozen=True)
+class ABProtocolConfig:
+    """Parameters of the simulated run."""
+
+    messages: Tuple[str, ...] = ("m1", "m2", "m3")
+    packet_loss: float = 0.3
+    ack_loss: float = 0.3
+    seed: int = 0
+    max_retransmissions: int = 6
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+def _flip(bit: int) -> int:
+    return 1 - bit
+
+
+def ab_protocol_trace(config: Optional[ABProtocolConfig] = None) -> Trace:
+    """Simulate a correct AB-protocol run and return its trace."""
+    cfg = config or ABProtocolConfig()
+    rng = cfg.rng()
+    builder = TraceBuilder({"exp_s": 0, "exp_r": 0})
+    send = OperationDriver(builder, "Send")
+    dq = OperationDriver(builder, "Dq")
+    ts = OperationDriver(builder, "Ts")
+    rr = OperationDriver(builder, "Rr")
+    tr = OperationDriver(builder, "Tr")
+    rs = OperationDriver(builder, "Rs")
+    enq = OperationDriver(builder, "Enq")
+    rec = OperationDriver(builder, "Rec")
+
+    builder.commit()  # initial state: nothing in flight, exp = 0 on both sides
+
+    sender_queue: List[str] = []
+    receiver_queue: List[str] = []
+
+    # The sending user hands every message to the service up front.
+    for message in cfg.messages:
+        send.call(message, busy_steps=1, rng=rng)
+        sender_queue.append(message)
+
+    expected = 0          # receiver's next expected sequence number
+    for index, message in enumerate(cfg.messages):
+        # Sender dequeues the next message; successive messages use
+        # alternating sequence numbers and exp is defined at Dq time.
+        sequence = index % 2
+        builder.set(exp_s=sequence)
+        sender_queue.pop(0)
+        dq.begin(message)
+        dq.execute(message, steps=1)
+        dq.finish((message,), (message,))
+        dq.reset()
+
+        acknowledged = False
+        attempts = 0
+        while not acknowledged:
+            attempts += 1
+            forced_delivery = attempts >= cfg.max_retransmissions
+            # Transmit the packet <message, sequence>.
+            ts.call(message, sequence, busy_steps=1, rng=rng)
+            packet_arrives = forced_delivery or rng.random() >= cfg.packet_loss
+            if packet_arrives:
+                rr.call(message, sequence, busy_steps=1, rng=rng)
+                if sequence == expected:
+                    # New packet: deliver the message, then flip expectation.
+                    builder.set(exp_r=sequence)
+                    enq.call(message, busy_steps=1, rng=rng)
+                    receiver_queue.append(message)
+                    expected = _flip(expected)
+                # Acknowledge the last received packet (its sequence number).
+                tr.call(message, sequence, busy_steps=1, rng=rng)
+                ack_arrives = forced_delivery or rng.random() >= cfg.ack_loss
+                if ack_arrives:
+                    rs.call(message, sequence, busy_steps=1, rng=rng)
+                    acknowledged = True
+            if attempts > 2 * cfg.max_retransmissions:
+                raise SimulationError("AB protocol simulation failed to make progress")
+
+    # The receiving user drains its queue.
+    for message in list(receiver_queue):
+        receiver_queue.pop(0)
+        rec.call(message, results=(message,), busy_steps=1, rng=rng)
+
+    builder.commit()
+    return builder.build()
+
+
+def ab_protocol_faulty_trace(config: Optional[ABProtocolConfig] = None,
+                             fault: str = "no_alternation") -> Trace:
+    """A protocol run violating the Chapter 7 sender requirements.
+
+    * ``"no_alternation"`` — the sender transmits every packet with sequence
+      number 0 (violates alternation; duplicate deliveries follow);
+    * ``"transmit_during_dq"`` — a packet transmission overlaps a dequeue
+      (violates sender axiom A3);
+    * ``"skip_ack_wait"`` — the sender dequeues the next message without
+      having received any acknowledgment (violates sender axiom A1).
+    """
+    cfg = config or ABProtocolConfig(packet_loss=0.0, ack_loss=0.0)
+    rng = cfg.rng()
+    builder = TraceBuilder({"exp_s": 0, "exp_r": 0})
+    dq = OperationDriver(builder, "Dq")
+    ts = OperationDriver(builder, "Ts")
+    rr = OperationDriver(builder, "Rr")
+    tr = OperationDriver(builder, "Tr")
+    rs = OperationDriver(builder, "Rs")
+    enq = OperationDriver(builder, "Enq")
+    builder.commit()
+
+    expected = 0
+    for index, message in enumerate(cfg.messages):
+        sequence = 0 if fault == "no_alternation" else (index % 2)
+        builder.set(exp_s=sequence)
+        if fault == "transmit_during_dq" and index == 1:
+            # Start the dequeue, transmit while still inside it.
+            dq.begin(message)
+            builder.set_operation("Dq", "in", (message,))
+            builder.set_operation("Ts", "in", (message, sequence))
+            builder.commit()
+            builder.set_operation("Ts", "idle")
+            dq.finish((message,), (message,))
+            dq.reset()
+        else:
+            dq.call(message, results=(message,), busy_steps=1, rng=rng)
+        ts.call(message, sequence, busy_steps=1, rng=rng)
+        rr.call(message, sequence, busy_steps=1, rng=rng)
+        if sequence == expected:
+            builder.set(exp_r=sequence)
+            enq.call(message, busy_steps=1, rng=rng)
+            expected = _flip(expected)
+        tr.call(message, sequence, busy_steps=1, rng=rng)
+        if fault != "skip_ack_wait":
+            rs.call(message, sequence, busy_steps=1, rng=rng)
+    builder.commit()
+    return builder.build()

@@ -1,0 +1,109 @@
+"""Distributed mutual exclusion over a shared flag array (Chapter 8).
+
+Each process ``i`` owns a shared boolean flag ``x(i)`` (its announced
+intention) and a local indicator ``cs(i)`` (it is in the critical section).
+The Figure 8-1 discipline: before entering, a process sets its flag, then
+observes every other flag to be false at some moment during the interval from
+its setting of ``x(i)`` to its entry, keeps ``x(i)`` true throughout the
+critical section, and clears it on exit.
+
+:func:`mutex_trace` simulates ``n`` processes performing that discipline
+(one entry at a time is *attempted*, but flag-setting and waiting phases of
+different processes interleave).  :func:`mutex_faulty_trace` simulates a
+process that enters without checking the other flags, producing overlapping
+critical sections — the violation the Chapter 8 theorem excludes.
+
+State-variable naming: ``x1, x2, ...`` and ``cs1, cs2, ...``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..semantics.trace import Trace
+from .simulator import TraceBuilder
+
+__all__ = ["mutex_trace", "mutex_faulty_trace", "flag_name", "cs_name"]
+
+
+def flag_name(process: int) -> str:
+    """The shared flag ``x(i)``."""
+    return f"x{process}"
+
+
+def cs_name(process: int) -> str:
+    """The critical-section indicator ``cs(i)``."""
+    return f"cs{process}"
+
+
+def _initial_builder(processes: int) -> TraceBuilder:
+    values = {}
+    for i in range(1, processes + 1):
+        values[flag_name(i)] = False
+        values[cs_name(i)] = False
+    return TraceBuilder(values)
+
+
+def mutex_trace(
+    processes: int = 3,
+    entries: int = 4,
+    seed: int = 0,
+    contention: bool = True,
+) -> Trace:
+    """Simulate correct mutual exclusion.
+
+    ``entries`` critical-section entries are performed by randomly chosen
+    processes.  With ``contention`` other processes may raise and lower their
+    flags (abandoning their claim) while one process holds the section, which
+    exercises the "some moment with ``x(j)`` false" part of axiom A1 rather
+    than the trivial all-quiet case.
+    """
+    rng = random.Random(seed)
+    builder = _initial_builder(processes)
+    builder.commit()
+    for _ in range(entries):
+        winner = rng.randint(1, processes)
+        # The winner announces its intention while every other flag is down.
+        builder.set(**{flag_name(winner): True}).commit()
+        # Possibly a competitor briefly raises its flag and abandons it
+        # before the winner enters (the winner observes it false afterwards).
+        if contention and processes > 1 and rng.random() < 0.5:
+            competitor = winner
+            while competitor == winner:
+                competitor = rng.randint(1, processes)
+            builder.set(**{flag_name(competitor): True}).commit()
+            builder.set(**{flag_name(competitor): False}).commit()
+        else:
+            builder.commit()
+        # Enter, dwell, and leave the critical section.
+        builder.set(**{cs_name(winner): True}).commit()
+        for _ in range(rng.randint(1, 2)):
+            builder.commit()
+        builder.set(**{cs_name(winner): False}).commit()
+        builder.set(**{flag_name(winner): False}).commit()
+    builder.commit()
+    return builder.build()
+
+
+def mutex_faulty_trace(processes: int = 2, seed: int = 0) -> Trace:
+    """A run where a process barges in without observing the other flags.
+
+    Process 2 enters its critical section while process 1 both holds its flag
+    and is inside the section — exactly the overlap the Chapter 8 theorem
+    forbids.
+    """
+    rng = random.Random(seed)
+    builder = _initial_builder(processes)
+    builder.commit()
+    builder.set(x1=True).commit()
+    builder.set(cs1=True).commit()
+    # Process 2 violates the protocol: flag up and straight in.
+    builder.set(x2=True).commit()
+    builder.set(cs2=True).commit()
+    builder.commit()
+    builder.set(cs2=False, x2=False).commit()
+    builder.set(cs1=False).commit()
+    builder.set(x1=False).commit()
+    builder.commit()
+    return builder.build()

@@ -1,0 +1,197 @@
+"""Queue and stack systems (Chapter 5 workloads).
+
+Three trace generators:
+
+* :func:`reliable_queue_trace` — a FIFO queue with asynchronous, possibly
+  overlapping ``Enq``/``Dq`` operations and distinct enqueued values;
+* :func:`stack_trace` — the LIFO variant obtained by exchanging the order of
+  enqueueings in the paper's queue axiom;
+* :func:`unreliable_queue_trace` — the lossy queue of Figure 5-1: individual
+  values may be lost, values may be re-enqueued (consecutively) until they
+  are dequeued, and a value enqueued persistently is eventually dequeued.
+
+Each generator also has a *faulty* variant used by the falsification
+experiments (a reordering queue violating FIFO, a queue that invents values,
+and a lossy queue that delivers values out of order).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..semantics.trace import Trace
+from .simulator import OperationDriver, TraceBuilder
+
+__all__ = [
+    "reliable_queue_trace",
+    "stack_trace",
+    "reordering_queue_trace",
+    "inventing_queue_trace",
+    "unreliable_queue_trace",
+    "unreliable_misordering_trace",
+]
+
+
+def _drivers(builder: TraceBuilder) -> tuple:
+    return OperationDriver(builder, "Enq"), OperationDriver(builder, "Dq")
+
+
+def _run_discipline(
+    values: Sequence[int],
+    seed: int,
+    discipline: str,
+    busy_steps: int = 2,
+) -> Trace:
+    """Simulate enqueue/dequeue traffic with the given service discipline."""
+    rng = random.Random(seed)
+    builder = TraceBuilder({"queue_len": 0})
+    enq, dq = _drivers(builder)
+    builder.commit()  # initial quiescent state
+
+    pending: List[int] = []
+    to_enqueue = list(values)
+    delivered: List[int] = []
+
+    while to_enqueue or pending:
+        can_dequeue = bool(pending)
+        do_dequeue = can_dequeue and (not to_enqueue or rng.random() < 0.5)
+        if do_dequeue:
+            if discipline == "fifo":
+                value = pending.pop(0)
+            elif discipline == "lifo":
+                value = pending.pop()
+            elif discipline == "reorder":
+                value = pending.pop(rng.randrange(len(pending)))
+            elif discipline == "invent":
+                value = pending.pop(0) if rng.random() < 0.7 else 10_000 + rng.randrange(100)
+                if value >= 10_000 and pending:
+                    pending.pop(0)
+            else:
+                raise SimulationError(f"unknown discipline {discipline!r}")
+            delivered.append(value)
+            # Dq takes no entry parameter; the dequeued value is recorded as
+            # the operation argument so the paper's ``afterDq(a)`` predicate
+            # can observe it.
+            dq.call(value, results=(value,), busy_steps=busy_steps, rng=rng)
+            builder.set(queue_len=len(pending))
+        else:
+            value = to_enqueue.pop(0)
+            pending.append(value)
+            enq.call(value, busy_steps=busy_steps, rng=rng)
+            builder.set(queue_len=len(pending))
+    builder.commit()  # final quiescent state
+    return builder.build()
+
+
+def _dq_call(builder: TraceBuilder, value: int, busy_steps: int, rng: random.Random) -> None:
+    driver = OperationDriver(builder, "Dq")
+    driver.begin(value)
+    driver.execute(value, steps=rng.randint(1, busy_steps))
+    driver.finish((value,), (value,))
+    driver.reset()
+
+
+def reliable_queue_trace(
+    num_values: int = 5, seed: int = 0, busy_steps: int = 2
+) -> Trace:
+    """A FIFO queue trace with distinct values ``1 .. num_values``."""
+    return _run_discipline(range(1, num_values + 1), seed, "fifo", busy_steps)
+
+
+def stack_trace(num_values: int = 5, seed: int = 0, busy_steps: int = 2) -> Trace:
+    """A LIFO (stack) trace with distinct values ``1 .. num_values``.
+
+    The paper's ``Stack.`` axiom relates every dequeued value to the context
+    of the *first* dequeue of its partner, so the generator performs one
+    push burst followed by one pop burst (the canonical stack discipline);
+    interleaving full push/pop cycles would not be distinguishable from a
+    queue by that single axiom.
+    """
+    rng = random.Random(seed)
+    builder = TraceBuilder({"queue_len": 0})
+    enq, _ = _drivers(builder)
+    builder.commit()
+    values = list(range(1, num_values + 1))
+    for value in values:
+        enq.call(value, busy_steps=busy_steps, rng=rng)
+        builder.set(queue_len=value)
+    for depth, value in enumerate(reversed(values)):
+        builder.set(queue_len=len(values) - depth - 1)
+        _dq_call(builder, value, busy_steps, rng)
+    builder.commit()
+    return builder.build()
+
+
+def reordering_queue_trace(
+    num_values: int = 5, seed: int = 0, busy_steps: int = 2
+) -> Trace:
+    """A faulty queue that serves values in arbitrary order (violates FIFO)."""
+    return _run_discipline(range(1, num_values + 1), seed, "reorder", busy_steps)
+
+
+def inventing_queue_trace(
+    num_values: int = 5, seed: int = 0, busy_steps: int = 2
+) -> Trace:
+    """A faulty queue that occasionally delivers values never enqueued."""
+    return _run_discipline(range(1, num_values + 1), seed, "invent", busy_steps)
+
+
+def unreliable_queue_trace(
+    num_values: int = 4,
+    seed: int = 0,
+    loss_probability: float = 0.4,
+    busy_steps: int = 2,
+) -> Trace:
+    """The lossy queue of Figure 5-1.
+
+    Every value is (re-)enqueued until an enqueue "sticks"; losses are decided
+    per enqueue attempt.  Repeated enqueues of a value are consecutive, losses
+    never reorder the surviving values, and the trace ends with every retained
+    value dequeued — matching clauses I1–I3 and the liveness axioms A1/A2.
+    """
+    rng = random.Random(seed)
+    builder = TraceBuilder({"queue_len": 0})
+    enq = OperationDriver(builder, "Enq")
+    builder.commit()
+
+    retained: List[int] = []
+    for value in range(1, num_values + 1):
+        # Re-enqueue until the medium keeps the value (bounded retries, then
+        # one final successful attempt so liveness holds on the finite trace).
+        attempts = 0
+        while True:
+            attempts += 1
+            enq.call(value, busy_steps=busy_steps, rng=rng)
+            kept = rng.random() >= loss_probability or attempts >= 4
+            if kept:
+                retained.append(value)
+                builder.set(queue_len=len(retained))
+                break
+    # Drain: dequeue every retained value in order.
+    for value in list(retained):
+        retained.pop(0)
+        builder.set(queue_len=len(retained))
+        _dq_call(builder, value, busy_steps, rng)
+    builder.commit()
+    return builder.build()
+
+
+def unreliable_misordering_trace(
+    num_values: int = 4, seed: int = 0, busy_steps: int = 2
+) -> Trace:
+    """A faulty lossy queue that delivers surviving values out of order."""
+    rng = random.Random(seed)
+    builder = TraceBuilder({"queue_len": 0})
+    enq = OperationDriver(builder, "Enq")
+    builder.commit()
+    retained: List[int] = []
+    for value in range(1, num_values + 1):
+        enq.call(value, busy_steps=busy_steps, rng=rng)
+        retained.append(value)
+    rng.shuffle(retained)
+    for value in retained:
+        _dq_call(builder, value, busy_steps, rng)
+    builder.commit()
+    return builder.build()

@@ -1,0 +1,176 @@
+"""Self-timed circuits: request/acknowledge protocol and arbiter (Chapter 6).
+
+Two trace generators:
+
+* :func:`request_ack_trace` — a requester/responder pair exchanging the
+  four-phase handshake ``R↑ A↑ R↓ A↓`` (Figure 6-1/6-2), repeated for a
+  configurable number of cycles with random idle padding;
+* :func:`arbiter_trace` — the arbiter of Figure 6-3/6-4 serving two user
+  modules: on a user request ``URi`` the arbiter raises the transfer request
+  ``TRi``, then the resource request ``RMR``, waits for both acknowledgments
+  ``TAi`` and ``RMA``, and only then acknowledges the user with ``UAi``;
+  mutual exclusion of the two transfers is maintained throughout.
+
+Faulty variants (early acknowledgment, dropped request, simultaneous grants)
+exercise the falsification side of experiment E3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..semantics.trace import Trace
+from .simulator import TraceBuilder
+
+__all__ = [
+    "request_ack_trace",
+    "request_ack_faulty_trace",
+    "arbiter_trace",
+    "arbiter_faulty_trace",
+]
+
+
+def _idle(builder: TraceBuilder, rng: random.Random, max_steps: int = 2) -> None:
+    for _ in range(rng.randint(0, max_steps)):
+        builder.commit()
+
+
+def request_ack_trace(cycles: int = 3, seed: int = 0) -> Trace:
+    """Correct four-phase request/acknowledge handshakes."""
+    rng = random.Random(seed)
+    builder = TraceBuilder({"R": False, "A": False})
+    builder.commit()
+    for _ in range(cycles):
+        _idle(builder, rng)
+        builder.set(R=True).commit()        # request raised (A is down)
+        _idle(builder, rng)
+        builder.set(A=True).commit()        # acknowledgment raised (R still up)
+        _idle(builder, rng)
+        builder.set(R=False).commit()       # request lowered (A still up)
+        _idle(builder, rng)
+        builder.set(A=False).commit()       # acknowledgment lowered
+    builder.commit()
+    return builder.build()
+
+
+def request_ack_faulty_trace(cycles: int = 3, seed: int = 0, fault: str = "early_ack_drop") -> Trace:
+    """Handshakes violating the Figure 6-2 axioms.
+
+    ``fault`` selects the violation:
+
+    * ``"early_ack_drop"`` — the responder lowers ``A`` while ``R`` is still
+      up (violates A2);
+    * ``"request_drop"`` — the requester lowers ``R`` before ``A`` rises
+      (violates A1);
+    * ``"no_ack_lower"`` — ``A`` is never lowered after the request ends
+      (violates A3).
+    """
+    rng = random.Random(seed)
+    builder = TraceBuilder({"R": False, "A": False})
+    builder.commit()
+    for index in range(cycles):
+        # The Figure 6-2 axioms, stated verbatim, constrain the first
+        # handshake (interval formulas speak about the next time the interval
+        # is constructed), so the violation is injected into the first cycle.
+        faulty_cycle = index == 0
+        builder.set(R=True).commit()
+        if fault == "request_drop" and faulty_cycle:
+            builder.set(R=False).commit()
+            builder.set(A=True).commit()
+            builder.set(A=False).commit()
+            continue
+        builder.set(A=True).commit()
+        if fault == "early_ack_drop" and faulty_cycle:
+            builder.set(A=False).commit()   # A drops while R is still up
+            builder.set(R=False).commit()
+            continue
+        builder.set(R=False).commit()
+        if fault == "no_ack_lower" and faulty_cycle:
+            builder.commit()
+            builder.commit()
+            break
+        builder.set(A=False).commit()
+        _idle(builder, rng)
+    builder.commit()
+    return builder.build()
+
+
+_ARBITER_SIGNALS = [
+    "UR1", "UR2", "UA1", "UA2",
+    "TR1", "TR2", "TA1", "TA2",
+    "RMR", "RMA",
+]
+
+
+def _arbiter_builder() -> TraceBuilder:
+    return TraceBuilder({name: False for name in _ARBITER_SIGNALS})
+
+
+def _serve_user(builder: TraceBuilder, rng: random.Random, user: int,
+                early_user_ack: bool = False) -> None:
+    """One complete arbitration cycle for user ``user`` (1 or 2)."""
+    ur, ua, tr, ta = f"UR{user}", f"UA{user}", f"TR{user}", f"TA{user}"
+    builder.set(**{ur: True}).commit()          # user raises its request
+    _idle(builder, rng, 1)
+    builder.set(**{tr: True}).commit()          # arbiter requests the transfer module
+    _idle(builder, rng, 1)
+    if early_user_ack:
+        builder.set(**{ua: True}).commit()      # FAULT: ack before TA/RMA
+    builder.set(RMR=True).commit()              # then requests the resource
+    _idle(builder, rng, 1)
+    builder.set(**{ta: True}).commit()          # transfer module acknowledges
+    _idle(builder, rng, 1)
+    builder.set(RMA=True).commit()              # resource acknowledges
+    if not early_user_ack:
+        builder.set(**{ua: True}).commit()      # arbiter acknowledges the user
+    _idle(builder, rng, 1)
+    # Release in the reverse order.
+    builder.set(**{ur: False}).commit()
+    builder.set(**{ua: False, tr: False, "RMR": False}).commit()
+    builder.set(**{ta: False, "RMA": False}).commit()
+    _idle(builder, rng, 1)
+
+
+def arbiter_trace(requests: Optional[List[int]] = None, seed: int = 0) -> Trace:
+    """A correct arbiter serving a sequence of user requests (default 1,2,1)."""
+    rng = random.Random(seed)
+    builder = _arbiter_builder()
+    builder.commit()
+    for user in requests or [1, 2, 1]:
+        _serve_user(builder, rng, user)
+    builder.commit()
+    return builder.build()
+
+
+def arbiter_faulty_trace(
+    requests: Optional[List[int]] = None, seed: int = 0, fault: str = "early_user_ack"
+) -> Trace:
+    """An arbiter violating Figure 6-4.
+
+    * ``"early_user_ack"`` — ``UAi`` is raised before both ``TAi`` and
+      ``RMA`` (violates A1's ``[]~UAi``);
+    * ``"simultaneous_grants"`` — both transfer requests are up at once
+      (violates A2).
+    """
+    rng = random.Random(seed)
+    builder = _arbiter_builder()
+    builder.commit()
+    users = requests or [1, 2]
+    if fault == "early_user_ack":
+        for index, user in enumerate(users):
+            _serve_user(builder, rng, user, early_user_ack=(index == 0))
+    elif fault == "simultaneous_grants":
+        builder.set(UR1=True, UR2=True).commit()
+        builder.set(TR1=True, TR2=True).commit()      # both transfers at once
+        builder.set(RMR=True).commit()
+        builder.set(TA1=True, TA2=True, RMA=True).commit()
+        builder.set(UA1=True, UA2=True).commit()
+        builder.set(UR1=False, UR2=False).commit()
+        builder.set(UA1=False, UA2=False, TR1=False, TR2=False, RMR=False).commit()
+        builder.set(TA1=False, TA2=False, RMA=False).commit()
+    else:
+        for user in users:
+            _serve_user(builder, rng, user)
+    builder.commit()
+    return builder.build()

@@ -1,0 +1,135 @@
+"""A small discrete-event simulation kernel producing interval-logic traces.
+
+The paper's case studies (queues, self-timed arbiter, Alternating Bit
+protocol, distributed mutual exclusion) are specified purely by their
+externally visible behaviour.  To *exercise* those specifications the
+reproduction simulates each system and checks the produced traces against the
+specification with the Chapter 3 evaluator.
+
+The kernel is deliberately simple: a :class:`TraceBuilder` accumulates
+snapshots of state variables and operation lifecycle records; system modules
+drive it step by step.  Helpers cover the common operation-lifecycle pattern
+(``at`` → ``in`` → ``after`` → idle) so that the Chapter 2.2 axioms hold by
+construction for correctly-built systems.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..semantics.state import OperationRecord, State
+from ..semantics.trace import Trace
+from ..syntax.terms import OpPhase
+
+__all__ = ["TraceBuilder", "OperationDriver"]
+
+
+class TraceBuilder:
+    """Accumulates states for a trace.
+
+    Variables persist between snapshots until changed; operation records are
+    also persistent (an operation stays in its phase until the driver moves
+    it).  ``commit`` captures the current configuration as the next state.
+    """
+
+    def __init__(self, variables: Optional[Dict[str, Any]] = None) -> None:
+        self._variables: Dict[str, Any] = dict(variables or {})
+        self._operations: Dict[str, OperationRecord] = {}
+        self._states: List[State] = []
+
+    # -- configuration updates -----------------------------------------------------
+
+    def set(self, **values: Any) -> "TraceBuilder":
+        """Update state variables (visible from the next commit onward)."""
+        self._variables.update(values)
+        return self
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._variables.get(name, default)
+
+    def set_operation(
+        self,
+        name: str,
+        phase: str,
+        args: Sequence[Any] = (),
+        results: Sequence[Any] = (),
+    ) -> "TraceBuilder":
+        """Move an operation to a lifecycle phase."""
+        if phase not in OpPhase.ALL:
+            raise SimulationError(f"unknown phase {phase!r}")
+        if phase == OpPhase.IDLE:
+            self._operations.pop(name, None)
+        else:
+            self._operations[name] = OperationRecord(phase, tuple(args), tuple(results))
+        return self
+
+    def operation_phase(self, name: str) -> str:
+        record = self._operations.get(name)
+        return record.phase if record is not None else OpPhase.IDLE
+
+    # -- snapshots --------------------------------------------------------------------
+
+    def commit(self) -> "TraceBuilder":
+        """Capture the current configuration as the next state of the trace."""
+        self._states.append(State(dict(self._variables), dict(self._operations)))
+        return self
+
+    def steps(self) -> int:
+        return len(self._states)
+
+    def build(self, loop_start: Optional[int] = None) -> Trace:
+        if not self._states:
+            raise SimulationError("no states committed; call commit() at least once")
+        return Trace(list(self._states), loop_start=loop_start)
+
+
+class OperationDriver:
+    """Drives one abstract operation through its lifecycle on a builder.
+
+    ``call`` runs the whole ``at → in → after → idle`` cycle, committing one
+    state per phase (plus optional extra ``in`` states), which guarantees the
+    lifecycle axioms of Chapter 2.2 on the produced trace.
+    """
+
+    def __init__(self, builder: TraceBuilder, name: str) -> None:
+        self._builder = builder
+        self.name = name
+
+    def begin(self, *args: Any) -> None:
+        """Enter the operation (``at`` phase) and commit."""
+        if self._builder.operation_phase(self.name) != OpPhase.IDLE:
+            raise SimulationError(f"operation {self.name} is already active")
+        self._builder.set_operation(self.name, OpPhase.AT, args)
+        self._builder.commit()
+
+    def execute(self, *args: Any, steps: int = 1) -> None:
+        """Spend ``steps`` states within the operation (``in`` phase)."""
+        for _ in range(max(1, steps)):
+            self._builder.set_operation(self.name, OpPhase.IN, args)
+            self._builder.commit()
+
+    def finish(self, args: Sequence[Any] = (), results: Sequence[Any] = ()) -> None:
+        """Complete the operation (``after`` phase) and commit."""
+        self._builder.set_operation(self.name, OpPhase.AFTER, args, results)
+        self._builder.commit()
+
+    def reset(self) -> None:
+        """Return the operation to idle (no commit of its own)."""
+        self._builder.set_operation(self.name, OpPhase.IDLE)
+
+    def call(
+        self,
+        *args: Any,
+        results: Sequence[Any] = (),
+        busy_steps: int = 1,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Run a full operation instance."""
+        if rng is not None:
+            busy_steps = rng.randint(1, max(1, busy_steps))
+        self.begin(*args)
+        self.execute(*args, steps=busy_steps)
+        self.finish(args, results)
+        self.reset()

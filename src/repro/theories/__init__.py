@@ -1,0 +1,37 @@
+"""Specialized theory solvers combined with temporal logic (Appendix B)."""
+
+from .base import Literal, Theory
+from .combination import CombinedTheory, default_combination
+from .difference import (
+    ZERO_VARIABLE,
+    DifferenceConstraint,
+    DifferenceTheory,
+    difference_atom,
+)
+from .equality import (
+    EqualityAtomPayload,
+    EqualityTheory,
+    FunctionTerm,
+    equality_atom,
+)
+from .linear import LinearArithmeticTheory, LinearConstraint, linear_atom
+from .propositional import PropositionalTheory
+
+__all__ = [
+    "Literal",
+    "Theory",
+    "CombinedTheory",
+    "default_combination",
+    "ZERO_VARIABLE",
+    "DifferenceConstraint",
+    "DifferenceTheory",
+    "difference_atom",
+    "EqualityAtomPayload",
+    "EqualityTheory",
+    "FunctionTerm",
+    "equality_atom",
+    "LinearArithmeticTheory",
+    "LinearConstraint",
+    "linear_atom",
+    "PropositionalTheory",
+]

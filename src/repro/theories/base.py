@@ -1,0 +1,70 @@
+"""The specialized-theory oracle interface used by Algorithms A and B.
+
+Appendix B treats the specialized theory ``T`` as a decision procedure for
+conjunctions of literals (Algorithm A filters tableau edges through it) and,
+for Algorithm B, as a validity oracle for quantified Boolean combinations of
+atoms.  A theory here implements:
+
+* :meth:`Theory.is_satisfiable` — satisfiability of a conjunction of
+  (possibly negated) :class:`repro.ltl.syntax.TheoryAtom` literals;
+* :meth:`Theory.is_valid_clauses` — validity of a conjunction of clauses
+  (a CNF) of such literals, with every variable implicitly universally
+  quantified; the default implementation reduces to
+  :meth:`is_satisfiable` by negating clause selections, which is adequate
+  for the small conditions Algorithm B produces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import TheoryError
+from ..ltl.syntax import TheoryAtom
+
+__all__ = ["Literal", "Theory"]
+
+
+#: A theory literal: the atom and whether it is negated.
+Literal = Tuple[TheoryAtom, bool]
+
+
+class Theory:
+    """Base class of specialized theories."""
+
+    name = "abstract"
+
+    def is_satisfiable(self, literals: Sequence[Literal]) -> bool:
+        """Is the conjunction of ``literals`` satisfiable in the theory?"""
+        raise NotImplementedError
+
+    def is_valid_literal(self, literal: Literal) -> bool:
+        """Is a single literal valid (true under every interpretation)?"""
+        atom, negated = literal
+        return not self.is_satisfiable([(atom, not negated)])
+
+    def is_valid_clauses(self, clauses: Sequence[Sequence[Literal]]) -> bool:
+        """Is the conjunction of disjunctive ``clauses`` valid in the theory?
+
+        A conjunction is valid iff every conjunct is, and a clause
+        ``\\/_k l_k`` is valid iff the conjunction of the negated literals
+        ``/\\_k ~l_k`` is unsatisfiable — so validity reduces to one
+        satisfiability query per clause.
+        """
+        if not clauses:
+            return True
+        for clause in clauses:
+            if not clause:
+                return False
+            negated = [(atom, not neg) for atom, neg in clause]
+            if self.is_satisfiable(negated):
+                return False
+        return True
+
+    def validate_atom(self, atom: TheoryAtom) -> None:
+        """Hook: raise :class:`TheoryError` when an atom is not interpretable."""
+        if not isinstance(atom, TheoryAtom):
+            raise TheoryError(f"not a theory atom: {atom!r}")
+
+    def __str__(self) -> str:
+        return f"Theory({self.name})"

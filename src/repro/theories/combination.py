@@ -1,0 +1,152 @@
+"""Combination of specialized theories (Nelson–Oppen style cooperation).
+
+Appendix B points at the cooperating decision procedures of Nelson/Oppen and
+Shostak as the intended source of specialized theories.  This module combines
+several :class:`repro.theories.base.Theory` instances:
+
+* literals are routed to member theories by the type of their constraint
+  payload;
+* the members then cooperate by exchanging entailed equalities between the
+  variables they share — each round, every theory is asked (via entailment
+  checks built from its own satisfiability oracle) which shared-variable
+  equalities follow from its slice plus the equalities learned so far, and
+  those are propagated to all members;
+* the conjunction is satisfiable when every member remains satisfiable at the
+  fixpoint.
+
+The propagation is the deterministic core of Nelson–Oppen; the case-splitting
+needed for non-convex theories (e.g. integer arithmetic) is not implemented
+and the limitation is documented here — none of the paper's examples require
+it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from ..errors import TheoryError
+from ..ltl.syntax import TheoryAtom
+from .base import Literal, Theory
+from .equality import EqualityAtomPayload, EqualityTheory, equality_atom
+from .linear import LinearArithmeticTheory, LinearConstraint, linear_atom
+from .difference import DifferenceConstraint, DifferenceTheory, difference_atom
+from .propositional import PropositionalTheory
+
+__all__ = ["CombinedTheory", "default_combination"]
+
+
+class CombinedTheory(Theory):
+    """Routes literals to member theories and propagates shared equalities."""
+
+    name = "combined"
+
+    def __init__(self, members: Sequence[Theory]) -> None:
+        if not members:
+            raise TheoryError("a combined theory needs at least one member")
+        self._members = list(members)
+
+    # -- routing -------------------------------------------------------------------
+
+    @staticmethod
+    def _payload_kind(atom: TheoryAtom) -> str:
+        payload = atom.constraint
+        if isinstance(payload, LinearConstraint):
+            return "linear"
+        if isinstance(payload, DifferenceConstraint):
+            return "difference"
+        if isinstance(payload, EqualityAtomPayload):
+            return "equality"
+        return "propositional"
+
+    def _member_for(self, kind: str) -> Optional[Theory]:
+        for member in self._members:
+            if kind == "linear" and isinstance(member, LinearArithmeticTheory):
+                return member
+            if kind == "difference" and isinstance(member, DifferenceTheory):
+                return member
+            if kind == "equality" and isinstance(member, EqualityTheory):
+                return member
+            if kind == "propositional" and isinstance(member, PropositionalTheory):
+                return member
+        return None
+
+    @staticmethod
+    def _atom_variables(atom: TheoryAtom) -> Tuple[str, ...]:
+        return tuple(atom.state_vars) + tuple(atom.rigid_vars)
+
+    @staticmethod
+    def _variable_equality(kind: str, left: str, right: str) -> Optional[Literal]:
+        """Express ``left == right`` in the vocabulary of a member theory."""
+        name = f"__eq_{left}_{right}"
+        if kind == "linear":
+            return (linear_atom(name, {left: 1, right: -1}, "==", 0), False)
+        if kind == "difference":
+            # left - right <= 0  /\  right - left <= 0 cannot be a single
+            # literal; exchange only the upper half — sound but weaker.
+            return (
+                difference_atom(name, DifferenceConstraint.make(left, right, 0)),
+                False,
+            )
+        if kind == "equality":
+            return (equality_atom(name, left, right), False)
+        return None
+
+    # -- satisfiability ----------------------------------------------------------------
+
+    def is_satisfiable(self, literals: Sequence[Literal]) -> bool:
+        slices: Dict[str, List[Literal]] = {}
+        variables_by_kind: Dict[str, Set[str]] = {}
+        for atom, negated in literals:
+            kind = self._payload_kind(atom)
+            slices.setdefault(kind, []).append((atom, negated))
+            variables_by_kind.setdefault(kind, set()).update(self._atom_variables(atom))
+
+        # Shared variables appear in at least two slices.
+        shared: Set[str] = set()
+        kinds = list(variables_by_kind)
+        for first, second in itertools.combinations(kinds, 2):
+            shared |= variables_by_kind[first] & variables_by_kind[second]
+
+        learned: Set[Tuple[str, str]] = set()
+        for _ in range(max(1, len(shared) * len(shared))):
+            # Check every slice with the learned equalities added.
+            progress = False
+            for kind, slice_literals in slices.items():
+                member = self._member_for(kind)
+                if member is None:
+                    raise TheoryError(f"no member theory handles {kind!r} atoms")
+                augmented = list(slice_literals)
+                for left, right in learned:
+                    equality = self._variable_equality(kind, left, right)
+                    if equality is not None:
+                        augmented.append(equality)
+                if not member.is_satisfiable(augmented):
+                    return False
+                # Entailment of new shared equalities from this slice.
+                for left, right in itertools.combinations(sorted(shared), 2):
+                    if (left, right) in learned:
+                        continue
+                    equality = self._variable_equality(kind, left, right)
+                    if equality is None:
+                        continue
+                    negated_equality = (equality[0], True)
+                    if not member.is_satisfiable(augmented + [negated_equality]):
+                        learned.add((left, right))
+                        progress = True
+            if not progress:
+                break
+        return True
+
+
+def default_combination() -> CombinedTheory:
+    """The stock combination: propositional + linear + difference + equality."""
+    return CombinedTheory(
+        [
+            PropositionalTheory(),
+            LinearArithmeticTheory(),
+            DifferenceTheory(),
+            EqualityTheory(),
+        ]
+    )

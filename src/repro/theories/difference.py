@@ -1,0 +1,130 @@
+"""Difference-bound arithmetic decided by negative-cycle detection.
+
+Constraints of the forms ``x - y <= c``, ``x - y < c``, ``x <= c`` and
+``x >= c`` (a special variable ``ZERO`` encodes the unary bounds) form the
+classical difference-bound fragment; a conjunction is satisfiable iff the
+constraint graph has no negative cycle (Bellman–Ford).  Strictness is carried
+symbolically so the procedure is exact over the rationals.
+
+The fragment covers a large share of the timing-style constraints appearing
+in self-timed circuit reasoning and is considerably faster than general
+Fourier–Motzkin, which is why it exists alongside
+:class:`repro.theories.linear.LinearArithmeticTheory` and is exercised by the
+scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TheoryError
+from ..ltl.syntax import TheoryAtom
+from .base import Literal, Theory
+
+__all__ = ["DifferenceConstraint", "difference_atom", "DifferenceTheory", "ZERO_VARIABLE"]
+
+
+#: Name of the implicit zero variable used to encode unary bounds.
+ZERO_VARIABLE = "__zero__"
+
+
+@dataclass(frozen=True)
+class DifferenceConstraint:
+    """``left - right <= bound`` (or ``<`` when strict)."""
+
+    left: str
+    right: str
+    bound: Fraction
+    strict: bool = False
+
+    @staticmethod
+    def make(left: str, right: str, bound: object, strict: bool = False) -> "DifferenceConstraint":
+        return DifferenceConstraint(left, right, Fraction(bound), strict)
+
+    @staticmethod
+    def upper(variable: str, bound: object, strict: bool = False) -> "DifferenceConstraint":
+        """``variable <= bound``."""
+        return DifferenceConstraint.make(variable, ZERO_VARIABLE, bound, strict)
+
+    @staticmethod
+    def lower(variable: str, bound: object, strict: bool = False) -> "DifferenceConstraint":
+        """``variable >= bound``  (encoded as ``0 - variable <= -bound``)."""
+        return DifferenceConstraint.make(ZERO_VARIABLE, variable, -Fraction(bound), strict)
+
+    def negated(self) -> "DifferenceConstraint":
+        """``not (l - r <= c)``  is  ``r - l < -c`` (and dually for strict)."""
+        return DifferenceConstraint(self.right, self.left, -self.bound, not self.strict)
+
+    def __str__(self) -> str:
+        op = "<" if self.strict else "<="
+        return f"{self.left} - {self.right} {op} {self.bound}"
+
+
+def difference_atom(
+    name: str,
+    constraint: DifferenceConstraint,
+    state_vars: Sequence[str] = (),
+    rigid_vars: Sequence[str] = (),
+) -> TheoryAtom:
+    """Wrap a difference constraint as a :class:`TheoryAtom`."""
+    if not state_vars and not rigid_vars:
+        state_vars = tuple(
+            v for v in (constraint.left, constraint.right) if v != ZERO_VARIABLE
+        )
+    return TheoryAtom(name=name, constraint=constraint,
+                      state_vars=tuple(state_vars), rigid_vars=tuple(rigid_vars))
+
+
+class DifferenceTheory(Theory):
+    """Satisfiability of difference-bound conjunctions via Bellman–Ford."""
+
+    name = "difference-bounds"
+
+    def is_satisfiable(self, literals: Sequence[Literal]) -> bool:
+        constraints: List[DifferenceConstraint] = []
+        for atom, negated in literals:
+            self.validate_atom(atom)
+            constraint = atom.constraint
+            if not isinstance(constraint, DifferenceConstraint):
+                raise TheoryError(
+                    f"atom {atom.name!r} does not carry a DifferenceConstraint"
+                )
+            constraints.append(constraint.negated() if negated else constraint)
+        return not self._has_negative_cycle(constraints)
+
+    @staticmethod
+    def _has_negative_cycle(constraints: Sequence[DifferenceConstraint]) -> bool:
+        # Edge right -> left with weight (bound, strict): left - right <= bound.
+        vertices = {ZERO_VARIABLE}
+        for c in constraints:
+            vertices.add(c.left)
+            vertices.add(c.right)
+        order = sorted(vertices)
+        # Distances are (value, strictness-count) pairs; a cycle is negative
+        # when its total weight is < 0, or == 0 with at least one strict edge.
+        distance: Dict[str, Tuple[Fraction, int]] = {v: (Fraction(0), 0) for v in order}
+        edges = [(c.right, c.left, c.bound, 1 if c.strict else 0) for c in constraints]
+
+        def better(a: Tuple[Fraction, int], b: Tuple[Fraction, int]) -> bool:
+            """Is candidate ``a`` a strictly shorter distance than ``b``?"""
+            if a[0] != b[0]:
+                return a[0] < b[0]
+            return a[1] > b[1]
+
+        for _ in range(len(order)):
+            changed = False
+            for source, target, weight, strict in edges:
+                candidate = (distance[source][0] + weight, distance[source][1] + strict)
+                if better(candidate, distance[target]):
+                    distance[target] = candidate
+                    changed = True
+            if not changed:
+                return False
+        # One more relaxation round: any improvement means a negative cycle.
+        for source, target, weight, strict in edges:
+            candidate = (distance[source][0] + weight, distance[source][1] + strict)
+            if better(candidate, distance[target]):
+                return True
+        return False

@@ -1,0 +1,150 @@
+"""Equality with uninterpreted functions, decided by congruence closure.
+
+The paper cites the Nelson–Oppen / Shostak decision procedures as the
+specialized theories one wants to combine with temporal reasoning; equality
+over uninterpreted function symbols is the canonical such theory.  A
+conjunction of equalities and disequalities between ground terms is decided
+by computing the congruence closure of the equalities and then checking that
+no disequality joins two congruent terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import TheoryError
+from ..ltl.syntax import TheoryAtom
+from .base import Literal, Theory
+
+__all__ = ["Term", "FunctionTerm", "EqualityAtomPayload", "equality_atom", "EqualityTheory"]
+
+
+Term = Union[str, "FunctionTerm"]
+
+
+@dataclass(frozen=True)
+class FunctionTerm:
+    """An application ``f(t1, ..., tn)`` of an uninterpreted function symbol."""
+
+    function: str
+    arguments: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arguments", tuple(self.arguments))
+
+    def __str__(self) -> str:
+        return f"{self.function}({', '.join(str(a) for a in self.arguments)})"
+
+
+@dataclass(frozen=True)
+class EqualityAtomPayload:
+    """``left == right`` between ground terms (negation gives disequality)."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} == {self.right}"
+
+
+def _term_variables(term: Term) -> Tuple[str, ...]:
+    if isinstance(term, str):
+        return (term,)
+    names: List[str] = []
+    for argument in term.arguments:
+        names.extend(_term_variables(argument))
+    return tuple(names)
+
+
+def equality_atom(
+    name: str,
+    left: Term,
+    right: Term,
+    state_vars: Sequence[str] = (),
+    rigid_vars: Sequence[str] = (),
+) -> TheoryAtom:
+    """Wrap an equality between ground terms as a :class:`TheoryAtom`."""
+    payload = EqualityAtomPayload(left, right)
+    if not state_vars and not rigid_vars:
+        state_vars = tuple(dict.fromkeys(_term_variables(left) + _term_variables(right)))
+    return TheoryAtom(name=name, constraint=payload,
+                      state_vars=tuple(state_vars), rigid_vars=tuple(rigid_vars))
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[Term, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        self.parent.setdefault(term, term)
+        root = term
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[term] != root:
+            self.parent[term], term = root, self.parent[term]
+        return root
+
+    def union(self, a: Term, b: Term) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+def _subterms(term: Term, accumulator: List[Term]) -> None:
+    if term not in accumulator:
+        accumulator.append(term)
+    if isinstance(term, FunctionTerm):
+        for argument in term.arguments:
+            _subterms(argument, accumulator)
+
+
+class EqualityTheory(Theory):
+    """Ground equality with uninterpreted functions (congruence closure)."""
+
+    name = "equality-uninterpreted-functions"
+
+    def is_satisfiable(self, literals: Sequence[Literal]) -> bool:
+        equalities: List[Tuple[Term, Term]] = []
+        disequalities: List[Tuple[Term, Term]] = []
+        terms: List[Term] = []
+        for atom, negated in literals:
+            self.validate_atom(atom)
+            payload = atom.constraint
+            if not isinstance(payload, EqualityAtomPayload):
+                raise TheoryError(
+                    f"atom {atom.name!r} does not carry an EqualityAtomPayload"
+                )
+            pair = (payload.left, payload.right)
+            (disequalities if negated else equalities).append(pair)
+            _subterms(payload.left, terms)
+            _subterms(payload.right, terms)
+
+        uf = _UnionFind()
+        for left, right in equalities:
+            uf.union(left, right)
+        # Congruence: repeat until no function applications get merged.
+        changed = True
+        applications = [t for t in terms if isinstance(t, FunctionTerm)]
+        while changed:
+            changed = False
+            for i, first in enumerate(applications):
+                for second in applications[i + 1:]:
+                    if first.function != second.function:
+                        continue
+                    if len(first.arguments) != len(second.arguments):
+                        continue
+                    if uf.find(first) == uf.find(second):
+                        continue
+                    if all(
+                        uf.find(a) == uf.find(b)
+                        for a, b in zip(first.arguments, second.arguments)
+                    ):
+                        uf.union(first, second)
+                        changed = True
+        for left, right in disequalities:
+            if uf.find(left) == uf.find(right):
+                return False
+        return True

@@ -1,0 +1,215 @@
+"""Linear rational arithmetic via Fourier–Motzkin elimination.
+
+Appendix B motivates theory combination with examples such as
+"Henceforth ``a >= 1`` implies eventually ``a > 0``" and the §5.1 example
+``[](x > 0) \\/ [](x < 1)``.  This module provides the arithmetic oracle:
+satisfiability of conjunctions of linear constraints over the rationals
+(adequate for the paper's integer examples, which never rely on integrality
+cuts), decided by Fourier–Motzkin variable elimination with case-splitting
+over disequalities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import TheoryError
+from ..ltl.syntax import TheoryAtom
+from .base import Literal, Theory
+
+__all__ = ["LinearConstraint", "linear_atom", "LinearArithmeticTheory"]
+
+
+_NEGATION = {"<=": ">", "<": ">=", ">=": "<", ">": "<=", "==": "!=", "!=": "=="}
+_OPS = tuple(_NEGATION)
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum(coeffs[v] * v) OP constant`` with rational coefficients."""
+
+    coefficients: Tuple[Tuple[str, Fraction], ...]
+    op: str
+    constant: Fraction
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise TheoryError(f"unknown linear operator {self.op!r}")
+
+    @staticmethod
+    def make(coefficients: Mapping[str, object], op: str, constant: object) -> "LinearConstraint":
+        coeffs = tuple(
+            sorted((name, Fraction(value)) for name, value in coefficients.items() if Fraction(value) != 0)
+        )
+        return LinearConstraint(coeffs, op, Fraction(constant))
+
+    def negated(self) -> "LinearConstraint":
+        return LinearConstraint(self.coefficients, _NEGATION[self.op], self.constant)
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coefficients)
+
+    def __str__(self) -> str:
+        if not self.coefficients:
+            lhs = "0"
+        else:
+            parts = []
+            for name, coefficient in self.coefficients:
+                if coefficient == 1:
+                    parts.append(name)
+                elif coefficient == -1:
+                    parts.append(f"-{name}")
+                else:
+                    parts.append(f"{coefficient}*{name}")
+            lhs = " + ".join(parts)
+        return f"{lhs} {self.op} {self.constant}"
+
+
+def linear_atom(
+    name: str,
+    coefficients: Mapping[str, object],
+    op: str,
+    constant: object,
+    state_vars: Sequence[str] = (),
+    rigid_vars: Sequence[str] = (),
+) -> TheoryAtom:
+    """Build a :class:`TheoryAtom` carrying a linear constraint.
+
+    When neither variable list is given, every variable defaults to being a
+    state variable (the paper's default interpretation).
+    """
+    constraint = LinearConstraint.make(coefficients, op, constant)
+    if not state_vars and not rigid_vars:
+        state_vars = constraint.variables()
+    return TheoryAtom(
+        name=name,
+        constraint=constraint,
+        state_vars=tuple(state_vars),
+        rigid_vars=tuple(rigid_vars),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fourier–Motzkin
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Row:
+    """A normalized constraint ``sum(coeffs) <= constant`` (or ``<``)."""
+
+    coefficients: Tuple[Tuple[str, Fraction], ...]
+    constant: Fraction
+    strict: bool
+
+    def coefficient(self, name: str) -> Fraction:
+        for var, value in self.coefficients:
+            if var == name:
+                return value
+        return Fraction(0)
+
+    def without(self, name: str) -> Tuple[Tuple[str, Fraction], ...]:
+        return tuple((var, value) for var, value in self.coefficients if var != name)
+
+
+def _normalize(constraint: LinearConstraint) -> List[_Row]:
+    """Convert to rows of the form ``lhs <= c`` / ``lhs < c``."""
+    coeffs = constraint.coefficients
+    constant = constraint.constant
+    negated = tuple((name, -value) for name, value in coeffs)
+    if constraint.op == "<=":
+        return [_Row(coeffs, constant, False)]
+    if constraint.op == "<":
+        return [_Row(coeffs, constant, True)]
+    if constraint.op == ">=":
+        return [_Row(negated, -constant, False)]
+    if constraint.op == ">":
+        return [_Row(negated, -constant, True)]
+    if constraint.op == "==":
+        return [_Row(coeffs, constant, False), _Row(negated, -constant, False)]
+    raise TheoryError(f"disequalities must be split before normalization: {constraint}")
+
+
+def _eliminate(rows: List[_Row], name: str) -> Optional[List[_Row]]:
+    """Eliminate ``name``; return None if a contradiction is already present."""
+    uppers: List[_Row] = []   # positive coefficient: x <= ...
+    lowers: List[_Row] = []   # negative coefficient: x >= ...
+    others: List[_Row] = []
+    for row in rows:
+        coefficient = row.coefficient(name)
+        if coefficient > 0:
+            uppers.append(row)
+        elif coefficient < 0:
+            lowers.append(row)
+        else:
+            others.append(row)
+    for upper, lower in itertools.product(uppers, lowers):
+        cu = upper.coefficient(name)
+        cl = -lower.coefficient(name)
+        combined: Dict[str, Fraction] = {}
+        for var, value in upper.without(name):
+            combined[var] = combined.get(var, Fraction(0)) + value / cu
+        for var, value in lower.without(name):
+            combined[var] = combined.get(var, Fraction(0)) + value / cl
+        constant = upper.constant / cu + lower.constant / cl
+        strict = upper.strict or lower.strict
+        coefficients = tuple(sorted((v, c) for v, c in combined.items() if c != 0))
+        others.append(_Row(coefficients, constant, strict))
+    return others
+
+
+def _rows_satisfiable(rows: List[_Row]) -> bool:
+    rows = list(rows)
+    while True:
+        # Ground contradictions.
+        remaining: List[_Row] = []
+        for row in rows:
+            if not row.coefficients:
+                if row.constant < 0 or (row.strict and row.constant == 0):
+                    return False
+            else:
+                remaining.append(row)
+        rows = remaining
+        if not rows:
+            return True
+        name = rows[0].coefficients[0][0]
+        rows = _eliminate(rows, name)
+
+
+class LinearArithmeticTheory(Theory):
+    """Conjunctions of linear constraints over the rationals."""
+
+    name = "linear-arithmetic"
+
+    def is_satisfiable(self, literals: Sequence[Literal]) -> bool:
+        constraints: List[LinearConstraint] = []
+        for atom, negated in literals:
+            self.validate_atom(atom)
+            constraint = atom.constraint
+            if not isinstance(constraint, LinearConstraint):
+                raise TheoryError(
+                    f"atom {atom.name!r} does not carry a LinearConstraint"
+                )
+            constraints.append(constraint.negated() if negated else constraint)
+        # Case-split disequalities into strict inequalities.
+        disequalities = [c for c in constraints if c.op == "!="]
+        rest = [c for c in constraints if c.op != "!="]
+        branches: Iterable[Tuple[str, ...]] = itertools.product(
+            ("<", ">"), repeat=len(disequalities)
+        )
+        for branch in branches:
+            rows: List[_Row] = []
+            for constraint in rest:
+                rows.extend(_normalize(constraint))
+            for constraint, op in zip(disequalities, branch):
+                rows.extend(
+                    _normalize(
+                        LinearConstraint(constraint.coefficients, op, constraint.constant)
+                    )
+                )
+            if _rows_satisfiable(rows):
+                return True
+        return False

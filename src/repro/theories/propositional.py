@@ -1,0 +1,32 @@
+"""The trivial propositional theory: atoms are uninterpreted.
+
+A conjunction of literals is satisfiable unless it contains an atom and its
+negation.  This is the theory implicitly used by the plain tableau method;
+it exists so Algorithm A / Algorithm B can be exercised uniformly and so the
+combination framework has a default member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..ltl.syntax import TheoryAtom
+from .base import Literal, Theory
+
+__all__ = ["PropositionalTheory"]
+
+
+class PropositionalTheory(Theory):
+    """Uninterpreted propositional atoms."""
+
+    name = "propositional"
+
+    def is_satisfiable(self, literals: Sequence[Literal]) -> bool:
+        polarity: Dict[str, bool] = {}
+        for atom, negated in literals:
+            self.validate_atom(atom)
+            value = not negated
+            if atom.name in polarity and polarity[atom.name] != value:
+                return False
+            polarity[atom.name] = value
+        return True

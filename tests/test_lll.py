@@ -1,0 +1,170 @@
+"""Tests for the Appendix C low-level language."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecisionProcedureError, TranslationError
+from repro.lll import (
+    LChoice,
+    LChop,
+    LConcur,
+    LConcurSame,
+    LExists,
+    LFalseExpr,
+    LForceFalse,
+    LForceTrue,
+    LInfloop,
+    LIterOpt,
+    LIterStar,
+    LNeg,
+    LSeq,
+    LTrueOne,
+    LTrueStar,
+    LVar,
+    Psi,
+    check_l1_restriction,
+    is_satisfiable_bounded,
+    lll_variables,
+    ltl_to_lll,
+    satisfying_interpretations,
+)
+from repro.lll.semantics import interp_and, interp_chop, interp_seq, is_consistent
+from repro.ltl.syntax import (
+    Henceforth,
+    LAnd,
+    LNot,
+    LProp,
+    Next,
+    Sometime,
+    StrongUntil,
+    TheoryAtom,
+    Until,
+)
+
+P, Q = LVar("P"), LVar("Q")
+
+
+def conj(*literals):
+    return frozenset(literals)
+
+
+class TestInterpretationOperations:
+    def test_pointwise_conjunction_extends_past_the_shorter(self):
+        left = (conj(("P", True)),)
+        right = (conj(("Q", True)), conj(("Q", False)))
+        combined = interp_and(left, right)
+        assert combined == (conj(("P", True), ("Q", True)), conj(("Q", False)))
+
+    def test_chop_overlaps_one_element(self):
+        left = (conj(("P", True)), conj(("Q", True)))
+        right = (conj(("R", True)), conj(("S", True)))
+        assert interp_chop(left, right) == (
+            conj(("P", True)),
+            conj(("Q", True), ("R", True)),
+            conj(("S", True)),
+        )
+        assert interp_seq(left, right) == left + right
+
+    def test_consistency(self):
+        assert is_consistent((conj(("P", True)), conj(("P", False))))
+        assert not is_consistent((conj(("P", True), ("P", False)),))
+
+
+class TestPsi:
+    def test_variable_and_negation(self):
+        assert Psi(P, 3) == {(conj(("P", True)),)}
+        assert Psi(LNeg("P"), 3) == {(conj(("P", False)),)}
+
+    def test_constants(self):
+        assert Psi(LTrueOne(), 3) == {(frozenset(),)}
+        assert Psi(LFalseExpr(), 3) == set()
+        assert {len(i) for i in Psi(LTrueStar(), 3)} == {1, 2, 3}
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(DecisionProcedureError):
+            Psi(P, 0)
+
+    def test_choice_and_sequence(self):
+        expr = LSeq(P, LChoice(Q, LNeg("Q")))
+        interps = Psi(expr, 4)
+        assert (conj(("P", True)), conj(("Q", True))) in interps
+        assert (conj(("P", True)), conj(("Q", False))) in interps
+
+    def test_concur_same_requires_equal_length(self):
+        expr = LConcurSame(LSeq(P, P), P)
+        assert Psi(expr, 4) == set()
+
+    def test_hiding_and_forcing(self):
+        hidden = LExists("x", LConcurSame(LVar("x"), P))
+        assert Psi(hidden, 2) == {(conj(("P", True)),)}
+        forced = LForceFalse("x", LSeq(P, LTrueOne()))
+        assert Psi(forced, 3) == {(conj(("P", True), ("x", False)), conj(("x", False)))}
+
+    def test_satisfiability_detects_contradictions(self):
+        assert not is_satisfiable_bounded(LConcurSame(P, LNeg("P")), 3)
+        assert is_satisfiable_bounded(LSeq(P, LNeg("P")), 3)
+
+    def test_appendix_c_example_iter_star(self):
+        """iter*(P T*, Q) denotes the language \\/_i P^i ; Q (§4.3)."""
+        expr = LIterStar(LChop(P, LTrueStar()), Q)
+        interps = satisfying_interpretations(expr, 4)
+        for copies in range(0, 4):
+            shape = tuple([conj(("P", True))] * copies + [conj(("Q", True))])
+            assert any(
+                len(i) == len(shape) and all(expected <= actual
+                                             for expected, actual in zip(shape, i))
+                for i in interps
+            ), f"missing P^{copies};Q"
+
+    def test_infloop_constrains_every_instant(self):
+        expr = LInfloop(LChop(P, LTrueStar()))
+        for interpretation in Psi(expr, 3):
+            assert all(("P", True) in conjunction for conjunction in interpretation)
+
+    def test_variables_and_l1_restriction(self):
+        expr = LForceFalse("x", LChop(LVar("x"), LTrueStar()))
+        assert lll_variables(expr) == frozenset({"x"})
+        assert check_l1_restriction(expr)
+        bad = LForceFalse("x", LChoice(LVar("x"), LVar("y")))
+        assert not check_l1_restriction(bad)
+
+
+class TestLTLEncoding:
+    def test_literal_encoding(self):
+        expr = ltl_to_lll(LProp("P"))
+        assert isinstance(expr, LChop)
+
+    def test_henceforth_conflicts_with_eventually_not(self):
+        formula = LAnd(Henceforth(LProp("P")), Sometime(LNot(LProp("P"))))
+        assert not is_satisfiable_bounded(ltl_to_lll(formula), 4)
+
+    def test_satisfiable_formulas_have_bounded_models(self):
+        for formula in [
+            Sometime(LProp("P")),
+            LAnd(Sometime(LProp("P")), Sometime(LNot(LProp("P")))),
+            Next(LProp("P")),
+            StrongUntil(LProp("P"), LProp("Q")),
+            Until(LProp("P"), LProp("Q")),
+        ]:
+            assert is_satisfiable_bounded(ltl_to_lll(formula), 4), str(formula)
+
+    def test_theory_atoms_rejected(self):
+        with pytest.raises(TranslationError):
+            ltl_to_lll(TheoryAtom("x>0"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.recursive(
+        st.sampled_from([LProp("P"), LProp("Q"), LNot(LProp("P"))]),
+        lambda sub: st.one_of(
+            st.tuples(sub, sub).map(lambda t: LAnd(*t)),
+            sub.map(Sometime),
+            sub.map(Next),
+        ),
+        max_leaves=4,
+    ))
+    def test_tableau_satisfiability_implies_bounded_lll_satisfiability(self, formula):
+        """Agreement in the direction bounded search can witness: if the exact
+        tableau finds the formula unsatisfiable, so must the bounded LLL."""
+        from repro.ltl import is_satisfiable
+        if not is_satisfiable(formula):
+            assert not is_satisfiable_bounded(ltl_to_lll(formula), 4)

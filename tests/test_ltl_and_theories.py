@@ -1,0 +1,385 @@
+"""Tests for the LTL substrate, the Appendix B decision procedures and the theories."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TheoryError
+from repro.ltl import (
+    AlgorithmB,
+    Henceforth,
+    LAnd,
+    LIff,
+    LImplies,
+    LNot,
+    LOr,
+    LProp,
+    Next,
+    Release,
+    Sometime,
+    StrongUntil,
+    TableauDecider,
+    Until,
+    build_graph,
+    interval_to_ltl,
+    is_in_ltl_fragment,
+    is_satisfiable,
+    is_valid,
+    ltl_holds,
+    ltl_satisfies,
+    to_nnf,
+)
+from repro.ltl.syntax import LFalse, LTrue, ltl_size
+from repro.semantics import boolean_trace
+from repro.syntax.builder import always, event, eventually, implies, occurs, prop
+from repro.theories import (
+    CombinedTheory,
+    DifferenceConstraint,
+    DifferenceTheory,
+    EqualityTheory,
+    FunctionTerm,
+    LinearArithmeticTheory,
+    PropositionalTheory,
+    default_combination,
+    difference_atom,
+    equality_atom,
+    linear_atom,
+)
+
+P, Q, R = LProp("P"), LProp("Q"), LProp("R")
+
+
+class TestNNF:
+    def test_literals_are_fixed_points(self):
+        assert to_nnf(P) == P
+        assert to_nnf(LNot(P)) == LNot(P)
+
+    def test_negations_are_pushed_inward(self):
+        formula = LNot(Henceforth(P))
+        normalized = to_nnf(formula)
+        assert isinstance(normalized, StrongUntil)  # <>~P
+
+    def test_weak_until_translates_to_release(self):
+        normalized = to_nnf(Until(P, Q))
+        assert isinstance(normalized, Release)
+
+    def test_double_negation(self):
+        assert to_nnf(LNot(LNot(P))) == P
+
+    def test_implication_and_iff(self):
+        assert isinstance(to_nnf(LImplies(P, Q)), LOr)
+        assert isinstance(to_nnf(LIff(P, Q)), LAnd)
+
+
+class TestLTLSemantics:
+    def test_next_and_henceforth(self):
+        trace = boolean_trace(["P"], [[0], [1], [1]])
+        assert not ltl_satisfies(trace, P)
+        assert ltl_satisfies(trace, Next(P))
+        assert ltl_satisfies(trace, Next(Henceforth(P)))
+        assert not ltl_satisfies(trace, Henceforth(P))
+
+    def test_weak_until_does_not_imply_eventuality(self):
+        trace = boolean_trace(["P", "Q"], [[1, 0], [1, 0]])
+        assert ltl_satisfies(trace, Until(P, Q))
+        assert not ltl_satisfies(trace, StrongUntil(P, Q))
+
+    def test_strong_until_requires_goal(self):
+        trace = boolean_trace(["P", "Q"], [[1, 0], [1, 0], [0, 1]])
+        assert ltl_satisfies(trace, StrongUntil(P, Q))
+
+    def test_release_semantics(self):
+        trace = boolean_trace(["P", "Q"], [[1, 0], [1, 1], [0, 0]])
+        # R(Q, P): P holds up to and including the first Q state.
+        assert ltl_satisfies(trace, Release(Q, P))
+        bad = boolean_trace(["P", "Q"], [[1, 0], [0, 0], [0, 1]])
+        assert not ltl_satisfies(bad, Release(Q, P))
+
+    def test_lasso_eventualities(self):
+        trace = boolean_trace(["P"], [[0], [1], [0]], loop_start=2)
+        assert ltl_satisfies(trace, Henceforth(Sometime(P)))
+        stutter = boolean_trace(["P"], [[0], [1], [0]])
+        assert not ltl_satisfies(stutter, Henceforth(Sometime(P)))
+
+
+class TestTableau:
+    def test_graph_structure(self):
+        graph = build_graph(LAnd(Sometime(P), Henceforth(Q)))
+        assert graph.node_count > 0
+        assert graph.edge_count > 0
+        assert graph.initial_nodes
+
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            LImplies(Henceforth(P), P),
+            LImplies(Henceforth(P), Sometime(P)),
+            LImplies(Sometime(Henceforth(P)), Henceforth(Sometime(P))),
+            LImplies(Henceforth(LImplies(P, Q)), LImplies(Henceforth(P), Henceforth(Q))),
+            LIff(LNot(Henceforth(P)), Sometime(LNot(P))),
+            LImplies(Henceforth(P), Until(P, Q)),
+            LImplies(LAnd(Until(P, Q), Sometime(Q)), StrongUntil(P, Q)),
+            LIff(Next(LAnd(P, Q)), LAnd(Next(P), Next(Q))),
+        ],
+    )
+    def test_valid_formulas(self, formula):
+        assert is_valid(formula)
+
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            LImplies(Sometime(P), Henceforth(P)),
+            LImplies(Henceforth(Sometime(P)), Sometime(Henceforth(P))),
+            LImplies(Until(P, Q), Sometime(Q)),
+            LImplies(P, Next(P)),
+        ],
+    )
+    def test_invalid_formulas(self, formula):
+        assert not is_valid(formula)
+
+    def test_unsatisfiable_conjunction(self):
+        assert not is_satisfiable(LAnd(Henceforth(P), Sometime(LNot(P))))
+        assert is_satisfiable(LAnd(Sometime(P), Sometime(LNot(P))))
+
+    def test_extracted_model_satisfies_the_formula(self):
+        decider = TableauDecider()
+        for formula in [
+            LAnd(Sometime(P), Henceforth(LNot(Q))),
+            StrongUntil(P, Q),
+            LAnd(Henceforth(Sometime(P)), Henceforth(Sometime(LNot(P)))),
+        ]:
+            result = decider.satisfiability(formula, extract_model=True)
+            assert result.satisfiable
+            if result.model is not None:
+                assert ltl_satisfies(result.model, to_nnf(formula))
+
+    def test_statistics_reported(self):
+        result = TableauDecider().validity(
+            LImplies(Sometime(Henceforth(P)), Henceforth(Sometime(P)))
+        )
+        row = result.statistics.as_row()
+        assert row["nodes"] > 0 and row["edges"] > 0
+        assert row["graph_construction_s"] >= 0.0
+        # A formula whose negation is propositionally inconsistent has an
+        # empty graph — also a legitimate outcome.
+        empty = TableauDecider().validity(LImplies(Henceforth(P), Sometime(P)))
+        assert empty.satisfiable  # i.e. valid
+        assert empty.statistics.nodes == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.recursive(
+        st.sampled_from([P, Q, LNot(P), LNot(Q)]),
+        lambda sub: st.one_of(
+            st.tuples(sub, sub).map(lambda t: LAnd(*t)),
+            st.tuples(sub, sub).map(lambda t: LOr(*t)),
+            sub.map(Next),
+            sub.map(Henceforth),
+            sub.map(Sometime),
+        ),
+        max_leaves=5,
+    ))
+    def test_validity_implies_truth_on_random_traces(self, formula):
+        """A formula the tableau declares valid must hold on arbitrary lassos."""
+        if is_valid(formula):
+            for rows, loop in [([[0, 0], [1, 0], [0, 1]], 2),
+                               ([[1, 1], [0, 0]], 1),
+                               ([[0, 1]], 1)]:
+                trace = boolean_trace(["P", "Q"], rows, loop_start=loop)
+                assert ltl_satisfies(trace, formula)
+
+
+class TestIntervalToLTL:
+    def test_fragment_membership(self):
+        assert is_in_ltl_fragment(always(implies(prop("p"), eventually(prop("q")))))
+        assert is_in_ltl_fragment(occurs(event(prop("p"))))
+        from repro.syntax.builder import forward, interval
+        assert not is_in_ltl_fragment(
+            interval(forward(event(prop("p")), None), prop("q"))
+        )
+
+    def test_translated_validities_agree_with_bounded_checking(self):
+        from repro.core.bounded_checker import is_bounded_valid
+        formulas = [
+            implies(always(prop("p")), eventually(prop("p"))),
+            implies(occurs(event(prop("p"))), eventually(prop("p"))),
+            implies(eventually(prop("p")), always(prop("p"))),
+        ]
+        for formula in formulas:
+            tableau_verdict = is_valid(interval_to_ltl(formula))
+            bounded_verdict = is_bounded_valid(formula, max_length=3).valid
+            if tableau_verdict:
+                assert bounded_verdict
+
+
+class TestTheories:
+    def test_propositional_theory(self):
+        theory = PropositionalTheory()
+        a = linear_atom("pa", {}, "==", 0)  # payload irrelevant here
+        from repro.ltl.syntax import TheoryAtom
+        p = TheoryAtom("p")
+        assert theory.is_satisfiable([(p, False)])
+        assert not theory.is_satisfiable([(p, False), (p, True)])
+
+    def test_linear_arithmetic_basic(self):
+        theory = LinearArithmeticTheory()
+        x_gt_2 = linear_atom("x>2", {"x": 1}, ">", 2)
+        x_lt_1 = linear_atom("x<1", {"x": 1}, "<", 1)
+        assert theory.is_satisfiable([(x_gt_2, False)])
+        assert not theory.is_satisfiable([(x_gt_2, False), (x_lt_1, False)])
+        # Negation: ~(x > 2) /\ ~(x < 1)  is  1 <= x <= 2 — satisfiable.
+        assert theory.is_satisfiable([(x_gt_2, True), (x_lt_1, True)])
+
+    def test_linear_arithmetic_with_two_variables(self):
+        theory = LinearArithmeticTheory()
+        sum_le = linear_atom("x+y<=3", {"x": 1, "y": 1}, "<=", 3)
+        x_ge = linear_atom("x>=2", {"x": 1}, ">=", 2)
+        y_ge = linear_atom("y>=2", {"y": 1}, ">=", 2)
+        assert theory.is_satisfiable([(sum_le, False), (x_ge, False)])
+        assert not theory.is_satisfiable([(sum_le, False), (x_ge, False), (y_ge, False)])
+
+    def test_linear_equalities_and_disequalities(self):
+        theory = LinearArithmeticTheory()
+        eq_atom = linear_atom("x==y", {"x": 1, "y": -1}, "==", 0)
+        x_is_1 = linear_atom("x==1", {"x": 1}, "==", 1)
+        y_is_2 = linear_atom("y==2", {"y": 1}, "==", 2)
+        assert not theory.is_satisfiable([(eq_atom, False), (x_is_1, False), (y_is_2, False)])
+        assert theory.is_satisfiable([(eq_atom, True), (x_is_1, False), (y_is_2, False)])
+
+    def test_clause_validity(self):
+        theory = LinearArithmeticTheory()
+        a_ge1 = linear_atom("a>=1", {"a": 1}, ">=", 1)
+        a_gt0 = linear_atom("a>0", {"a": 1}, ">", 0)
+        # a >= 1 -> a > 0 as the clause (~(a>=1) \/ a>0).
+        assert theory.is_valid_clauses([[(a_ge1, True), (a_gt0, False)]])
+        assert not theory.is_valid_clauses([[(a_gt0, False)]])
+
+    def test_difference_bounds(self):
+        theory = DifferenceTheory()
+        xy = difference_atom("x-y<=1", DifferenceConstraint.make("x", "y", 1))
+        yx = difference_atom("y-x<=-2", DifferenceConstraint.make("y", "x", -2))
+        assert theory.is_satisfiable([(xy, False)])
+        assert not theory.is_satisfiable([(xy, False), (yx, False)])
+        # Strictness: x - y <= 0 and y - x < 0 is unsatisfiable.
+        le = difference_atom("x-y<=0", DifferenceConstraint.make("x", "y", 0))
+        lt = difference_atom("y-x<0", DifferenceConstraint.make("y", "x", 0, strict=True))
+        assert not theory.is_satisfiable([(le, False), (lt, False)])
+
+    def test_difference_negation(self):
+        constraint = DifferenceConstraint.make("x", "y", 3)
+        negated = constraint.negated()
+        assert negated.left == "y" and negated.right == "x"
+        assert negated.bound == Fraction(-3) and negated.strict
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["x", "y", "z"]), st.sampled_from(["x", "y", "z"]),
+                  st.integers(-3, 3), st.booleans()),
+        min_size=1, max_size=5,
+    ))
+    def test_difference_and_linear_theories_agree(self, triples):
+        """Both solvers decide the difference-bound fragment identically."""
+        diff_literals = []
+        lin_literals = []
+        for index, (left, right, bound, negate) in enumerate(triples):
+            if left == right:
+                continue
+            diff_literals.append(
+                (difference_atom(f"d{index}", DifferenceConstraint.make(left, right, bound)), negate)
+            )
+            lin_literals.append(
+                (linear_atom(f"l{index}", {left: 1, right: -1}, "<=", bound), negate)
+            )
+        assert DifferenceTheory().is_satisfiable(diff_literals) == \
+            LinearArithmeticTheory().is_satisfiable(lin_literals)
+
+    def test_equality_congruence_closure(self):
+        theory = EqualityTheory()
+        fa = FunctionTerm("f", ("a",))
+        fb = FunctionTerm("f", ("b",))
+        a_eq_b = equality_atom("a=b", "a", "b")
+        fa_eq_fb = equality_atom("fa=fb", fa, fb)
+        # a = b entails f(a) = f(b).
+        assert not theory.is_satisfiable([(a_eq_b, False), (fa_eq_fb, True)])
+        assert theory.is_satisfiable([(a_eq_b, True), (fa_eq_fb, False)])
+
+    def test_equality_transitivity(self):
+        theory = EqualityTheory()
+        ab = equality_atom("ab", "a", "b")
+        bc = equality_atom("bc", "b", "c")
+        ac = equality_atom("ac", "a", "c")
+        assert not theory.is_satisfiable([(ab, False), (bc, False), (ac, True)])
+
+    def test_combined_theory_routes_and_propagates(self):
+        theory = default_combination()
+        x_eq_y = equality_atom("x=y", "x", "y")
+        x_ge_5 = linear_atom("x>=5", {"x": 1}, ">=", 5)
+        y_lt_0 = linear_atom("y<0", {"y": 1}, "<", 0)
+        # x = y (EUF) with x >= 5 and y < 0 (arithmetic) is unsatisfiable only
+        # if the equality is propagated across theories.
+        assert not theory.is_satisfiable([(x_eq_y, False), (x_ge_5, False), (y_lt_0, False)])
+        assert theory.is_satisfiable([(x_eq_y, True), (x_ge_5, False), (y_lt_0, False)])
+
+    def test_combined_theory_requires_members(self):
+        with pytest.raises(TheoryError):
+            CombinedTheory([])
+
+
+class TestAlgorithmsAB:
+    def test_algorithm_a_prunes_theory_inconsistent_edges(self):
+        theory = default_combination()
+        x_gt_2 = linear_atom("x>2", {"x": 1}, ">", 2)
+        x_lt_1 = linear_atom("x<1", {"x": 1}, "<", 1)
+        # <>(x>2 /\ x<1) is propositionally satisfiable but theory-unsat.
+        formula = Sometime(LAnd(x_gt_2, x_lt_1))
+        assert is_satisfiable(formula)                     # plain tableau
+        assert not is_satisfiable(formula, theory=theory)  # Algorithm A
+
+    def test_algorithm_a_validity_example(self):
+        theory = default_combination()
+        a_ge1 = linear_atom("a>=1", {"a": 1}, ">=", 1)
+        a_gt0 = linear_atom("a>0", {"a": 1}, ">", 0)
+        formula = LImplies(Henceforth(a_ge1), Sometime(a_gt0))
+        assert not is_valid(formula)
+        assert is_valid(formula, theory=theory)
+
+    def test_algorithm_b_pure_temporal_validity(self):
+        result = AlgorithmB(default_combination()).compute_condition(
+            LImplies(Henceforth(P), Sometime(P))
+        )
+        assert result.valid_in_pure_tl
+        assert result.valid_modulo_theory
+
+    def test_algorithm_b_motivating_example(self):
+        a_ge1 = linear_atom("a>=1", {"a": 1}, ">=", 1)
+        a_gt0 = linear_atom("a>0", {"a": 1}, ">", 0)
+        result = AlgorithmB(default_combination()).compute_condition(
+            LImplies(Henceforth(a_ge1), Sometime(a_gt0))
+        )
+        assert not result.valid_in_pure_tl
+        assert result.valid_modulo_theory
+
+    def test_algorithm_b_state_vs_extralogical_variables(self):
+        """Appendix B §5.1: [](x>0) \\/ [](x<1) is valid only when x is rigid."""
+        algorithm = AlgorithmB(default_combination())
+        state_form = LOr(
+            Henceforth(linear_atom("x>0", {"x": 1}, ">", 0)),
+            Henceforth(linear_atom("x<1", {"x": 1}, "<", 1)),
+        )
+        rigid_form = LOr(
+            Henceforth(linear_atom("x>0", {"x": 1}, ">", 0, state_vars=(), rigid_vars=("x",))),
+            Henceforth(linear_atom("x<1", {"x": 1}, "<", 1, state_vars=(), rigid_vars=("x",))),
+        )
+        assert not algorithm.compute_condition(state_form).valid_modulo_theory
+        assert algorithm.compute_condition(rigid_form).valid_modulo_theory
+
+    def test_algorithm_b_agrees_with_tableau_on_pure_formulas(self):
+        algorithm = AlgorithmB()
+        for formula in [
+            LImplies(Henceforth(P), Sometime(P)),
+            LImplies(Sometime(P), Henceforth(P)),
+            LImplies(Sometime(Henceforth(P)), Henceforth(Sometime(P))),
+            LOr(Henceforth(P), Sometime(LNot(P))),
+        ]:
+            condition = algorithm.compute_condition(formula)
+            assert condition.valid_in_pure_tl == is_valid(formula), str(formula)

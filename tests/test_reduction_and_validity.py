@@ -1,0 +1,172 @@
+"""Tests for the Appendix A reduction, the Chapter 4 catalogue and the bounded checker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounded_checker import (
+    check_bounded_equivalence,
+    count_bounded_traces,
+    enumerate_boolean_traces,
+    find_counterexample,
+    is_bounded_valid,
+    proposition_names,
+    random_boolean_traces,
+)
+from repro.core.valid_formulas import CATALOGUE, catalogue, get, v4, v9, v13
+from repro.errors import DecisionProcedureError
+from repro.semantics import Evaluator, boolean_trace
+from repro.semantics.reduction import (
+    eliminate_stars,
+    has_star,
+    occurs_requirement,
+    strip_stars,
+    term_obligation,
+)
+from repro.syntax.builder import (
+    always,
+    event,
+    eventually,
+    forward,
+    interval,
+    land,
+    lnot,
+    occurs,
+    prop,
+    star,
+    eq,
+)
+from repro.syntax.formulas import Iff
+
+
+A, B, C, D = prop("A"), prop("B"), prop("C"), prop("D")
+
+
+class TestStarReduction:
+    def test_strip_removes_all_stars(self):
+        term = forward(star(event(A)), star(forward(event(B), star(event(C)))))
+        assert has_star(term)
+        assert not has_star(strip_stars(term))
+
+    def test_obligation_of_starless_term_is_true(self):
+        from repro.syntax.formulas import TrueFormula
+        assert isinstance(term_obligation(forward(event(A), event(B))), TrueFormula)
+
+    def test_paper_equivalence_star_inside_forward(self):
+        """[(A => *B) => C] <>D  ===  [(A => B) => C] <>D  /\\  [A =>]*B."""
+        starred = interval(forward(forward(event(A), star(event(B))), event(C)),
+                           eventually(D))
+        plain = interval(forward(forward(event(A), event(B)), event(C)), eventually(D))
+        requirement = interval(forward(event(A), None), occurs(event(B)))
+        expected = land(plain, requirement)
+        result = check_bounded_equivalence(starred, expected,
+                                           ("A", "B", "C", "D"), max_length=3,
+                                           include_lassos=False)
+        assert result.valid, result
+
+    def test_paper_equivalence_star_of_whole_term(self):
+        """*(A => B)  ===  *A /\\ [A =>]*B (Chapter 2.1)."""
+        lhs = occurs(star(forward(event(A), event(B))))
+        rhs = land(occurs(event(A)), interval(forward(event(A), None), occurs(event(B))))
+        result = check_bounded_equivalence(lhs, rhs, ("A", "B"), max_length=5)
+        assert result.valid, result
+
+    def test_reduced_formula_contains_no_stars(self):
+        starred = interval(forward(star(event(A)), star(event(B))), eventually(D))
+        reduced = eliminate_stars(starred)
+        for sub in [reduced]:
+            for term_holder in sub.interval_terms():
+                assert not has_star(term_holder)
+
+    def test_occurs_requirement_matches_direct_evaluation(self):
+        trace = boolean_trace(["A", "B"], [[0, 0], [1, 0], [0, 1]])
+        evaluator = Evaluator(trace)
+        term = star(forward(event(A), event(B)))
+        assert evaluator.satisfies(occurs(term)) == evaluator.satisfies(
+            occurs_requirement(term)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=5))
+    def test_star_elimination_preserves_satisfaction(self, rows):
+        trace = boolean_trace(["A", "B"], [[int(a), int(b)] for a, b in rows])
+        evaluator = Evaluator(trace)
+        formulas = [
+            interval(forward(event(A), star(event(B))), eventually(B)),
+            interval(star(forward(event(A), event(B))), always(lnot(B))),
+            occurs(star(forward(event(A), star(event(B))))),
+        ]
+        for formula in formulas:
+            assert evaluator.satisfies(formula) == evaluator.satisfies(
+                eliminate_stars(formula)
+            )
+
+
+class TestBoundedChecker:
+    def test_proposition_names(self):
+        f = interval(forward(event(A), event(B)), eventually(D))
+        assert proposition_names(f) == ("A", "B", "D")
+
+    def test_proposition_names_rejects_arithmetic_atoms(self):
+        with pytest.raises(DecisionProcedureError):
+            proposition_names(eq("x", 3))
+
+    def test_trace_counting_matches_enumeration(self):
+        traces = list(enumerate_boolean_traces(["p", "q"], 2, include_lassos=True))
+        assert len(traces) == count_bounded_traces(2, 2, include_lassos=True)
+        traces = list(enumerate_boolean_traces(["p"], 3, include_lassos=False))
+        assert len(traces) == count_bounded_traces(1, 3, include_lassos=False)
+
+    def test_random_traces_respect_bounds(self):
+        for trace in random_boolean_traces(["p", "q"], 10, 4, seed=1):
+            assert 1 <= trace.length <= 4
+
+    def test_invalid_formula_is_refuted_with_counterexample(self):
+        bogus = interval(forward(event(A), event(B)), always(A))
+        result = is_bounded_valid(bogus, ("A", "B"), max_length=4)
+        assert not result.valid
+        assert result.counterexample is not None
+        assert not Evaluator(result.counterexample).satisfies(bogus)
+
+    def test_valid_formula_has_no_counterexample(self):
+        counterexample, _ = find_counterexample(v9(prop("p")), ("p",), max_length=5)
+        assert counterexample is None
+
+    def test_v13_requires_the_occurrence_conjunct(self):
+        """Without *I the partitioning rule is refutable — the reconstruction
+        documented in the catalogue is necessary."""
+        from repro.syntax.builder import implies, whole_context
+        from repro.syntax.builder import forward as fwd
+        term = event(prop("p"))
+        q = prop("q")
+        weakened = implies(
+            land(
+                interval(fwd(None, term), always(q)),
+                interval(fwd(term, None), always(q)),
+            ),
+            always(q),
+        )
+        result = is_bounded_valid(weakened, ("p", "q"), max_length=3)
+        assert not result.valid
+
+
+class TestChapter4Catalogue:
+    def test_catalogue_is_complete(self):
+        names = [entry.name for entry in catalogue()]
+        assert names == [f"V{i}" for i in range(1, 17)]
+        assert get("V4").formula == CATALOGUE["V4"].formula
+
+    @pytest.mark.parametrize("name", [f"V{i}" for i in range(1, 17)])
+    def test_catalogue_entry_is_bounded_valid(self, name):
+        entry = get(name)
+        # Small bounds keep the suite fast; the benchmark re-checks each entry
+        # at the catalogue's full bounds.
+        max_length = min(entry.max_length, 3)
+        result = is_bounded_valid(entry.formula, entry.variables,
+                                  max_length=max_length, include_lassos=True)
+        assert result.valid, f"{name} refuted: {result}"
+
+    def test_v4_schema_matches_direct_evaluation(self):
+        trace = boolean_trace(["p", "q"], [[0, 0], [1, 0], [1, 1]])
+        evaluator = Evaluator(trace)
+        formula = v4(forward(event(prop("p")), event(prop("q"))))
+        assert evaluator.satisfies(formula)

@@ -1,0 +1,202 @@
+"""Tests for formula / interval-term construction, the parser and printers."""
+
+import pytest
+
+from repro.errors import ParseError, SyntaxConstructionError
+from repro.syntax import (
+    Always,
+    And,
+    Atom,
+    Backward,
+    Begin,
+    End,
+    EventTerm,
+    Eventually,
+    Forall,
+    Forward,
+    Iff,
+    Implies,
+    IntervalFormula,
+    Not,
+    Occurs,
+    Or,
+    Prop,
+    Star,
+    conjoin,
+    disjoin,
+    formula_size,
+    parse_formula,
+    parse_term,
+    to_ascii,
+    to_unicode,
+    walk_formula,
+    walk_term,
+)
+from repro.syntax.builder import (
+    begin,
+    end,
+    event,
+    eventually,
+    forward,
+    backward,
+    interval,
+    land,
+    lnot,
+    lor,
+    occurs,
+    prop,
+    star,
+    always,
+    forall,
+    eq,
+    at_op,
+)
+from repro.syntax.pretty import render_tree
+
+
+class TestConstruction:
+    def test_operator_overloading(self):
+        p, q = prop("p"), prop("q")
+        assert isinstance(p & q, And)
+        assert isinstance(p | q, Or)
+        assert isinstance(~p, Not)
+        assert isinstance(p >> q, Implies)
+
+    def test_interval_formula_requires_a_term(self):
+        with pytest.raises(SyntaxConstructionError):
+            IntervalFormula(prop("p"), prop("q"))  # type: ignore[arg-type]
+
+    def test_occurs_requires_a_term(self):
+        with pytest.raises(SyntaxConstructionError):
+            Occurs(prop("p"))  # type: ignore[arg-type]
+
+    def test_atom_requires_a_predicate(self):
+        with pytest.raises(SyntaxConstructionError):
+            Atom("p")  # type: ignore[arg-type]
+
+    def test_forall_requires_variables(self):
+        with pytest.raises(SyntaxConstructionError):
+            Forall((), prop("p"))
+
+    def test_conjoin_and_disjoin(self):
+        p, q, r = prop("p"), prop("q"), prop("r")
+        assert to_ascii(conjoin((p, q, r))) == "((p /\\ q) /\\ r)"
+        assert to_ascii(disjoin(())) == "False"
+        assert to_ascii(conjoin(())) == "True"
+
+    def test_free_logical_vars_and_state_vars(self):
+        f = forall("a", interval(forward(at_op("Enq", "x")), eq("y", 3)))
+        assert "a" not in f.free_logical_vars()
+        assert f.state_vars() == frozenset({"x", "y"})
+
+    def test_formula_size_and_walk(self):
+        f = interval(forward(event(prop("p")), event(prop("q"))), eventually(prop("r")))
+        nodes = list(walk_formula(f))
+        assert formula_size(f) == len(nodes)
+        assert formula_size(f) >= 5
+
+    def test_walk_term_covers_nested_terms(self):
+        term = Forward(Begin(EventTerm(prop("p"))), Star(EventTerm(prop("q"))))
+        kinds = {type(t) for t in walk_term(term)}
+        assert kinds == {Forward, Begin, Star, EventTerm}
+
+    def test_star_detection(self):
+        assert star(event(prop("p"))).has_star()
+        assert forward(event(prop("p")), star(event(prop("q")))).has_star()
+        assert not forward(event(prop("p")), event(prop("q"))).has_star()
+
+    def test_hashability(self):
+        f1 = interval(forward(event(prop("p")), None), always(prop("q")))
+        f2 = interval(forward(event(prop("p")), None), always(prop("q")))
+        assert f1 == f2
+        assert hash(f1) == hash(f2)
+        assert len({f1, f2}) == 1
+
+
+class TestPrinting:
+    def test_ascii_rendering(self):
+        f = interval(forward(event(prop("A")), event(prop("B"))), eventually(prop("D")))
+        assert to_ascii(f) == "[(A => B)] <>D"
+
+    def test_unicode_rendering(self):
+        f = always(interval(backward(event(prop("x")), event(prop("c"))),
+                            eventually(lnot(prop("y")))))
+        rendered = to_unicode(f)
+        assert "□" in rendered and "◇" in rendered and "⇐" in rendered
+
+    def test_tree_rendering_lists_every_node(self):
+        f = forall("a", occurs(begin(event(prop("p")))))
+        tree = render_tree(f)
+        assert "Forall" in tree and "Occurs" in tree and "Begin" in tree
+
+
+class TestParser:
+    def test_parse_simple_interval_formula(self):
+        f = parse_formula("[ A => B ] <> D")
+        assert isinstance(f, IntervalFormula)
+        assert isinstance(f.term, Forward)
+        assert isinstance(f.body, Eventually)
+
+    def test_parse_roundtrip_through_ascii(self):
+        text = "[(A => B)] <>D"
+        assert to_ascii(parse_formula(text)) == text
+
+    def test_parse_temporal_operators(self):
+        assert isinstance(parse_formula("[] p"), Always)
+        assert isinstance(parse_formula("<> p"), Eventually)
+        assert isinstance(parse_formula("~p"), Not)
+
+    def test_parse_connective_precedence(self):
+        f = parse_formula("p /\\ q -> r")
+        assert isinstance(f, Implies)
+        assert isinstance(f.left, And)
+
+    def test_parse_iff_and_nested_parens(self):
+        f = parse_formula("(p -> q) <-> (~p \\/ q)")
+        assert isinstance(f, Iff)
+
+    def test_parse_forall(self):
+        f = parse_formula("forall a, b . [ at Enq(?a) => at Enq(?b) ] true")
+        assert isinstance(f, Forall)
+        assert f.variables == ("a", "b")
+
+    def test_parse_comparisons(self):
+        f = parse_formula("x >= 5")
+        assert to_ascii(f) == "x >= 5"
+        g = parse_formula("[ x = y => y = 16 ] [] x > z")
+        assert isinstance(g, IntervalFormula)
+
+    def test_parse_begin_end_star_terms(self):
+        term = parse_term("begin(A) => *end(B)")
+        assert isinstance(term, Forward)
+        assert isinstance(term.left, Begin)
+        assert isinstance(term.right, Star)
+        assert isinstance(term.right.term, End)
+
+    def test_parse_backward_term(self):
+        # A bare "A <= B" reads as the comparison predicate; term position
+        # backward arrows need non-expression operands.
+        term = parse_term("begin(A) <= end(B)")
+        assert isinstance(term, Backward)
+        assert isinstance(term.left, Begin)
+        assert isinstance(term.right, End)
+
+    def test_parse_occurrence(self):
+        f = parse_formula("*(A => B)")
+        assert isinstance(f, Occurs)
+
+    def test_parse_operation_predicates(self):
+        f = parse_formula("after Dq(?a)")
+        assert "after Dq" in to_ascii(f)
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(ParseError):
+            parse_formula("[ A => ] <> ")
+        with pytest.raises(ParseError):
+            parse_formula("p /\\")
+        with pytest.raises(ParseError):
+            parse_formula("p $ q")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("p q")

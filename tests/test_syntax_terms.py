@@ -1,0 +1,163 @@
+"""Tests for state expressions and atomic predicates."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    SyntaxConstructionError,
+    UnboundVariableError,
+    UnknownStateVariableError,
+)
+from repro.semantics.state import State
+from repro.syntax.terms import (
+    Apply,
+    BinOp,
+    Cmp,
+    Const,
+    FalsePredicate,
+    LogicalVar,
+    OpAfter,
+    OpAt,
+    OpIn,
+    Prop,
+    StartPredicate,
+    TruePredicate,
+    Var,
+    flip,
+    register_function,
+)
+
+
+class TestExpressions:
+    def test_const_evaluates_to_its_value(self):
+        assert Const(5).evaluate({}, {}) == 5
+        assert Const("hello").evaluate({}, {}) == "hello"
+
+    def test_var_reads_the_state(self):
+        assert Var("x").evaluate({"x": 7}, {}) == 7
+
+    def test_var_missing_raises(self):
+        with pytest.raises(UnknownStateVariableError):
+            Var("x").evaluate({}, {})
+
+    def test_logical_var_reads_the_environment(self):
+        assert LogicalVar("a").evaluate({}, {"a": 3}) == 3
+
+    def test_logical_var_unbound_raises(self):
+        with pytest.raises(UnboundVariableError):
+            LogicalVar("a").evaluate({}, {})
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(SyntaxConstructionError):
+            Var("")
+        with pytest.raises(SyntaxConstructionError):
+            LogicalVar("")
+        with pytest.raises(SyntaxConstructionError):
+            Prop("")
+
+    def test_binop_arithmetic(self):
+        expr = BinOp("+", Var("x"), Const(1))
+        assert expr.evaluate({"x": 4}, {}) == 5
+        assert BinOp("-", Const(3), Const(5)).evaluate({}, {}) == -2
+        assert BinOp("*", Const(3), Const(5)).evaluate({}, {}) == 15
+
+    def test_binop_unknown_operator_rejected(self):
+        with pytest.raises(SyntaxConstructionError):
+            BinOp("**", Const(2), Const(3))
+
+    def test_binop_type_error_wrapped(self):
+        with pytest.raises(EvaluationError):
+            BinOp("+", Const("a"), Const(1)).evaluate({}, {})
+
+    def test_variable_collection(self):
+        expr = BinOp("+", Var("x"), LogicalVar("a"))
+        assert expr.state_vars() == frozenset({"x"})
+        assert expr.free_logical_vars() == frozenset({"a"})
+
+    def test_apply_flip(self):
+        assert flip(0) == 1
+        assert flip(1) == 0
+        expr = Apply("flip", (Var("exp"),))
+        assert expr.evaluate({"exp": 0}, {}) == 1
+
+    def test_apply_requires_registered_function(self):
+        with pytest.raises(SyntaxConstructionError):
+            Apply("no_such_function", (Const(1),))
+
+    def test_register_function(self):
+        register_function("double", lambda v: 2 * v)
+        assert Apply("double", (Const(4),)).evaluate({}, {}) == 8
+
+    def test_register_non_callable_rejected(self):
+        with pytest.raises(SyntaxConstructionError):
+            register_function("bad", 42)
+
+
+class TestPredicates:
+    def test_constants(self):
+        assert TruePredicate().holds({}, {})
+        assert not FalsePredicate().holds({}, {})
+
+    def test_prop_reads_boolean_state_variable(self):
+        assert Prop("ready").holds({"ready": True}, {})
+        assert not Prop("ready").holds({"ready": False}, {})
+
+    def test_cmp_operators(self):
+        state = {"x": 5, "y": 5}
+        assert Cmp(Var("x"), "==", Var("y")).holds(state, {})
+        assert Cmp(Var("x"), ">=", Const(5)).holds(state, {})
+        assert not Cmp(Var("x"), ">", Const(5)).holds(state, {})
+        assert Cmp(Var("x"), "!=", Const(4)).holds(state, {})
+
+    def test_cmp_unknown_operator_rejected(self):
+        with pytest.raises(SyntaxConstructionError):
+            Cmp(Var("x"), "~=", Const(1))
+
+    def test_cmp_with_logical_variable(self):
+        assert Cmp(Var("x"), "==", LogicalVar("a")).holds({"x": 2}, {"a": 2})
+
+    def test_start_predicate(self):
+        assert StartPredicate().holds({"__start__": True}, {})
+        assert not StartPredicate().holds({"__start__": False}, {})
+        assert not StartPredicate().holds({}, {})
+
+
+class TestOperationPredicates:
+    def test_phase_matching_on_state_records(self):
+        state = State({}, {"Enq": {"phase": "at", "args": (5,), "results": ()}})
+        assert OpAt("Enq").holds(state, {})
+        # Chapter 2.2: inO holds from atO up to just before afterO, so it is
+        # already true at the entry state.
+        assert OpIn("Enq").holds(state, {})
+        assert not OpAfter("Enq").holds(state, {})
+        running = State({}, {"Enq": {"phase": "in", "args": (5,), "results": ()}})
+        assert OpIn("Enq").holds(running, {})
+        assert not OpAt("Enq").holds(running, {})
+
+    def test_argument_matching(self):
+        state = State({}, {"Enq": {"phase": "at", "args": (5,), "results": ()}})
+        assert OpAt("Enq", (Const(5),)).holds(state, {})
+        assert not OpAt("Enq", (Const(6),)).holds(state, {})
+
+    def test_argument_matching_through_environment(self):
+        state = State({}, {"Enq": {"phase": "at", "args": (5,), "results": ()}})
+        assert OpAt("Enq", (LogicalVar("a"),)).holds(state, {"a": 5})
+        assert not OpAt("Enq", (LogicalVar("a"),)).holds(state, {"a": 9})
+
+    def test_idle_operation_is_no_phase(self):
+        state = State({})
+        assert not OpAt("Enq").holds(state, {})
+        assert not OpAfter("Enq").holds(state, {})
+
+    def test_arity_mismatch_is_false(self):
+        state = State({}, {"Ts": {"phase": "at", "args": ("m", 0), "results": ()}})
+        assert not OpAt("Ts", (Const("m"),)).holds(state, {})
+        assert OpAt("Ts", (Const("m"), Const(0))).holds(state, {})
+
+    def test_boolean_fallback_encoding(self):
+        assert OpAt("Dq").holds({"at_Dq": True}, {})
+        assert not OpAt("Dq").holds({"at_Dq": False}, {})
+
+    def test_empty_operation_name_rejected(self):
+        with pytest.raises(SyntaxConstructionError):
+            OpAt("")

@@ -1,0 +1,228 @@
+"""Tests for the case-study simulators and the Chapter 5–8 specifications."""
+
+import pytest
+
+from repro.checking import ConformanceCase, SpecificationMonitor, format_table, run_conformance
+from repro.core.specification import Specification
+from repro.errors import SimulationError, SpecificationError
+from repro.semantics import Evaluator
+from repro.specs import (
+    arbiter_spec,
+    mutex_spec,
+    mutual_exclusion_proof,
+    mutual_exclusion_theorem,
+    receiver_spec,
+    reliable_queue_spec,
+    request_ack_spec,
+    sender_spec,
+    service_provided_spec,
+    stack_spec,
+    unreliable_queue_spec,
+)
+from repro.specs.queue_specs import QUEUE_OPERATIONS
+from repro.syntax.builder import always, prop
+from repro.systems import (
+    ABProtocolConfig,
+    ab_protocol_faulty_trace,
+    ab_protocol_trace,
+    arbiter_faulty_trace,
+    arbiter_trace,
+    inventing_queue_trace,
+    mutex_faulty_trace,
+    mutex_trace,
+    reliable_queue_trace,
+    reordering_queue_trace,
+    request_ack_faulty_trace,
+    request_ack_trace,
+    stack_trace,
+    unreliable_misordering_trace,
+    unreliable_queue_trace,
+)
+from repro.systems.simulator import OperationDriver, TraceBuilder
+
+
+class TestSimulatorKernel:
+    def test_builder_requires_a_commit(self):
+        with pytest.raises(SimulationError):
+            TraceBuilder().build()
+
+    def test_variables_persist_between_commits(self):
+        builder = TraceBuilder({"x": 1})
+        builder.commit()
+        builder.set(x=2).commit()
+        builder.commit()
+        trace = builder.build()
+        assert [s["x"] for s in trace.states()] == [1, 2, 2]
+
+    def test_operation_driver_lifecycle(self):
+        builder = TraceBuilder()
+        builder.commit()
+        driver = OperationDriver(builder, "Op")
+        driver.call(7, results=(7,), busy_steps=1)
+        trace = builder.build()
+        phases = [s.operation("Op").phase for s in trace.states()]
+        assert phases == ["idle", "at", "in", "after"]
+
+    def test_double_begin_rejected(self):
+        builder = TraceBuilder()
+        driver = OperationDriver(builder, "Op")
+        driver.begin(1)
+        with pytest.raises(SimulationError):
+            driver.begin(2)
+
+
+class TestSpecificationObjects:
+    def test_duplicate_clause_names_rejected(self):
+        spec = Specification("demo")
+        spec.add_axiom("A", prop("p"))
+        with pytest.raises(SpecificationError):
+            spec.add_axiom("A", prop("q"))
+
+    def test_init_clauses_are_guarded_by_start(self):
+        spec = Specification("demo")
+        spec.add_init("I", prop("p"))
+        interpreted = spec.clause("I").interpreted_formula()
+        assert "start" in str(interpreted)
+
+    def test_lifecycle_axioms_can_be_included(self):
+        spec = Specification("demo", QUEUE_OPERATIONS, include_lifecycle_axioms=True)
+        assert any(c.name.startswith("lifecycle/Enq") for c in spec.clauses)
+        assert len(spec.clauses) == 8
+
+    def test_check_reports_per_clause_verdicts(self):
+        result = reliable_queue_spec().check(reliable_queue_trace(3, seed=0))
+        assert result.holds
+        assert result.verdict("Queue").holds
+        assert "Queue" in result.summary()
+
+
+class TestQueueSpecifications:
+    def test_reliable_queue_conforms(self):
+        for seed in range(3):
+            assert reliable_queue_spec().check(reliable_queue_trace(4, seed=seed)).holds
+
+    def test_queue_and_stack_specs_distinguish_the_disciplines(self):
+        queue_trace = reliable_queue_trace(4, seed=1)
+        lifo_trace = stack_trace(4, seed=1)
+        assert reliable_queue_spec().check(queue_trace).holds
+        assert not reliable_queue_spec().check(lifo_trace).holds
+        assert stack_spec().check(lifo_trace).holds
+        assert not stack_spec().check(queue_trace).holds
+
+    def test_reordering_queue_violates_fifo(self):
+        assert not reliable_queue_spec().check(reordering_queue_trace(5, seed=3)).holds
+
+    def test_unreliable_queue_conforms_to_figure_5_1(self):
+        for seed in range(3):
+            trace = unreliable_queue_trace(4, seed=seed)
+            result = unreliable_queue_spec().check(trace)
+            assert result.holds, result.summary()
+
+    def test_reliable_queue_also_satisfies_the_weaker_unreliable_spec(self):
+        assert unreliable_queue_spec().check(reliable_queue_trace(4, seed=0)).holds
+
+    def test_faulty_lossy_queues_are_rejected(self):
+        assert not unreliable_queue_spec().check(unreliable_misordering_trace(4, seed=1)).holds
+        assert not unreliable_queue_spec().check(inventing_queue_trace(5, seed=2)).holds
+
+    def test_conformance_harness_matrix(self):
+        report = run_conformance(
+            reliable_queue_spec(),
+            [
+                ConformanceCase("fifo", lambda s: reliable_queue_trace(4, seed=s), True, (0, 1)),
+                ConformanceCase("reordering", lambda s: reordering_queue_trace(5, seed=s), False, (3, 4)),
+            ],
+        )
+        assert report.all_as_expected
+        assert report.outcome("reordering").violated_clauses() == ["Queue"]
+        assert "fifo" in format_table(report.rows(), ["case", "observed"])
+
+
+class TestSelfTimedSpecifications:
+    def test_request_ack_conformance(self):
+        assert request_ack_spec().check(request_ack_trace(3, seed=0)).holds
+
+    @pytest.mark.parametrize("fault, clause", [
+        ("early_ack_drop", "A2"),
+        ("request_drop", "A1"),
+        ("no_ack_lower", "A3"),
+    ])
+    def test_request_ack_faults_are_caught_by_the_right_axiom(self, fault, clause):
+        result = request_ack_spec().check(request_ack_faulty_trace(3, 0, fault))
+        assert not result.holds
+        assert not result.verdict(clause).holds
+
+    def test_arbiter_conformance(self):
+        assert arbiter_spec().check(arbiter_trace(seed=0)).holds
+        assert arbiter_spec().check(arbiter_trace([2, 1, 2], seed=5)).holds
+
+    def test_arbiter_faults_are_rejected(self):
+        early = arbiter_spec().check(arbiter_faulty_trace(seed=0, fault="early_user_ack"))
+        assert not early.holds
+        simultaneous = arbiter_spec().check(
+            arbiter_faulty_trace(seed=0, fault="simultaneous_grants"))
+        assert not simultaneous.holds
+        assert any(v.clause.name.startswith("A2") for v in simultaneous.failures)
+
+
+class TestABProtocolSpecifications:
+    def test_correct_run_satisfies_sender_receiver_and_service(self):
+        trace = ab_protocol_trace(ABProtocolConfig(seed=1))
+        assert sender_spec().check(trace).holds
+        assert receiver_spec().check(trace).holds
+        assert service_provided_spec().check(trace).holds
+
+    def test_lossy_runs_still_conform(self):
+        config = ABProtocolConfig(messages=("a", "b", "c", "d"),
+                                  packet_loss=0.5, ack_loss=0.4, seed=7)
+        trace = ab_protocol_trace(config)
+        assert sender_spec().check(trace).holds
+        assert receiver_spec().check(trace).holds
+        assert service_provided_spec().check(trace).holds
+
+    @pytest.mark.parametrize("fault", ["no_alternation", "transmit_during_dq", "skip_ack_wait"])
+    def test_faulty_senders_violate_the_sender_spec(self, fault):
+        assert not sender_spec().check(ab_protocol_faulty_trace(fault=fault)).holds
+
+    def test_transmit_during_dq_violates_axiom_a3(self):
+        result = sender_spec().check(ab_protocol_faulty_trace(fault="transmit_during_dq"))
+        assert not result.verdict("A3").holds
+
+
+class TestMutualExclusion:
+    def test_correct_runs_satisfy_spec_and_theorem(self):
+        for seed in range(3):
+            trace = mutex_trace(3, entries=4, seed=seed)
+            assert mutex_spec(3).check(trace).holds
+            evaluator = Evaluator(trace)
+            for theorem in mutual_exclusion_theorem(3):
+                assert evaluator.satisfies(theorem)
+
+    def test_faulty_run_violates_spec_and_theorem(self):
+        trace = mutex_faulty_trace(2)
+        assert not mutex_spec(2).check(trace).holds
+        evaluator = Evaluator(trace)
+        assert not all(evaluator.satisfies(t) for t in mutual_exclusion_theorem(2))
+
+    def test_proof_script_holds_on_simulated_traces(self):
+        script = mutual_exclusion_proof()
+        traces = [mutex_trace(2, entries=3, seed=seed) for seed in range(4)]
+        traces.append(mutex_faulty_trace(2))  # violates the hypotheses: skipped
+        checks = script.check_on_traces(traces)
+        assert all(check.holds for check in checks), script.summary(checks)
+        assert {check.lemma.name for check in checks} == {"L2", "L3", "L4", "L5", "Theorem"}
+
+
+class TestMonitor:
+    def test_monitor_flags_violation_when_it_happens(self):
+        spec = mutex_spec(2)
+        monitor = SpecificationMonitor(spec)
+        verdicts = monitor.observe_trace(mutex_faulty_trace(2))
+        assert monitor.failing()
+        assert any(not v.holds for v in verdicts.values())
+
+    def test_monitor_stays_green_on_correct_trace(self):
+        monitor = SpecificationMonitor(request_ack_spec())
+        verdicts = monitor.observe_trace(request_ack_trace(2, seed=0))
+        assert all(v.holds for v in verdicts.values())
+        assert monitor.prefix_length == request_ack_trace(2, seed=0).length
