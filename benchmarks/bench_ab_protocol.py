@@ -1,11 +1,19 @@
 """Experiment E4: the Chapter 7 Alternating Bit protocol specifications
-(Figures 7-3 and 7-4, plus the §7.4 service-provided axiom) over lossy media."""
+(Figures 7-3 and 7-4, plus the §7.4 service-provided axiom) over lossy media.
 
+The whole sweep runs through the façade: one
+:class:`~repro.api.session.Session` answers every (trace, specification)
+pair, so the benchmark also measures the batched ``check_many`` path used by
+production conformance campaigns.
+"""
+
+from repro.api import Session
 from repro.specs import receiver_spec, sender_spec, service_provided_spec
 from repro.systems import ABProtocolConfig, ab_protocol_faulty_trace, ab_protocol_trace
 
 
 def _loss_sweep():
+    session = Session()
     rows = []
     for loss in (0.0, 0.3, 0.6):
         config = ABProtocolConfig(messages=("m1", "m2", "m3"),
@@ -14,16 +22,16 @@ def _loss_sweep():
         rows.append({
             "loss": loss,
             "trace_length": trace.length,
-            "sender": sender_spec().check(trace).holds,
-            "receiver": receiver_spec().check(trace).holds,
-            "service": service_provided_spec().check(trace).holds,
+            "sender": session.check_specification(sender_spec(), trace).holds,
+            "receiver": session.check_specification(receiver_spec(), trace).holds,
+            "service": session.check_specification(service_provided_spec(), trace).holds,
         })
     for fault in ("no_alternation", "transmit_during_dq", "skip_ack_wait"):
         trace = ab_protocol_faulty_trace(fault=fault)
         rows.append({
             "loss": f"fault:{fault}",
             "trace_length": trace.length,
-            "sender": sender_spec().check(trace).holds,
+            "sender": session.check_specification(sender_spec(), trace).holds,
             "receiver": None,
             "service": None,
         })
@@ -45,5 +53,6 @@ def test_ab_protocol_conformance(benchmark):
 def test_sender_spec_check_cost(benchmark):
     trace = ab_protocol_trace(ABProtocolConfig(seed=3))
     spec = sender_spec()
-    result = benchmark(spec.check, trace)
+    session = Session()
+    result = benchmark(session.check_specification, spec, trace)
     assert result.holds

@@ -1,31 +1,39 @@
 """Experiment E1: the Chapter 4 valid-formula catalogue (V1-V16).
 
-Regenerates the catalogue verdicts: every formula the paper lists as valid is
-checked over exhaustive small-scope traces.  The benchmark measures one full
-catalogue sweep at reduced bounds; the verdicts at the catalogue's own bounds
-are recorded in ``extra_info``.
+Regenerates the catalogue verdicts through the façade's ``bounded`` engine:
+every formula the paper lists as valid is checked over exhaustive
+small-scope traces via one batched ``Session.check_many`` call.  The
+benchmark measures one full catalogue sweep at reduced bounds; the verdicts
+at the catalogue's own bounds are recorded in ``extra_info``.
 """
 
 import pytest
 
-from repro.core.bounded_checker import is_bounded_valid
+from repro.api import CheckRequest, Session
 from repro.core.valid_formulas import catalogue
 
 
 def _sweep(max_length_cap):
-    rows = []
-    for entry in catalogue():
-        result = is_bounded_valid(
+    session = Session()
+    entries = list(catalogue())
+    results = session.check_many([
+        CheckRequest(
             entry.formula,
-            entry.variables,
+            mode="bounded",
+            variables=entry.variables,
             max_length=min(entry.max_length, max_length_cap),
             include_lassos=True,
+            label=entry.name,
         )
+        for entry in entries
+    ])
+    rows = []
+    for entry, result in zip(entries, results):
         rows.append({
             "formula": entry.name,
             "paper_verdict": "valid",
-            "reproduced_verdict": "valid" if result.valid else "REFUTED",
-            "traces_checked": result.traces_checked,
+            "reproduced_verdict": "valid" if result.verdict else "REFUTED",
+            "traces_checked": result.statistics["traces_checked"],
         })
     return rows
 
@@ -43,5 +51,9 @@ def test_chapter4_catalogue_verdicts(benchmark):
 def test_single_formula_check_cost(benchmark, name):
     from repro.core.valid_formulas import get
     entry = get(name)
-    result = benchmark(is_bounded_valid, entry.formula, entry.variables, 3, True)
-    assert result.valid
+    session = Session()
+    result = benchmark(
+        session.check, entry.formula,
+        mode="bounded", variables=entry.variables, max_length=3,
+    )
+    assert result.verdict

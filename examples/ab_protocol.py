@@ -2,17 +2,23 @@
 
 Run with ``python examples/ab_protocol.py``.
 
-Simulates the protocol of Figure 7-2 under different loss rates, checks the
-sender (Figure 7-3), receiver (Figure 7-4) and service-provided (§7.4)
-specifications, and shows how faulty senders are rejected (experiment E4).
+Simulates the protocol of Figure 7-2 under different loss rates and checks
+the sender (Figure 7-3), receiver (Figure 7-4) and service-provided (§7.4)
+specifications through one façade :class:`~repro.api.session.Session` —
+every (trace, specification) pair shares the session's evaluator memo
+tables, and the faulty-sender sweep goes through ``check_specification``
+(experiment E4).
 """
 
+from repro.api import Session
 from repro.checking import format_table
 from repro.specs import receiver_spec, sender_spec, service_provided_spec
 from repro.systems import ABProtocolConfig, ab_protocol_faulty_trace, ab_protocol_trace
 
 
 def main() -> None:
+    session = Session()
+
     print("== Correct protocol runs under increasing loss ==")
     rows = []
     for loss in (0.0, 0.3, 0.6):
@@ -22,9 +28,10 @@ def main() -> None:
         rows.append({
             "loss": loss,
             "trace length": trace.length,
-            "sender spec": sender_spec().check(trace).holds,
-            "receiver spec": receiver_spec().check(trace).holds,
-            "service (FIFO exactly once)": service_provided_spec().check(trace).holds,
+            "sender spec": session.check_specification(sender_spec(), trace).holds,
+            "receiver spec": session.check_specification(receiver_spec(), trace).holds,
+            "service (FIFO exactly once)":
+                session.check_specification(service_provided_spec(), trace).holds,
         })
     print(format_table(rows, ["loss", "trace length", "sender spec",
                               "receiver spec", "service (FIFO exactly once)"]))
@@ -34,7 +41,7 @@ def main() -> None:
     rows = []
     for fault in ("no_alternation", "transmit_during_dq", "skip_ack_wait"):
         trace = ab_protocol_faulty_trace(fault=fault)
-        result = sender_spec().check(trace)
+        result = session.check_specification(sender_spec(), trace)
         rows.append({
             "fault": fault,
             "sender spec": result.holds,

@@ -3,12 +3,13 @@
 Run with ``python examples/arbiter.py``.
 
 Simulates the four-phase handshake of Figure 6-2 and the two-user arbiter of
-Figure 6-4, checks the paper's axioms on correct and faulty runs, and uses a
-specification monitor to show the instant a violation becomes detectable
-(experiment E3).
+Figure 6-4, checks the paper's axioms on correct and faulty runs through one
+façade session, and uses the façade's ``monitor`` engine to show the instant
+a violation becomes detectable (experiment E3).
 """
 
-from repro.checking import ConformanceCase, SpecificationMonitor, run_conformance
+from repro.api import CheckRequest, Session
+from repro.checking import ConformanceCase, run_conformance
 from repro.specs import arbiter_spec, request_ack_spec
 from repro.systems import (
     arbiter_faulty_trace,
@@ -19,6 +20,8 @@ from repro.systems import (
 
 
 def main() -> None:
+    session = Session()
+
     print("== Request/acknowledge protocol (Figure 6-2) ==")
     report = run_conformance(
         request_ack_spec(),
@@ -31,6 +34,7 @@ def main() -> None:
             ConformanceCase("ack never lowered",
                             lambda s: request_ack_faulty_trace(3, s, "no_ack_lower"), False),
         ],
+        session=session,
     )
     print(report.summary())
     print()
@@ -45,19 +49,28 @@ def main() -> None:
             ConformanceCase("simultaneous transfer grants",
                             lambda s: arbiter_faulty_trace(seed=s, fault="simultaneous_grants"), False),
         ],
+        session=session,
     )
     print(report.summary())
     print()
 
     print("== Monitoring a faulty handshake state by state ==")
-    monitor = SpecificationMonitor(request_ack_spec())
+    specification = request_ack_spec()
     trace = request_ack_faulty_trace(3, 0, "early_ack_drop")
-    for step, state in enumerate(trace.states(), start=1):
-        monitor.observe(state)
-        failing = monitor.failing()
-        if failing:
-            print(f"violation first detectable at state {step}: clauses {failing}")
-            break
+    results = session.check_many([
+        CheckRequest(clause.interpreted_formula(), mode="monitor", trace=trace,
+                     label=clause.name)
+        for clause in specification.clauses
+    ])
+    detectable = [
+        (result.statistics["first_failure_step"], result.request.label)
+        for result in results
+        if result.statistics["first_failure_step"] is not None
+    ]
+    if detectable:
+        step = min(s for s, _ in detectable)
+        clauses = sorted(name for s, name in detectable if s == step)
+        print(f"violation first detectable at state {step}: clauses {clauses}")
 
 
 if __name__ == "__main__":

@@ -3,39 +3,44 @@
 Run with ``python examples/mutual_exclusion.py``.
 
 Simulates the shared-flag discipline of Figure 8-1, checks the specification
-and the mutual-exclusion theorem on correct and faulty runs, and re-checks the
-paper's Figure 8-2 proof steps semantically (experiment E5).
+and the mutual-exclusion theorem on correct and faulty runs through one
+façade session (the theorem's conjuncts ride a single ``check_many`` batch
+per trace, sharing the spec check's memo table), and re-checks the paper's
+Figure 8-2 proof steps semantically (experiment E5).
 """
 
+from repro.api import CheckRequest, Session
 from repro.checking import format_table
-from repro.semantics import Evaluator
 from repro.specs import mutex_spec, mutual_exclusion_proof, mutual_exclusion_theorem
 from repro.systems import mutex_faulty_trace, mutex_trace
 
 
 def main() -> None:
+    session = Session()
+
+    def theorem_holds(processes: int, trace) -> bool:
+        results = session.check_many([
+            CheckRequest(theorem, trace=trace)
+            for theorem in mutual_exclusion_theorem(processes)
+        ])
+        return all(result.holds for result in results)
+
     print("== Specification and theorem on simulated runs ==")
     rows = []
     for processes in (2, 3, 4):
         trace = mutex_trace(processes, entries=4, seed=processes)
-        evaluator = Evaluator(trace)
         rows.append({
             "processes": processes,
             "trace length": trace.length,
-            "Figure 8-1 spec": mutex_spec(processes).check(trace).holds,
-            "mutual exclusion theorem": all(
-                evaluator.satisfies(t) for t in mutual_exclusion_theorem(processes)
-            ),
+            "Figure 8-1 spec": session.check_specification(mutex_spec(processes), trace).holds,
+            "mutual exclusion theorem": theorem_holds(processes, trace),
         })
     faulty = mutex_faulty_trace(2)
-    evaluator = Evaluator(faulty)
     rows.append({
         "processes": "2 (faulty)",
         "trace length": faulty.length,
-        "Figure 8-1 spec": mutex_spec(2).check(faulty).holds,
-        "mutual exclusion theorem": all(
-            evaluator.satisfies(t) for t in mutual_exclusion_theorem(2)
-        ),
+        "Figure 8-1 spec": session.check_specification(mutex_spec(2), faulty).holds,
+        "mutual exclusion theorem": theorem_holds(2, faulty),
     })
     print(format_table(rows, ["processes", "trace length", "Figure 8-1 spec",
                               "mutual exclusion theorem"]))

@@ -5,8 +5,12 @@ Run with ``python examples/queues.py``.
 The script simulates the three queue disciplines of the paper's Chapter 5
 case study plus deliberately faulty variants, checks each trace against the
 paper's specifications, and prints the conformance matrix (experiment E2).
+All three campaigns run through one façade session —
+``run_conformance(..., session=...)`` is a thin wrapper over
+``Session.check_many``.
 """
 
+from repro.api import Session
 from repro.checking import ConformanceCase, format_table, run_conformance
 from repro.specs import reliable_queue_spec, stack_spec, unreliable_queue_spec
 from repro.systems import (
@@ -20,6 +24,7 @@ from repro.systems import (
 
 
 def main() -> None:
+    session = Session()
     print("== Reliable queue specification (the paper's `Queue.` axiom) ==")
     report = run_conformance(
         reliable_queue_spec(),
@@ -28,6 +33,7 @@ def main() -> None:
             ConformanceCase("stack (lifo)", lambda s: stack_trace(4, seed=s), False),
             ConformanceCase("reordering queue", lambda s: reordering_queue_trace(5, seed=s), False),
         ],
+        session=session,
     )
     print(report.summary())
     print()
@@ -39,6 +45,7 @@ def main() -> None:
             ConformanceCase("stack (lifo)", lambda s: stack_trace(4, seed=s), True),
             ConformanceCase("fifo queue", lambda s: reliable_queue_trace(4, seed=s), False),
         ],
+        session=session,
     )
     print(report.summary())
     print()
@@ -54,6 +61,7 @@ def main() -> None:
             ConformanceCase("value-inventing queue",
                             lambda s: inventing_queue_trace(5, seed=s), False),
         ],
+        session=session,
     )
     print(report.summary())
     print()

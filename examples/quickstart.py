@@ -1,20 +1,22 @@
-"""Quickstart: build interval-logic formulas, evaluate them on traces, decide validity.
+"""Quickstart: one Session answers every kind of checking question.
 
 Run with ``python examples/quickstart.py``.
 
-The example walks through the paper's Chapter 2 material:
+The example walks through the paper's Chapter 2 material, asking every
+question through the unified façade (:mod:`repro.api`):
 
-1. the worked formula (1) ``[ x = y  =>  y = 16 ] [] x > z``;
+1. the worked formula (1) ``[ x = y  =>  y = 16 ] [] x > z`` on traces;
 2. event intervals, ``begin`` / ``end``, and vacuous satisfaction;
-3. the valid-formula catalogue of Chapter 4 checked by the bounded checker;
-4. an LTL-fragment formula decided exactly by the Appendix B tableau.
+3. the valid-formula catalogue of Chapter 4 via the bounded engine;
+4. an LTL-fragment formula decided exactly by the Appendix B tableau —
+   auto-dispatched, no trace needed;
+5. the same fragment through the Appendix C low-level language engine.
 """
 
-from repro.core.bounded_checker import is_bounded_valid
+from repro.api import CheckRequest, Session
 from repro.core.valid_formulas import get
-from repro.ltl import is_valid, interval_to_ltl
-from repro.semantics import Evaluator, make_trace, boolean_trace
-from repro.syntax import parse_formula, to_unicode
+from repro.semantics import boolean_trace
+from repro.syntax import to_unicode
 from repro.syntax.builder import (
     always,
     begin,
@@ -24,7 +26,6 @@ from repro.syntax.builder import (
     eventually,
     forward,
     gt,
-    implies,
     interval,
     lnot,
     occurs,
@@ -32,7 +33,7 @@ from repro.syntax.builder import (
 )
 
 
-def chapter_2_formula_1() -> None:
+def chapter_2_formula_1(session: Session) -> None:
     print("== Chapter 2, formula (1):  [ x = y  =>  y = 16 ] [] x > z ==")
     formula = interval(
         forward(event(eq("x", "y")), event(eq("y", 16))),
@@ -46,54 +47,76 @@ def chapter_2_formula_1() -> None:
         {"x": 8, "y": 16, "z": 3},  # the event "y = 16" occurs here
         {"x": 0, "y": 0, "z": 5},
     ]
-    good = make_trace(rows)
-    print("holds on the conforming trace:   ", Evaluator(good).satisfies(formula))
+    good = session.check(formula, trace=rows, extract_model=True)
+    print("holds on the conforming trace:   ", good.verdict,
+          f"(engine={good.engine}, witness interval={good.witness})")
     rows[2]["x"] = 1               # x dips below z inside the interval
-    print("holds after breaking the trace:  ", Evaluator(make_trace(rows)).satisfies(formula))
+    print("holds after breaking the trace:  ",
+          session.check(formula, trace=rows).verdict)
     print()
 
 
-def events_and_vacuity() -> None:
+def events_and_vacuity(session: Session) -> None:
     print("== Events, begin/end, and vacuous satisfaction ==")
     trace = boolean_trace(
         ["A", "B"],
         [[0, 0], [1, 0], [1, 0], [0, 1]],
     )
-    evaluator = Evaluator(trace)
+    session.add_trace("events", trace)
     a, b = prop("A"), prop("B")
     print("the A event is the change interval:",
-          evaluator.construct_interval(event(a)))
-    print("[end A] A        :", evaluator.satisfies(interval(end(event(a)), a)))
-    print("[begin A] ~A     :", evaluator.satisfies(interval(begin(event(a)), lnot(a))))
-    print("*(A => B)        :", evaluator.satisfies(occurs(forward(event(a), event(b)))))
+          session.check(occurs(event(a)), trace="events", extract_model=True).witness)
+    print("[end A] A        :",
+          session.check(interval(end(event(a)), a), trace="events").verdict)
+    print("[begin A] ~A     :",
+          session.check(interval(begin(event(a)), lnot(a)), trace="events").verdict)
+    print("*(A => B)        :",
+          session.check(occurs(forward(event(a), event(b))), trace="events").verdict)
     impossible = interval(event(a & b), eventually(b))
     print("vacuously true (A /\\ B never becomes true):",
-          evaluator.satisfies(impossible))
+          session.check(impossible, trace="events").verdict)
     print()
 
 
-def chapter_4_catalogue() -> None:
-    print("== Chapter 4 valid formulas (small-scope check) ==")
-    for name in ("V4", "V5", "V9", "V10"):
-        entry = get(name)
-        result = is_bounded_valid(entry.formula, entry.variables, max_length=3)
-        print(f"{name}: {entry.description:<55} -> {result.valid}")
+def chapter_4_catalogue(session: Session) -> None:
+    print("== Chapter 4 valid formulas (small-scope check, batched) ==")
+    entries = [get(name) for name in ("V4", "V5", "V9", "V10")]
+    results = session.check_many([
+        CheckRequest(entry.formula, mode="bounded", variables=entry.variables,
+                     max_length=3, label=entry.name)
+        for entry in entries
+    ])
+    for entry, result in zip(entries, results):
+        print(f"{entry.name}: {entry.description:<55} -> {result.verdict} "
+              f"({result.statistics['traces_checked']} traces)")
     print()
 
 
-def tableau_decision() -> None:
-    print("== The LTL fragment decided by the Appendix B tableau ==")
-    formula = parse_formula("[] (p -> <> q) /\\ <> p -> <> q")
-    print("formula:", to_unicode(formula))
-    print("valid:", is_valid(interval_to_ltl(formula)))
-    invalid = parse_formula("<> p -> [] p")
-    print("formula:", to_unicode(invalid))
-    print("valid:", is_valid(interval_to_ltl(invalid)))
+def tableau_decision(session: Session) -> None:
+    print("== The LTL fragment, auto-dispatched to the Appendix B tableau ==")
+    for text in ("[] (p -> <> q) /\\ <> p -> <> q", "<> p -> [] p"):
+        result = session.check(text, extract_model=True)
+        print(f"formula: {text}")
+        print(f"  engine={result.engine} valid={result.verdict} "
+              f"nodes={result.statistics['nodes']} "
+              f"counterexample={'yes' if result.counterexample is not None else 'no'}")
+    print()
+
+
+def lll_decision(session: Session) -> None:
+    print("== The same fragment through the Appendix C low-level language ==")
+    result = session.check("[] (p -> <> q)", mode="lll",
+                           query="satisfiability", max_length=3)
+    print("satisfiable within bound:", result.verdict,
+          f"({result.statistics['interpretations']} interpretations, "
+          f"bound {result.statistics['bound']})")
     print()
 
 
 if __name__ == "__main__":
-    chapter_2_formula_1()
-    events_and_vacuity()
-    chapter_4_catalogue()
-    tableau_decision()
+    session = Session()
+    chapter_2_formula_1(session)
+    events_and_vacuity(session)
+    chapter_4_catalogue(session)
+    tableau_decision(session)
+    lll_decision(session)

@@ -1,10 +1,26 @@
-"""Setuptools shim.
+"""Setuptools packaging for the interval-logic reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that legacy (non-PEP-517) editable installs work in offline environments
-that lack the ``wheel`` package.
+The project is pure Python with no third-party runtime dependencies; the
+test-suite uses ``pytest`` (and the benchmarks ``pytest-benchmark``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-interval-logic",
+    version="1.1.0",
+    description=(
+        "Reproduction of Schwartz/Melliar-Smith/Vogt/Plaisted, 'An Interval "
+        "Logic for Higher-Level Temporal Reasoning' (PODC 1983)"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Intended Audience :: Science/Research",
+        "Topic :: Scientific/Engineering",
+    ],
+)

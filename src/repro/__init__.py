@@ -3,8 +3,22 @@
 Schwartz, Melliar-Smith, Vogt, Plaisted — SRI International / NASA CR-172262,
 1983 (PODC 1983).
 
+**Front door.**  :mod:`repro.api` is the package's unified checking façade:
+a :class:`~repro.api.session.Session` holds traces, domains and shared
+caches; :meth:`~repro.api.session.Session.check` answers one
+:class:`~repro.api.request.CheckRequest` (formula + mode + options) with a
+:class:`~repro.api.result.CheckResult` (verdict, witness/counterexample,
+statistics, wall time); :meth:`~repro.api.session.Session.check_many`
+batches campaigns and can fan them out over worker processes.  Five
+pluggable engines — ``trace``, ``bounded``, ``tableau``, ``lll``,
+``monitor`` — wrap the subsystems below, with auto-dispatch on the formula
+fragment.  The historical per-subsystem entry points keep working and are
+also re-exported (with deprecation warnings) from :mod:`repro.api.legacy`.
+
 The package is organised as:
 
+* :mod:`repro.api` — the unified checking façade (Session / CheckRequest /
+  CheckResult, engine registry, batching and parallel fan-out);
 * :mod:`repro.syntax` — formulas, interval terms, event terms, parser, printer;
 * :mod:`repro.semantics` — states, traces, the construction function ``F`` and
   the Chapter 3 satisfaction relation, Appendix A reductions;
@@ -20,10 +34,12 @@ The package is organised as:
   studies (queues, self-timed arbiter, Alternating Bit protocol, distributed
   mutual exclusion);
 * :mod:`repro.specs` — the paper's specifications written against the API;
-* :mod:`repro.checking` — trace monitors and conformance campaigns.
+* :mod:`repro.checking` — trace monitors and conformance campaigns (the
+  conformance runner is a thin wrapper over ``Session.check_many``).
 """
 
 from . import errors
+from .api import CheckRequest, CheckResult, Session, check, check_many
 from .semantics import (
     BOTTOM,
     Evaluator,
@@ -36,10 +52,15 @@ from .semantics import (
 )
 from .syntax import parse_formula, parse_term, to_ascii, to_unicode
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "errors",
+    "Session",
+    "CheckRequest",
+    "CheckResult",
+    "check",
+    "check_many",
     "BOTTOM",
     "Evaluator",
     "Interval",

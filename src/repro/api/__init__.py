@@ -1,0 +1,65 @@
+"""The unified checking façade — the package's front door.
+
+Three nouns cover every checking question of the reproduction:
+
+* :class:`Session` — holds traces, quantification domains, shared evaluator
+  memo tables and the engine registry; answers requests through
+  :meth:`~Session.check` and batches through :meth:`~Session.check_many`;
+* :class:`CheckRequest` — one formula (string, AST, builder expression, LTL
+  or LLL object — see :func:`coerce_formula`) plus mode and options;
+* :class:`CheckResult` — one verdict with witness/counterexample, per-engine
+  statistics and wall time, whatever engine produced it.
+
+Five pluggable engines wrap the pre-façade subsystems: ``trace`` (Chapter 3
+satisfaction), ``bounded`` (small-scope validity), ``tableau`` (Appendix B /
+Algorithm A), ``lll`` (Appendix C) and ``monitor`` (incremental prefixes).
+``Session.check`` auto-dispatches on the formula fragment when no mode is
+given.  The historical entry points remain available as deprecation shims in
+:mod:`repro.api.legacy`.
+
+Quickstart::
+
+    from repro.api import Session
+
+    session = Session().add_trace("run", [{"x": 1}, {"x": 2}])
+    session.check("<> x == 2", trace="run").holds        # -> True
+    session.check("[] (p -> <> q) /\\ <> p -> <> q")     # tableau: valid
+"""
+
+from . import legacy
+from .coerce import CheckRequestError, coerce_formula, coerce_trace
+from .engines import (
+    BoundedEngine,
+    Engine,
+    EngineRegistry,
+    LLLEngine,
+    MonitorEngine,
+    TableauEngine,
+    TraceEngine,
+    default_registry,
+)
+from .request import QUERY_SATISFIABILITY, QUERY_VALIDITY, CheckRequest
+from .result import CheckResult
+from .session import Session, check, check_many
+
+__all__ = [
+    "Session",
+    "CheckRequest",
+    "CheckResult",
+    "check",
+    "check_many",
+    "coerce_formula",
+    "coerce_trace",
+    "CheckRequestError",
+    "Engine",
+    "EngineRegistry",
+    "TraceEngine",
+    "BoundedEngine",
+    "TableauEngine",
+    "LLLEngine",
+    "MonitorEngine",
+    "default_registry",
+    "QUERY_VALIDITY",
+    "QUERY_SATISFIABILITY",
+    "legacy",
+]

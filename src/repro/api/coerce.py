@@ -1,0 +1,74 @@
+"""Input coercion for the checking façade.
+
+Every façade entry point accepts formulas and traces in whatever shape the
+caller already has:
+
+* a concrete-syntax string (parsed with :func:`repro.syntax.parse_formula`,
+  ASCII or unicode notation);
+* an interval-logic :class:`~repro.syntax.formulas.Formula` or a builder
+  expression (a bare :class:`~repro.syntax.terms.Predicate` or ``bool``);
+* a propositional LTL formula (:class:`~repro.ltl.syntax.LTLFormula`) for the
+  tableau and LLL engines;
+* a low-level-language expression (:class:`~repro.lll.syntax.LLLExpression`)
+  for the LLL engine;
+* for traces: a :class:`~repro.semantics.trace.Trace`, a sequence of state
+  rows (handed to :func:`~repro.semantics.trace.make_trace`), or the name of
+  a trace registered on the :class:`~repro.api.session.Session`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from ..errors import ReproError
+from ..lll.syntax import LLLExpression
+from ..ltl.syntax import LTLFormula
+from ..semantics.trace import Trace, make_trace
+from ..syntax.builder import to_formula
+from ..syntax.formulas import Formula
+from ..syntax.parser import parse_formula
+from ..syntax.terms import Predicate
+
+__all__ = ["CheckRequestError", "FormulaLike", "coerce_formula", "coerce_trace"]
+
+
+FormulaLike = Union[str, bool, Formula, Predicate, LTLFormula, LLLExpression]
+
+
+class CheckRequestError(ReproError):
+    """A check request was malformed (bad formula/trace input or options)."""
+
+
+def coerce_formula(value: FormulaLike) -> Union[Formula, LTLFormula, LLLExpression]:
+    """Coerce ``value`` into a formula object one of the engines can check."""
+    if isinstance(value, (Formula, LTLFormula, LLLExpression)):
+        return value
+    if isinstance(value, str):
+        return parse_formula(value)
+    if isinstance(value, (bool, Predicate)):
+        return to_formula(value)
+    raise CheckRequestError(
+        "cannot interpret as a formula: expected a string, Formula, "
+        f"Predicate, bool, LTLFormula or LLLExpression, got "
+        f"{type(value).__name__}"
+    )
+
+
+def coerce_trace(value: Any) -> Trace:
+    """Coerce ``value`` into a :class:`Trace` (rows are accepted directly).
+
+    Trace *names* are resolved by the session, not here; a string reaching
+    this function is an error.
+    """
+    if isinstance(value, Trace):
+        return value
+    if isinstance(value, str):
+        raise CheckRequestError(
+            f"trace name {value!r} is not registered on this session"
+        )
+    if isinstance(value, (list, tuple)):
+        return make_trace(value)
+    raise CheckRequestError(
+        "cannot interpret as a trace: expected a Trace, a registered trace "
+        f"name, or a sequence of state rows, got {type(value).__name__}"
+    )

@@ -1,0 +1,324 @@
+"""The pluggable checking engines behind the façade.
+
+Five engines wrap the pre-existing subsystems, one per decision style:
+
+========  =====================================================  ==========
+name      wraps                                                  question
+========  =====================================================  ==========
+trace     :mod:`repro.semantics.evaluator`                       s ⊨ α on one trace
+bounded   :mod:`repro.core.bounded_checker`                      small-scope validity
+tableau   :mod:`repro.ltl.decision` + :mod:`repro.ltl.translation`  exact LTL-fragment validity
+lll       :mod:`repro.lll`                                       Appendix C bounded satisfiability
+monitor   :mod:`repro.checking.monitor`                          incremental prefix verdicts
+========  =====================================================  ==========
+
+Each engine consumes a :class:`~repro.api.request.CheckRequest` and produces
+a :class:`~repro.api.result.CheckResult`; the
+:class:`~repro.api.session.Session` owns timing, error capture, and
+auto-dispatch.  New engines plug in through :class:`EngineRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..core.bounded_checker import find_counterexample, is_bounded_valid
+from ..errors import ReproError
+from ..lll.semantics import satisfying_interpretations
+from ..lll.syntax import LLLExpression
+from ..lll.translation import ltl_to_lll
+from ..ltl.decision import TableauDecider
+from ..ltl.syntax import LTLFormula, to_nnf
+from ..ltl.translation import interval_to_ltl
+from ..semantics.construction import BOTTOM
+from ..semantics.reduction import has_star
+from ..syntax.formulas import Formula, IntervalFormula, Not, Occurs
+from .coerce import CheckRequestError
+from .request import QUERY_SATISFIABILITY, QUERY_VALIDITY, CheckRequest
+from .result import CheckResult
+
+__all__ = [
+    "Engine",
+    "EngineRegistry",
+    "TraceEngine",
+    "BoundedEngine",
+    "TableauEngine",
+    "LLLEngine",
+    "MonitorEngine",
+    "default_registry",
+]
+
+
+class EngineError(ReproError):
+    """An engine received a request it cannot answer."""
+
+
+class Engine:
+    """Base class of checking engines.
+
+    Subclasses set :attr:`name` and implement :meth:`run`; they should raise
+    (not swallow) on unanswerable requests — the session turns exceptions
+    into error verdicts when the request asks for that.
+    """
+
+    name: str = "?"
+
+    def run(self, request: CheckRequest, session) -> CheckResult:
+        raise NotImplementedError
+
+    def _interval_formula(self, request: CheckRequest) -> Formula:
+        formula = request.resolved_formula()
+        if not isinstance(formula, Formula):
+            raise EngineError(
+                f"the {self.name!r} engine checks interval-logic formulas, "
+                f"got {type(formula).__name__}"
+            )
+        return formula
+
+
+class TraceEngine(Engine):
+    """Chapter 3 satisfaction on one computation (wraps the evaluator)."""
+
+    name = "trace"
+
+    def run(self, request: CheckRequest, session) -> CheckResult:
+        formula = self._interval_formula(request)
+        trace = session.resolve_trace(request.trace)
+        evaluator = session.evaluator(trace, request.domain)
+        memo_before = evaluator.memo_size
+        verdict = evaluator.satisfies(formula, request.env)
+        witness = None
+        if (
+            request.extract_model
+            and isinstance(formula, (IntervalFormula, Occurs))
+            and not has_star(formula.term)
+        ):
+            # Re-running the construction is extra work, so the witness
+            # interval is opt-in (campaign hot paths never read it).
+            found = evaluator.construct_interval(formula.term, env=request.env)
+            if found is not None and found is not BOTTOM:
+                witness = found
+        return CheckResult(
+            verdict=verdict,
+            engine=self.name,
+            request=request,
+            witness=witness,
+            statistics={
+                "trace_length": trace.length,
+                "memo_entries": evaluator.memo_size,
+                "memo_new_entries": evaluator.memo_size - memo_before,
+            },
+        )
+
+
+class BoundedEngine(Engine):
+    """Exhaustive small-scope validity (wraps the bounded checker)."""
+
+    name = "bounded"
+
+    def run(self, request: CheckRequest, session) -> CheckResult:
+        formula = self._interval_formula(request)
+        if request.query == QUERY_VALIDITY:
+            result = is_bounded_valid(
+                formula,
+                variables=request.variables,
+                max_length=request.max_length,
+                include_lassos=request.include_lassos,
+            )
+            return CheckResult(
+                verdict=result.valid,
+                engine=self.name,
+                request=request,
+                counterexample=result.counterexample,
+                statistics={
+                    "traces_checked": result.traces_checked,
+                    "max_length": result.max_length,
+                    "variables": list(result.variables),
+                },
+                details=result,
+            )
+        # Satisfiability within the bound: a model of the formula is a
+        # counterexample to the validity of its negation.
+        model, checked = find_counterexample(
+            Not(formula),
+            variables=request.variables,
+            max_length=request.max_length,
+            include_lassos=request.include_lassos,
+        )
+        return CheckResult(
+            verdict=model is not None,
+            engine=self.name,
+            request=request,
+            witness=model,
+            statistics={"traces_checked": checked, "max_length": request.max_length},
+        )
+
+
+class TableauEngine(Engine):
+    """Exact decision of the LTL fragment (wraps Appendix B / Algorithm A)."""
+
+    name = "tableau"
+
+    def _ltl_formula(self, request: CheckRequest) -> LTLFormula:
+        formula = request.resolved_formula()
+        if isinstance(formula, LTLFormula):
+            return formula
+        if isinstance(formula, Formula):
+            return interval_to_ltl(formula)
+        raise EngineError(
+            f"the tableau engine needs an LTL or interval-logic formula, "
+            f"got {type(formula).__name__}"
+        )
+
+    def run(self, request: CheckRequest, session) -> CheckResult:
+        ltl = self._ltl_formula(request)
+        decider = TableauDecider(request.theory)
+        if request.query == QUERY_VALIDITY:
+            result = decider.validity(ltl, extract_model=request.extract_model)
+            witness, counterexample = None, result.model
+        else:
+            result = decider.satisfiability(ltl, extract_model=request.extract_model)
+            witness, counterexample = result.model, None
+        statistics = dict(result.statistics.as_row())
+        statistics["surviving_nodes"] = result.statistics.surviving_nodes
+        statistics["surviving_edges"] = result.statistics.surviving_edges
+        return CheckResult(
+            verdict=result.satisfiable,  # "valid" for validity queries
+            engine=self.name,
+            request=request,
+            witness=witness,
+            counterexample=counterexample,
+            statistics=statistics,
+            details=result,
+        )
+
+
+class LLLEngine(Engine):
+    """Appendix C low-level language, bounded partial-interpretation semantics.
+
+    Satisfiability only: ``Ψ`` denotes truncated partial interpretations, so
+    an interpretation of the *negation* within the bound does not refute
+    validity (an eventuality may simply lie past the truncation).  Validity
+    questions belong to the ``tableau`` or ``bounded`` engines.
+    """
+
+    name = "lll"
+
+    @staticmethod
+    def _canonical(interpretations) -> Tuple:
+        """A deterministic representative of a set of interpretations."""
+        return min(
+            interpretations,
+            key=lambda i: (len(i), [tuple(sorted(c)) for c in i]),
+        )
+
+    def _expression(self, request: CheckRequest) -> LLLExpression:
+        formula = request.resolved_formula()
+        if isinstance(formula, LLLExpression):
+            return formula
+        if isinstance(formula, Formula):
+            formula = interval_to_ltl(formula)
+        if isinstance(formula, LTLFormula):
+            return ltl_to_lll(to_nnf(formula))
+        raise EngineError(
+            f"the lll engine needs an LLL, LTL or interval-logic formula, "
+            f"got {type(formula).__name__}"
+        )
+
+    def run(self, request: CheckRequest, session) -> CheckResult:
+        if request.query != QUERY_SATISFIABILITY:
+            raise EngineError(
+                "the lll engine answers query='satisfiability' only: the "
+                "bounded Appendix C semantics truncates interpretations, so "
+                "refuting the negation within a bound does not decide "
+                "validity — use the tableau or bounded engine for that"
+            )
+        bound = request.max_length
+        expression = self._expression(request)
+        models = satisfying_interpretations(expression, bound)
+        return CheckResult(
+            verdict=bool(models),
+            engine=self.name,
+            request=request,
+            witness=self._canonical(models) if models else None,
+            statistics={"bound": bound, "interpretations": len(models)},
+        )
+
+
+class MonitorEngine(Engine):
+    """Incremental prefix evaluation (wraps the trace monitor).
+
+    Each request drives its own :class:`~repro.checking.monitor.Monitor`
+    over the full trace, so batching C formulas over an S-state trace costs
+    C×S prefix evaluations.  For large specifications where only the final
+    verdicts matter, the ``trace`` engine is the cheaper choice;
+    :class:`~repro.checking.monitor.SpecificationMonitor` remains the tool
+    for observing many clauses in one pass over a *live* state stream.
+    """
+
+    name = "monitor"
+
+    def run(self, request: CheckRequest, session) -> CheckResult:
+        # Imported lazily: repro.checking imports the façade for its
+        # conformance runner, so a top-level import here would be circular.
+        from ..checking.monitor import Monitor
+
+        formula = self._interval_formula(request)
+        trace = session.resolve_trace(request.trace)
+        name = request.label or "formula"
+        monitor = Monitor({name: formula}, request.domain)
+        verdicts = monitor.observe_trace(trace)
+        verdict = verdicts[name]
+        history = list(verdict.history)
+        first_failure = next(
+            (step for step, value in enumerate(history, start=1) if not value),
+            None,
+        )
+        return CheckResult(
+            verdict=verdict.holds,
+            engine=self.name,
+            request=request,
+            counterexample=first_failure,
+            statistics={
+                "prefix_length": monitor.prefix_length,
+                "stable_for": verdict.stable_for,
+                "first_failure_step": first_failure,
+                "history": history,
+            },
+            details=verdict,
+        )
+
+
+class EngineRegistry:
+    """Name → engine mapping; sessions dispatch through one of these."""
+
+    def __init__(self, engines: Iterable[Engine] = ()) -> None:
+        self._engines = {}
+        for engine in engines:
+            self.register(engine)
+
+    def register(self, engine: Engine, replace: bool = False) -> None:
+        if not replace and engine.name in self._engines:
+            raise CheckRequestError(f"engine {engine.name!r} is already registered")
+        self._engines[engine.name] = engine
+
+    def get(self, name: str) -> Engine:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise CheckRequestError(
+                f"unknown engine {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._engines))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._engines
+
+
+def default_registry() -> EngineRegistry:
+    """A fresh registry holding the five standard engines."""
+    return EngineRegistry(
+        [TraceEngine(), BoundedEngine(), TableauEngine(), LLLEngine(), MonitorEngine()]
+    )

@@ -1,0 +1,116 @@
+"""Deprecation-shimmed re-exports of the pre-façade entry points.
+
+Before the façade, "does this formula hold?" had seven disjoint spellings —
+``Evaluator.satisfies``, ``Specification.check``, ``run_conformance``,
+``Monitor.observe_trace``, ``is_bounded_valid`` / ``find_counterexample``,
+``TableauDecider.satisfiability`` / ``validity`` and the LLL bounded
+decision — each with its own result type.  They all still work at their
+original locations (the engines are built on them); this module re-exports
+every one of them under a single roof and emits a :class:`DeprecationWarning`
+on first access, pointing migrating code at the :class:`~repro.api.session.Session`
+equivalent::
+
+    from repro.api import legacy
+    legacy.run_conformance(...)   # works, warns once, says what to use instead
+"""
+
+from __future__ import annotations
+
+import warnings
+from importlib import import_module
+from typing import Dict, Tuple
+
+__all__ = [
+    "Evaluator",
+    "satisfies",
+    "holds_on_context",
+    "Specification",
+    "SpecificationResult",
+    "run_conformance",
+    "ConformanceCase",
+    "ConformanceReport",
+    "Monitor",
+    "SpecificationMonitor",
+    "MonitorVerdict",
+    "is_bounded_valid",
+    "find_counterexample",
+    "check_bounded_equivalence",
+    "BoundedResult",
+    "TableauDecider",
+    "DecisionResult",
+    "is_satisfiable",
+    "is_valid",
+    "is_satisfiable_bounded",
+    "satisfying_interpretations",
+]
+
+
+# name -> (defining module, attribute, Session-based replacement)
+_ENTRY_POINTS: Dict[str, Tuple[str, str, str]] = {
+    "Evaluator": ("repro.semantics.evaluator", "Evaluator",
+                  "Session.check(formula, trace=...)"),
+    "satisfies": ("repro.semantics.evaluator", "satisfies",
+                  "Session.check(formula, trace=...)"),
+    "holds_on_context": ("repro.semantics.evaluator", "holds_on_context",
+                         "Session.check(formula, trace=...)"),
+    "Specification": ("repro.core.specification", "Specification",
+                      "Session.check_specification(spec, trace)"),
+    "SpecificationResult": ("repro.core.specification", "SpecificationResult",
+                            "Session.check_specification(spec, trace)"),
+    "run_conformance": ("repro.checking.runner", "run_conformance",
+                        "Session.check_many(...) / run_conformance(session=...)"),
+    "ConformanceCase": ("repro.checking.runner", "ConformanceCase",
+                        "Session.check_many(...)"),
+    "ConformanceReport": ("repro.checking.runner", "ConformanceReport",
+                          "Session.check_many(...)"),
+    "Monitor": ("repro.checking.monitor", "Monitor",
+                "Session.check(formula, trace=..., mode='monitor')"),
+    "SpecificationMonitor": ("repro.checking.monitor", "SpecificationMonitor",
+                             "Session.check(formula, trace=..., mode='monitor')"),
+    "MonitorVerdict": ("repro.checking.monitor", "MonitorVerdict",
+                       "Session.check(formula, trace=..., mode='monitor')"),
+    "is_bounded_valid": ("repro.core.bounded_checker", "is_bounded_valid",
+                         "Session.check(formula, mode='bounded')"),
+    "find_counterexample": ("repro.core.bounded_checker", "find_counterexample",
+                            "Session.check(formula, mode='bounded')"),
+    "check_bounded_equivalence": ("repro.core.bounded_checker",
+                                  "check_bounded_equivalence",
+                                  "Session.check(Iff(left, right), mode='bounded')"),
+    "BoundedResult": ("repro.core.bounded_checker", "BoundedResult",
+                      "Session.check(formula, mode='bounded')"),
+    "TableauDecider": ("repro.ltl.decision", "TableauDecider",
+                       "Session.check(formula, mode='tableau')"),
+    "DecisionResult": ("repro.ltl.decision", "DecisionResult",
+                       "Session.check(formula, mode='tableau')"),
+    "is_satisfiable": ("repro.ltl.decision", "is_satisfiable",
+                       "Session.check(formula, mode='tableau', query='satisfiability')"),
+    "is_valid": ("repro.ltl.decision", "is_valid",
+                 "Session.check(formula, mode='tableau')"),
+    "is_satisfiable_bounded": ("repro.lll.semantics", "is_satisfiable_bounded",
+                               "Session.check(expr, mode='lll', query='satisfiability')"),
+    "satisfying_interpretations": ("repro.lll.semantics",
+                                   "satisfying_interpretations",
+                                   "Session.check(expr, mode='lll', query='satisfiability')"),
+}
+
+_warned = set()
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute, replacement = _ENTRY_POINTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.api.legacy.{name} is a deprecation shim; "
+            f"prefer {replacement} from repro.api",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return getattr(import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(__all__)

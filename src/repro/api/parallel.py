@@ -1,0 +1,60 @@
+"""Chunked multiprocessing fan-out for large checking campaigns.
+
+``Session.check_many`` hands a prepared request list here when asked for
+worker processes.  The batch is split into contiguous chunks (preserving
+order), each worker materializes its own :class:`~repro.api.session.Session`
+and runs a chunk serially, and the results are re-concatenated in request
+order.  Workers share nothing; per-trace memo sharing still happens within a
+chunk, so chunks should group requests over the same trace — which is how
+the conformance runner lays them out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence
+
+from .request import CheckRequest
+from .result import CheckResult
+
+__all__ = ["run_chunked", "split_chunks"]
+
+
+def split_chunks(
+    requests: Sequence[CheckRequest], chunk_count: int, chunk_size: Optional[int] = None
+) -> List[List[CheckRequest]]:
+    """Split ``requests`` into order-preserving chunks.
+
+    Without an explicit ``chunk_size``, aims at one chunk per worker (never
+    more chunks than requests).
+    """
+    total = len(requests)
+    if chunk_size is None:
+        chunk_size = max(1, (total + chunk_count - 1) // chunk_count)
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+    return [list(requests[i : i + chunk_size]) for i in range(0, total, chunk_size)]
+
+
+def _run_chunk(requests: List[CheckRequest]) -> List[CheckResult]:
+    # A fresh session per worker: evaluator memo tables are shared within
+    # the chunk, never across processes.
+    from .session import Session
+
+    session = Session()
+    return [session._run(request) for request in requests]
+
+
+def run_chunked(
+    requests: Sequence[CheckRequest],
+    processes: int,
+    chunk_size: Optional[int] = None,
+) -> List[CheckResult]:
+    """Run ``requests`` over ``processes`` workers; results in request order."""
+    chunks = split_chunks(requests, processes, chunk_size)
+    if len(chunks) <= 1:
+        return _run_chunk(list(requests))
+    context = multiprocessing.get_context()
+    with context.Pool(processes=min(processes, len(chunks))) as pool:
+        chunk_results = pool.map(_run_chunk, chunks)
+    return [result for chunk in chunk_results for result in chunk]

@@ -1,0 +1,92 @@
+"""The unified check request.
+
+A :class:`CheckRequest` pairs one formula with the question being asked of
+it (mode, query, trace, options).  It is the single argument type understood
+by every engine, by :meth:`Session.check` and by :meth:`Session.check_many`;
+the keyword arguments of ``Session.check(formula, **options)`` are exactly
+the fields below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from .coerce import CheckRequestError, coerce_formula
+
+__all__ = ["CheckRequest", "QUERY_SATISFIABILITY", "QUERY_VALIDITY"]
+
+
+QUERY_VALIDITY = "validity"
+QUERY_SATISFIABILITY = "satisfiability"
+
+
+@dataclass
+class CheckRequest:
+    """One question of the form "does this formula hold?".
+
+    Parameters
+    ----------
+    formula:
+        The formula, in any shape :func:`~repro.api.coerce.coerce_formula`
+        accepts: concrete-syntax string, interval-logic ``Formula`` (or
+        builder expression), LTL formula, or LLL expression.
+    mode:
+        Engine name (``"trace"``, ``"bounded"``, ``"tableau"``, ``"lll"``,
+        ``"monitor"``) or ``None`` to auto-dispatch on the formula fragment.
+    trace:
+        For the trace/monitor engines: a ``Trace``, a sequence of state rows,
+        or the name of a trace registered on the session.
+    env / domain:
+        Logical-variable bindings and ``Forall`` quantification domains
+        (trace-backed engines).
+    query:
+        For the decision engines: ``"validity"`` (default) or
+        ``"satisfiability"``.
+    max_length / include_lassos / variables:
+        Small-scope options for the bounded engine; ``max_length`` doubles as
+        the length bound of the LLL engine's partial-interpretation
+        semantics.
+    theory:
+        Optional specialized theory handed to the tableau engine
+        (Algorithm A).
+    extract_model:
+        Ask for explicit evidence beyond the verdict: the tableau engine
+        extracts a lasso model / validity counterexample, the trace engine
+        constructs the witness interval of a top-level interval formula.
+    capture_errors:
+        When true, engine exceptions become an error verdict on the
+        :class:`~repro.api.result.CheckResult` instead of propagating —
+        the behaviour conformance campaigns rely on.
+    label:
+        Free-form tag echoed on the result (clause names, case ids, ...).
+    """
+
+    formula: Any
+    mode: Optional[str] = None
+    trace: Optional[Any] = None
+    env: Optional[Mapping[str, Any]] = None
+    domain: Optional[Mapping[str, Iterable[Any]]] = None
+    query: str = QUERY_VALIDITY
+    max_length: int = 4
+    include_lassos: bool = True
+    variables: Optional[Sequence[str]] = None
+    theory: Optional[object] = None
+    extract_model: bool = False
+    capture_errors: bool = False
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.query not in (QUERY_VALIDITY, QUERY_SATISFIABILITY):
+            raise CheckRequestError(
+                f"query must be {QUERY_VALIDITY!r} or {QUERY_SATISFIABILITY!r}, "
+                f"got {self.query!r}"
+            )
+
+    def resolved_formula(self):
+        """The coerced formula object (parsing strings on first use)."""
+        return coerce_formula(self.formula)
+
+    def with_options(self, **changes: Any) -> "CheckRequest":
+        """A copy of this request with some fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,82 @@
+"""The unified check result.
+
+Every engine answers with the same :class:`CheckResult`: a three-valued
+verdict, an optional witness or counterexample (an interval on the trace, an
+explicit lasso model, a refuting boolean trace, or a satisfying LLL partial
+interpretation), the engine's own statistics, and the wall-clock time spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .request import CheckRequest
+
+__all__ = ["CheckResult"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one :class:`~repro.api.request.CheckRequest`.
+
+    Attributes
+    ----------
+    verdict:
+        ``True`` (holds / valid / satisfiable depending on the query),
+        ``False`` (fails), or ``None`` when the engine errored and the
+        request asked for errors to be captured.
+    engine:
+        Name of the engine that produced the verdict.
+    request:
+        The request this result answers.
+    witness:
+        Evidence *for* the verdict: the constructed interval (trace engine),
+        an explicit model (tableau/LLL satisfiability), ...
+    counterexample:
+        Evidence *against*: a refuting trace (bounded engine), a
+        counterexample model to validity (tableau), a falsified clause, ...
+    statistics:
+        Engine-specific counters (memo entries, traces checked, tableau
+        node/edge counts, monitor stability, ...).
+    wall_time_s:
+        Wall-clock seconds spent inside the engine.
+    error:
+        ``"ExceptionType: message"`` when the engine raised and the request
+        had ``capture_errors`` set.
+    details:
+        The engine's native result object (``BoundedResult``,
+        ``DecisionResult``, ``MonitorVerdict``, ...), for callers migrating
+        from the pre-façade entry points.
+    """
+
+    verdict: Optional[bool]
+    engine: str
+    request: CheckRequest
+    witness: Any = None
+    counterexample: Any = None
+    statistics: Dict[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    error: Optional[str] = None
+    details: Any = None
+
+    @property
+    def holds(self) -> bool:
+        """Strict reading of the verdict: only an affirmative ``True`` counts."""
+        return self.verdict is True
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def summary(self) -> str:
+        """One line: verdict, engine, label, timing."""
+        if self.verdict is None:
+            status = "ERROR"
+        else:
+            status = "PASS" if self.verdict else "FAIL"
+        label = f" {self.request.label}" if self.request.label else ""
+        tail = f" ({self.error})" if self.error else ""
+        return (
+            f"[{status}]{label} engine={self.engine} "
+            f"{self.wall_time_s * 1000.0:.2f}ms{tail}"
+        )

@@ -1,0 +1,322 @@
+"""The façade session: one front door for every checking question.
+
+A :class:`Session` holds the shared context of a checking campaign — named
+traces, default quantification domains, per-trace evaluators with their memo
+tables, and the engine registry — and answers
+:class:`~repro.api.request.CheckRequest` objects through
+:meth:`Session.check` and :meth:`Session.check_many`.
+
+Auto-dispatch picks the engine from the formula fragment and the request
+shape::
+
+    LLL expression                      -> lll
+    request carries a trace             -> trace
+    LTL formula / LTL fragment          -> tableau
+    anything else (quantifiers, ops...) -> bounded
+
+``check_many`` batches requests over the shared evaluator memo tables and
+can fan a large campaign out over worker processes in chunks.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..lll.syntax import LLLExpression
+from ..ltl.syntax import LTLFormula
+from ..ltl.translation import is_in_ltl_fragment
+from ..semantics.evaluator import Evaluator
+from ..semantics.trace import Trace
+from ..syntax.formulas import Formula
+from .coerce import CheckRequestError, coerce_trace
+from .engines import Engine, EngineRegistry, default_registry
+from .request import CheckRequest
+from .result import CheckResult
+
+__all__ = ["Session", "check", "check_many"]
+
+
+RequestLike = Union[CheckRequest, Any]
+
+
+_UNCACHEABLE = object()
+
+
+def _domain_key(domain: Optional[Mapping[str, Iterable[Any]]]) -> Any:
+    if not domain:
+        return None
+    try:
+        return tuple(sorted((name, tuple(values)) for name, values in domain.items()))
+    except TypeError:
+        return _UNCACHEABLE  # unhashable domain: cannot be shared
+
+
+class Session:
+    """Shared context for a checking campaign.
+
+    Parameters
+    ----------
+    domain:
+        Default ``Forall`` quantification domains applied when a request
+        carries none.
+    engines:
+        A custom :class:`~repro.api.engines.EngineRegistry`; defaults to the
+        five standard engines.
+    processes:
+        Default worker-process count for :meth:`check_many` (``None`` =
+        in-process).
+    """
+
+    def __init__(
+        self,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        engines: Optional[EngineRegistry] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        self._default_domain = dict(domain) if domain else None
+        self._registry = engines if engines is not None else default_registry()
+        # Custom registries cannot be reconstructed inside worker processes,
+        # so parallel fan-out is reserved for the default engine set.
+        self._registry_is_default = engines is None
+        self._processes = processes
+        self._traces: Dict[str, Trace] = {}
+        self._evaluators: Dict[Tuple[int, Any], Evaluator] = {}
+        self._trace_refs: Dict[int, Trace] = {}
+
+    # -- traces and evaluators -----------------------------------------------------
+
+    def add_trace(self, name: str, trace: Any) -> "Session":
+        """Register a trace under ``name`` (rows are coerced); chainable."""
+        self._traces[name] = coerce_trace(trace)
+        return self
+
+    def trace(self, name: str) -> Trace:
+        try:
+            return self._traces[name]
+        except KeyError:
+            raise CheckRequestError(
+                f"no trace named {name!r} on this session "
+                f"(registered: {', '.join(sorted(self._traces)) or 'none'})"
+            ) from None
+
+    def trace_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._traces))
+
+    def resolve_trace(self, value: Any) -> Trace:
+        """A ``Trace`` from a request's ``trace`` field (name, rows, object)."""
+        if value is None:
+            raise CheckRequestError(
+                "this engine evaluates over a computation; pass trace=... "
+                "(a Trace, a registered trace name, or state rows)"
+            )
+        if isinstance(value, str):
+            return self.trace(value)
+        return coerce_trace(value)
+
+    def evaluator(
+        self,
+        trace: Trace,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+    ) -> Evaluator:
+        """The shared evaluator (and memo table) for ``trace`` and ``domain``.
+
+        Requests over the same trace and domain reuse one memo table, so a
+        batch of clauses — or a whole conformance campaign — shares every
+        subformula verdict.  Shared evaluators (and their traces) stay alive
+        for the session's lifetime; long-lived sessions churning through
+        many traces should call :meth:`clear_caches` between campaigns.
+        """
+        if domain is None:
+            domain = self._default_domain
+        domain_key = _domain_key(domain)
+        if domain_key is _UNCACHEABLE:
+            return Evaluator(trace, domain)
+        key = (id(trace), domain_key)
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = Evaluator(trace, domain)
+            self._evaluators[key] = evaluator
+            # Keep the trace alive so the id() key cannot be recycled.
+            self._trace_refs[id(trace)] = trace
+        return evaluator
+
+    def clear_caches(self) -> "Session":
+        """Release every shared evaluator, memo table and pinned trace.
+
+        Named traces registered with :meth:`add_trace` are kept; call this
+        between campaigns on a long-lived session to bound memory.
+        """
+        self._evaluators.clear()
+        self._trace_refs.clear()
+        return self
+
+    # -- engines ----------------------------------------------------------------------
+
+    @property
+    def engines(self) -> Tuple[str, ...]:
+        return self._registry.names()
+
+    def register_engine(self, engine: Engine, replace: bool = False) -> "Session":
+        self._registry.register(engine, replace=replace)
+        return self
+
+    def _select_engine(self, request: CheckRequest) -> Engine:
+        if request.mode is not None:
+            return self._registry.get(request.mode)
+        formula = request.resolved_formula()
+        if isinstance(formula, LLLExpression):
+            return self._registry.get("lll")
+        if request.trace is not None:
+            return self._registry.get("trace")
+        if isinstance(formula, LTLFormula):
+            return self._registry.get("tableau")
+        if isinstance(formula, Formula) and is_in_ltl_fragment(formula):
+            return self._registry.get("tableau")
+        return self._registry.get("bounded")
+
+    # -- checking ---------------------------------------------------------------------
+
+    def check(self, formula: RequestLike, **options: Any) -> CheckResult:
+        """Answer one request; ``options`` are :class:`CheckRequest` fields."""
+        request = self._as_request(formula, options)
+        return self._run(request)
+
+    def check_many(
+        self,
+        requests: Sequence[RequestLike],
+        processes: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[CheckResult]:
+        """Answer a batch of requests, in order.
+
+        In-process execution shares this session's evaluator memo tables
+        across the whole batch.  With ``processes`` > 1 the batch is split
+        into chunks and fanned out over worker processes (each worker runs
+        its own session); requests that cannot be shipped to workers fall
+        back to in-process execution.
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise CheckRequestError(f"chunk_size must be at least 1, got {chunk_size}")
+        prepared = [self._as_request(r, {}) for r in requests]
+        if processes is None:
+            processes = self._processes
+        if (
+            processes
+            and processes > 1
+            and len(prepared) > 1
+            and self._registry_is_default
+        ):
+            from .parallel import run_chunked
+
+            shipped = [self._prepare_for_worker(r) for r in prepared]
+            try:
+                return run_chunked(shipped, processes, chunk_size)
+            except Exception as exc:
+                # Workers could not be used (unpicklable payloads, missing
+                # fork support, or an engine error that must surface with a
+                # real traceback): re-run everything in-process — loudly,
+                # because a big campaign silently losing its parallelism
+                # (and doing the work twice) is worth knowing about.
+                warnings.warn(
+                    f"check_many fell back from {processes} worker processes "
+                    f"to in-process execution: {type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return [self._run(request) for request in prepared]
+
+    def _prepare_for_worker(self, request: CheckRequest) -> CheckRequest:
+        """Make a request self-contained so a fresh worker session can run it.
+
+        Worker sessions have none of this session's state: trace names are
+        resolved to the traces themselves and the session's default domain
+        is written onto requests that carry none.
+        """
+        changes: Dict[str, Any] = {}
+        if isinstance(request.trace, (str, list, tuple)):
+            changes["trace"] = self.resolve_trace(request.trace)
+        if request.domain is None and self._default_domain is not None:
+            changes["domain"] = self._default_domain
+        if changes:
+            return request.with_options(**changes)
+        return request
+
+    def check_specification(
+        self,
+        specification,
+        trace: Any,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        processes: Optional[int] = None,
+    ):
+        """Check every clause of a specification on ``trace``.
+
+        Returns the familiar
+        :class:`~repro.core.specification.SpecificationResult`, built from
+        façade verdicts (errors are captured per clause, matching
+        ``Specification.check``).
+        """
+        from ..core.specification import ClauseVerdict, SpecificationResult
+
+        resolved = self.resolve_trace(trace)
+        requests = [
+            CheckRequest(
+                formula=clause.interpreted_formula(),
+                mode="trace",
+                trace=resolved,
+                domain=domain,
+                capture_errors=True,
+                label=clause.name,
+            )
+            for clause in specification.clauses
+        ]
+        results = self.check_many(requests, processes=processes)
+        verdicts = [
+            ClauseVerdict(clause, result.verdict is True, result.error)
+            for clause, result in zip(specification.clauses, results)
+        ]
+        return SpecificationResult(specification, verdicts)
+
+    # -- internals ---------------------------------------------------------------------
+
+    @staticmethod
+    def _as_request(value: RequestLike, options: Mapping[str, Any]) -> CheckRequest:
+        if isinstance(value, CheckRequest):
+            if options:
+                return value.with_options(**options)
+            return value
+        return CheckRequest(formula=value, **options)
+
+    def _run(self, request: CheckRequest) -> CheckResult:
+        started = time.perf_counter()
+        engine_name = request.mode or "?"
+        try:
+            engine = self._select_engine(request)
+            engine_name = engine.name
+            result = engine.run(request, self)
+        except Exception as exc:
+            if not request.capture_errors:
+                raise
+            result = CheckResult(
+                verdict=None,
+                engine=engine_name,
+                request=request,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        result.wall_time_s = time.perf_counter() - started
+        return result
+
+
+def check(formula: RequestLike, **options: Any) -> CheckResult:
+    """One-shot convenience: run a single request on a throwaway session."""
+    return Session().check(formula, **options)
+
+
+def check_many(
+    requests: Sequence[RequestLike],
+    processes: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[CheckResult]:
+    """One-shot convenience: run a batch on a throwaway session."""
+    return Session().check_many(requests, processes=processes, chunk_size=chunk_size)

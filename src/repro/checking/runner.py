@@ -102,13 +102,57 @@ def run_conformance(
     specification: Specification,
     cases: Sequence[ConformanceCase],
     domain: Optional[Mapping[str, Iterable[object]]] = None,
+    session: Optional[object] = None,
+    processes: Optional[int] = None,
 ) -> ConformanceReport:
-    """Check ``specification`` against every case and seed."""
-    outcomes: List[ConformanceOutcome] = []
+    """Check ``specification`` against every case and seed.
+
+    This is a thin wrapper over the façade: every ``(case, seed, clause)``
+    triple becomes one :class:`~repro.api.request.CheckRequest` and the whole
+    campaign is answered by :meth:`Session.check_many` — batched over shared
+    evaluator memo tables and, with ``processes``, fanned out in chunks over
+    worker processes.  Pass an existing :class:`~repro.api.session.Session`
+    to share its caches with other checks.
+    """
+    # Imported here: repro.api's engines are built on this package's
+    # siblings, so the import must not run at module-initialization time.
+    from ..api.request import CheckRequest
+    from ..api.session import Session
+    from ..core.specification import ClauseVerdict
+
+    if session is None:
+        session = Session()
+    clauses = specification.clauses
+    prepared: List[Tuple[ConformanceCase, List[Trace]]] = []
+    requests: List[CheckRequest] = []
     for case in cases:
+        traces = [case.factory(seed) for seed in case.seeds]
+        prepared.append((case, traces))
+        for trace in traces:
+            for clause in clauses:
+                requests.append(
+                    CheckRequest(
+                        formula=clause.interpreted_formula(),
+                        mode="trace",
+                        trace=trace,
+                        domain=domain,
+                        capture_errors=True,
+                        label=f"{case.name}/{clause.name}",
+                    )
+                )
+    results = session.check_many(requests, processes=processes)
+
+    outcomes: List[ConformanceOutcome] = []
+    cursor = 0
+    for case, traces in prepared:
         outcome = ConformanceOutcome(case)
-        for seed in case.seeds:
-            trace = case.factory(seed)
-            outcome.results.append(specification.check(trace, domain))
+        for _ in traces:
+            verdicts = [
+                ClauseVerdict(clause, results[cursor + index].verdict is True,
+                              results[cursor + index].error)
+                for index, clause in enumerate(clauses)
+            ]
+            cursor += len(clauses)
+            outcome.results.append(SpecificationResult(specification, verdicts))
         outcomes.append(outcome)
     return ConformanceReport(specification, outcomes)

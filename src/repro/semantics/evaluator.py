@@ -90,6 +90,15 @@ class Evaluator:
     def trace(self) -> Trace:
         return self._trace
 
+    @property
+    def memo_size(self) -> int:
+        """Number of memoized ``(formula, context, env)`` verdicts."""
+        return len(self._memo)
+
+    def clear_memo(self) -> None:
+        """Drop every memoized verdict (the trace and domains are kept)."""
+        self._memo.clear()
+
     # -- public API ---------------------------------------------------------------
 
     def satisfies(self, formula: Formula, env: Optional[Mapping[str, Any]] = None) -> bool:
@@ -143,8 +152,20 @@ class Evaluator:
     def _memo_key(
         self, formula: Formula, lo: int, hi: Position, env: Mapping[str, Any]
     ) -> Optional[Tuple[Any, ...]]:
+        """Key the memo on the *free* variables of the formula only.
+
+        A verdict depends on the environment solely through the formula's
+        free logical variables, so closed subformulas share one memo entry
+        across every ``Forall`` branch instead of one per binding.
+        """
         try:
-            env_key = tuple(sorted(env.items()))
+            free = formula.free_variables()
+            if free:
+                env_key = tuple(
+                    sorted((name, env[name]) for name in free if name in env)
+                )
+            else:
+                env_key = ()
             return (formula, lo, hi, env_key)
         except TypeError:
             return None
@@ -268,9 +289,16 @@ class Evaluator:
         call_state = self._trace.state_at(found.hi)
         record = call_state.operation(formula.operation)
         args = record.args
+        if len(args) < len(formula.variables):
+            raise EvaluationError(
+                f"bind-next over operation {formula.operation!r} binds "
+                f"{len(formula.variables)} variable(s) "
+                f"({', '.join(formula.variables)}) but the call at position "
+                f"{found.hi} supplies only {len(args)} argument(s)"
+            )
         extended = dict(env)
         for index, name in enumerate(formula.variables):
-            extended[name] = args[index] if index < len(args) else None
+            extended[name] = args[index]
         return self._holds(formula.body, lo, hi, extended)
 
 

@@ -64,6 +64,21 @@ class Formula:
     def free_logical_vars(self) -> FrozenSet[str]:
         raise NotImplementedError
 
+    def free_variables(self) -> FrozenSet[str]:
+        """The formula's free logical variables, memoized per node.
+
+        Identical to :meth:`free_logical_vars` but cached on the instance, so
+        hot paths (the evaluator's memo keys) avoid re-walking the subtree.
+        Nodes are immutable, which makes the cache safe.
+        """
+        try:
+            return self._free_variables_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            computed = self.free_logical_vars()
+            # Nodes are frozen dataclasses; bypass their __setattr__ guard.
+            object.__setattr__(self, "_free_variables_cache", computed)
+            return computed
+
     def state_vars(self) -> FrozenSet[str]:
         raise NotImplementedError
 

@@ -1,7 +1,18 @@
 """A concrete-syntax parser for interval-logic formulas.
 
 The accepted notation is the ASCII rendering produced by
-:func:`repro.syntax.pretty.to_ascii`::
+:func:`repro.syntax.pretty.to_ascii`; the unicode symbols produced by
+:func:`repro.syntax.pretty.to_unicode` (``□ ◇ ¬ ∧ ∨ ⊃ ≡ ⇒ ⇐ ∀ ≠ ≤ ≥``) are
+accepted as exact synonyms of their ASCII spellings.  One ambiguity is
+resolved in the paper's favour: inside an interval term, ``name <= name``
+denotes the backward-arrow term (the paper writes ``⇐`` there), matching how
+``to_ascii`` prints ``Backward``.  A less-or-equal *comparison* between two
+state variables used as an event formula must therefore be written ``≤``
+(which is how ``to_unicode`` prints it, making the unicode rendering fully
+round-trippable); comparisons against any other expression shape
+(``p <= 5``) are unambiguous and parse as comparisons everywhere.  The one
+known one-way case is ``to_ascii`` of a variable-vs-variable ``<=``
+comparison event inside an interval term, which re-parses as the arrow::
 
     formula  := "forall" names "." formula
               | iff
@@ -10,6 +21,7 @@ The accepted notation is the ASCII rendering produced by
     or       := and ("\\/" and)*
     and      := unary ("/\\" unary)*
     unary    := "~" unary | "[]" unary | "<>" unary
+              | "forall" names "." formula
               | "[" term "]" unary
               | "*" "(" term ")"
               | primary
@@ -81,23 +93,24 @@ __all__ = ["parse_formula", "parse_term", "tokenize"]
 
 _TOKEN_SPEC = [
     ("NUMBER", r"\d+(\.\d+)?"),
-    ("ARROW_F", r"=>"),
-    ("ARROW_B", r"<="),
-    ("IFF", r"<->"),
-    ("IMPLIES", r"->"),
-    ("ALWAYS", r"\[\]"),
-    ("EVENTUALLY", r"<>"),
-    ("AND", r"/\\"),
-    ("OR", r"\\/"),
-    ("CMP", r"==|!=|>=|>|<"),
+    ("ARROW_F", r"=>|⇒"),
+    ("ARROW_B", r"<=|⇐"),
+    ("IFF", r"<->|≡"),
+    ("IMPLIES", r"->|⊃"),
+    ("ALWAYS", r"\[\]|□"),
+    ("EVENTUALLY", r"<>|◇"),
+    ("AND", r"/\\|∧"),
+    ("OR", r"\\/|∨"),
+    ("CMP", r"==|!=|≠|>=|≥|≤|>|<"),
     ("EQ_SINGLE", r"="),
+    ("FORALL", r"∀"),
     ("LBRACK", r"\["),
     ("RBRACK", r"\]"),
     ("LPAREN", r"\("),
     ("RPAREN", r"\)"),
     ("COMMA", r","),
     ("DOT", r"\."),
-    ("TILDE", r"~"),
+    ("TILDE", r"~|¬"),
     ("STAR", r"\*"),
     ("QMARK", r"\?"),
     ("PLUS", r"\+"),
@@ -109,6 +122,12 @@ _TOKEN_SPEC = [
 _TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
 
 _KEYWORDS = {"forall", "begin", "end", "true", "false", "start", "at", "in", "after"}
+
+# The pretty-printer renders the formula constants capitalized; accept both.
+_CONSTANT_KEYWORDS = {"True": "TRUE", "False": "FALSE"}
+
+# Unicode comparison operators normalized to the ASCII spelling Cmp stores.
+_CMP_NORMALIZE = {"≠": "!=", "≥": ">=", "≤": "<="}
 
 
 @dataclass(frozen=True)
@@ -135,6 +154,8 @@ def tokenize(text: str) -> List[Token]:
         if kind != "WS":
             if kind == "NAME" and value in _KEYWORDS:
                 kind = value.upper()
+            elif kind == "NAME" and value in _CONSTANT_KEYWORDS:
+                kind = _CONSTANT_KEYWORDS[value]
             tokens.append(Token(kind, value, position))
         position = match.end()
     tokens.append(Token("EOF", "", len(text)))
@@ -148,6 +169,10 @@ class _Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.index = 0
+        # Depth of event-formula parsing inside an interval term.  Within a
+        # term, ``p <= q`` denotes the backward-arrow term, not the ``<=``
+        # comparison; the depth disambiguates the shared ASCII spelling.
+        self._event_depth = 0
 
     # -- token plumbing ----------------------------------------------------
 
@@ -188,13 +213,16 @@ class _Parser:
 
     def parse_formula(self) -> Formula:
         if self.peek().kind == "FORALL":
-            self.advance()
-            names = [self.expect("NAME").value]
-            while self.accept("COMMA"):
-                names.append(self.expect("NAME").value)
-            self.expect("DOT")
-            return Forall(tuple(names), self.parse_formula())
+            return self.parse_quantifier()
         return self.parse_iff()
+
+    def parse_quantifier(self) -> Formula:
+        self.expect("FORALL")
+        names = [self.expect("NAME").value]
+        while self.accept("COMMA"):
+            names.append(self.expect("NAME").value)
+        self.expect("DOT")
+        return Forall(tuple(names), self.parse_formula())
 
     def parse_iff(self) -> Formula:
         left = self.parse_implies()
@@ -223,6 +251,10 @@ class _Parser:
 
     def parse_unary(self) -> Formula:
         token = self.peek()
+        if token.kind == "FORALL":
+            # A nested quantifier, e.g. ``[] forall v . ...``; the body
+            # extends as far right as possible.
+            return self.parse_quantifier()
         if token.kind == "TILDE":
             self.advance()
             return Not(self.parse_unary())
@@ -260,7 +292,14 @@ class _Parser:
             return self.parse_operation_predicate()
         if token.kind == "LPAREN":
             self.advance()
-            inner = self.parse_formula()
+            # Parentheses re-open plain formula context: inside them ``<=``
+            # is a comparison again even below an interval term.
+            saved_depth = self._event_depth
+            self._event_depth = 0
+            try:
+                inner = self.parse_formula()
+            finally:
+                self._event_depth = saved_depth
             self.expect("RPAREN")
             return inner
         # A comparison or a bare boolean state variable.
@@ -290,9 +329,17 @@ class _Parser:
             self.index = saved
             raise self.error("expected a formula")
         token = self.peek()
-        if token.kind in self._CMP_KINDS:
+        cmp_kinds = self._CMP_KINDS
+        if self._event_depth:
+            # Inside an interval term ``<=`` is the backward arrow, so it
+            # must not be consumed as a comparison here.
+            cmp_kinds = tuple(k for k in cmp_kinds if k != "ARROW_B")
+        if token.kind in cmp_kinds:
             self.advance()
-            op = token.value if token.kind == "CMP" else ("<=" if token.kind == "ARROW_B" else "==")
+            if token.kind == "CMP":
+                op = _CMP_NORMALIZE.get(token.value, token.value)
+            else:
+                op = "<=" if token.kind == "ARROW_B" else "=="
             right = self.parse_expr()
             return Atom(Cmp(left, op, right))
         if isinstance(left, Var):
@@ -359,7 +406,11 @@ class _Parser:
             except ParseError:
                 self.index = saved
         # Otherwise: an event defined by a unary formula.
-        return EventTerm(self.parse_unary())
+        self._event_depth += 1
+        try:
+            return EventTerm(self.parse_unary())
+        finally:
+            self._event_depth -= 1
 
     # -- expressions -----------------------------------------------------------
 

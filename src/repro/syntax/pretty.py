@@ -33,6 +33,7 @@ from .formulas import (
     TrueFormula,
 )
 from .intervals import Backward, Begin, End, EventTerm, Forward, IntervalTerm, Star
+from .terms import Cmp
 
 __all__ = ["to_ascii", "to_unicode", "render_tree"]
 
@@ -48,6 +49,11 @@ _UNICODE = {
     "forward": " ⇒ ",
     "backward": " ⇐ ",
     "forall": "∀",
+    # Comparison operators with a distinct mathematical glyph.  Printing
+    # "<=" as "≤" keeps comparisons distinguishable from the backward
+    # arrow "⇐", so the unicode rendering always re-parses to the same
+    # formula.
+    "cmp": {"<=": "≤", ">=": "≥", "!=": "≠"},
 }
 
 _ASCII = {
@@ -61,6 +67,7 @@ _ASCII = {
     "forward": " => ",
     "backward": " <= ",
     "forall": "forall ",
+    "cmp": {},
 }
 
 
@@ -86,7 +93,10 @@ def _render_term(term: IntervalTerm, symbols: dict) -> str:
 
 def _render(formula: Formula, symbols: dict) -> str:
     if isinstance(formula, Atom):
-        return str(formula.predicate)
+        predicate = formula.predicate
+        if isinstance(predicate, Cmp) and predicate.op in symbols["cmp"]:
+            return f"{predicate.left} {symbols['cmp'][predicate.op]} {predicate.right}"
+        return str(predicate)
     if isinstance(formula, TrueFormula):
         return "True"
     if isinstance(formula, FalseFormula):

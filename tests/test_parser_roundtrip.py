@@ -1,0 +1,116 @@
+"""Parser round-trips: ``parse_formula(to_ascii(f)) == f`` and the unicode
+variant, across the Chapter 4 valid-formula catalogue and every clause
+formula of the spec modules."""
+
+import pytest
+
+from repro.core.valid_formulas import catalogue
+from repro.specs import (
+    arbiter_spec,
+    mutex_spec,
+    receiver_spec,
+    reliable_queue_spec,
+    request_ack_spec,
+    sender_spec,
+    service_provided_spec,
+    stack_spec,
+    unreliable_queue_spec,
+)
+from repro.syntax import parse_formula, to_ascii, to_unicode
+
+
+def _catalogue_corpus():
+    for entry in catalogue():
+        yield entry.name, entry.formula
+
+
+def _spec_corpus():
+    specifications = [
+        reliable_queue_spec(),
+        stack_spec(),
+        unreliable_queue_spec(),
+        arbiter_spec(),
+        request_ack_spec(),
+        receiver_spec(),
+        sender_spec(),
+        service_provided_spec(),
+        mutex_spec(2),
+        mutex_spec(3),
+    ]
+    for specification in specifications:
+        for clause in specification.clauses:
+            yield f"{specification.name}/{clause.name}", clause.formula
+
+
+CORPUS = list(_catalogue_corpus()) + list(_spec_corpus())
+
+
+@pytest.mark.parametrize("name,formula", CORPUS, ids=[name for name, _ in CORPUS])
+def test_ascii_round_trip(name, formula):
+    assert parse_formula(to_ascii(formula)) == formula
+
+
+@pytest.mark.parametrize("name,formula", CORPUS, ids=[name for name, _ in CORPUS])
+def test_unicode_round_trip(name, formula):
+    assert parse_formula(to_unicode(formula)) == formula
+
+
+def test_interpreted_init_clauses_round_trip_too():
+    for specification in (request_ack_spec(), arbiter_spec()):
+        for clause in specification.clauses:
+            interpreted = clause.interpreted_formula()
+            assert parse_formula(to_ascii(interpreted)) == interpreted
+
+
+class TestParserExtensions:
+    """The grammar extensions the round-trip required."""
+
+    def test_capitalized_constants(self):
+        from repro.syntax.formulas import FalseFormula, TrueFormula
+
+        assert parse_formula("True") == TrueFormula()
+        assert parse_formula("False") == FalseFormula()
+
+    def test_nested_forall(self):
+        f = parse_formula("[]forall v . x == ?v")
+        from repro.syntax.formulas import Always, Forall
+
+        assert isinstance(f, Always)
+        assert isinstance(f.operand, Forall)
+
+    def test_backward_arrow_inside_terms(self):
+        from repro.syntax.intervals import Backward, EventTerm
+
+        term_formula = parse_formula("[(p <= q)] r")
+        assert isinstance(term_formula.term, Backward)
+        assert isinstance(term_formula.term.left, EventTerm)
+
+    def test_le_comparison_survives_outside_terms(self):
+        from repro.syntax.formulas import Atom
+
+        f = parse_formula("x <= 5")
+        assert isinstance(f, Atom)
+        assert f.predicate.op == "<="
+
+    def test_unicode_comparisons_normalize(self):
+        assert parse_formula("x ≠ 5") == parse_formula("x != 5")
+        assert parse_formula("x ≥ 5") == parse_formula("x >= 5")
+
+    def test_le_comparison_event_round_trips_in_unicode(self):
+        from repro.syntax.intervals import Backward
+        from repro.syntax.terms import Cmp
+
+        f = parse_formula("[ p ≤ q ] r")
+        assert isinstance(f.term.formula.predicate, Cmp)
+        # to_unicode prints the comparison as ≤, distinct from ⇐ — exact
+        # round-trip; the ASCII rendering is the documented one-way case
+        # (it re-parses as the backward arrow).
+        assert "≤" in to_unicode(f)
+        assert parse_formula(to_unicode(f)) == f
+        assert isinstance(parse_formula(to_ascii(f)).term, Backward)
+
+    def test_ge_and_ne_comparisons_round_trip_in_unicode(self):
+        for text in ("x ≥ 5", "x ≠ y", "[(p ≥ 1) => ] <> q"):
+            f = parse_formula(text)
+            assert parse_formula(to_unicode(f)) == f
+            assert parse_formula(to_ascii(f)) == f
