@@ -1,0 +1,50 @@
+"""Throughput of the differential fuzzing harness.
+
+The fuzzing oracle is how every later performance PR proves it did not
+change semantics, so its own throughput matters: these benchmarks measure
+full-campaign cases/second (generation + all applicable engines + judging)
+and the cost of its building blocks (scenario generation alone, one shrink
+of a synthetic failure).
+"""
+
+import random
+
+from repro.gen import Case, FuzzConfig, TraceSpec, fuzz, gen_cases, shrink_case
+
+
+def test_campaign_throughput(benchmark):
+    """One 150-case differential campaign, all engines, serial."""
+
+    def campaign():
+        report = fuzz(FuzzConfig(seed=7, cases=150))
+        assert report.ok
+        return report
+
+    report = benchmark(campaign)
+    benchmark.extra_info["cases"] = report.cases
+    benchmark.extra_info["engine_runs"] = report.engine_runs
+
+
+def test_case_generation_only(benchmark):
+    """Scenario generation without any checking (the harness's overhead)."""
+    cases = benchmark(gen_cases, FuzzConfig(seed=7, cases=150))
+    assert len(cases) == 150
+
+
+def test_shrink_cost(benchmark):
+    """Greedy minimization of one synthetic failing case."""
+    rng = random.Random(5)
+    case = Case(
+        kind="trace",
+        formula="(((p /\\ q) \\/ <> x == 2) <-> ([] (p -> q) /\\ <> (r \\/ p)))",
+        trace=TraceSpec(rows=[
+            {"p": rng.random() < 0.5, "q": rng.random() < 0.5,
+             "r": rng.random() < 0.5, "x": rng.randint(0, 3)}
+            for _ in range(6)
+        ]),
+    )
+    def fails(candidate):
+        return "\\/" in candidate.formula
+
+    shrunk = benchmark(shrink_case, case, fails)
+    assert fails(shrunk)

@@ -31,6 +31,7 @@ from .coerce import CheckRequestError, coerce_formula, coerce_trace
 from .engines import (
     BoundedEngine,
     Engine,
+    EngineCapabilities,
     EngineRegistry,
     LLLEngine,
     MonitorEngine,
@@ -52,6 +53,7 @@ __all__ = [
     "coerce_trace",
     "CheckRequestError",
     "Engine",
+    "EngineCapabilities",
     "EngineRegistry",
     "TraceEngine",
     "BoundedEngine",

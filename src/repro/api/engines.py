@@ -20,6 +20,7 @@ auto-dispatch.  New engines plug in through :class:`EngineRegistry`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Tuple
 
 from ..core.bounded_checker import find_counterexample, is_bounded_valid
@@ -39,6 +40,7 @@ from .result import CheckResult
 
 __all__ = [
     "Engine",
+    "EngineCapabilities",
     "EngineRegistry",
     "TraceEngine",
     "BoundedEngine",
@@ -53,6 +55,53 @@ class EngineError(ReproError):
     """An engine received a request it cannot answer."""
 
 
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """Machine-readable description of what an engine can answer.
+
+    Tools that route one question through several engines — the differential
+    fuzzing oracle in :mod:`repro.gen` foremost — select "applicable" engines
+    from this record instead of hard-coding engine names.
+
+    Attributes
+    ----------
+    needs_trace:
+        The engine evaluates over one computation and requires
+        ``request.trace`` (trace, monitor).
+    queries:
+        The ``request.query`` values the engine answers.  Trace-backed
+        engines ignore the field and accept both.
+    propositional_only:
+        The engine enumerates boolean state spaces and rejects formulas with
+        non-propositional atoms — comparisons, operation predicates,
+        quantifiers (bounded).
+    ltl_fragment_only:
+        Interval-logic input must lie in the LTL fragment of
+        :func:`repro.ltl.translation.interval_to_ltl` (tableau, lll).
+    exact:
+        The verdict decides the question outright.  Engines with
+        ``exact=False`` answer relative to a bound (``max_length``): their
+        *refutations* (counterexamples, found models) are sound but a
+        bounded "valid"/"unsatisfiable" does not settle the unbounded
+        question.
+    incremental:
+        The engine re-evaluates every prefix of the trace, costing
+        O(states²) instead of O(states) (monitor); batch tools may want to
+        cap trace length for such engines.
+    stutter_only:
+        The engine only implements the paper's finite-computation
+        convention and cannot see a lasso's repeating cycle (monitor).
+    """
+
+    needs_trace: bool = False
+    queries: Tuple[str, ...] = (QUERY_VALIDITY, QUERY_SATISFIABILITY)
+    propositional_only: bool = False
+    ltl_fragment_only: bool = False
+    exact: bool = True
+    incremental: bool = False
+    stutter_only: bool = False
+
+
 class Engine:
     """Base class of checking engines.
 
@@ -62,6 +111,7 @@ class Engine:
     """
 
     name: str = "?"
+    capabilities: EngineCapabilities = EngineCapabilities()
 
     def run(self, request: CheckRequest, session) -> CheckResult:
         raise NotImplementedError
@@ -80,6 +130,7 @@ class TraceEngine(Engine):
     """Chapter 3 satisfaction on one computation (wraps the evaluator)."""
 
     name = "trace"
+    capabilities = EngineCapabilities(needs_trace=True, exact=True)
 
     def run(self, request: CheckRequest, session) -> CheckResult:
         formula = self._interval_formula(request)
@@ -115,6 +166,7 @@ class BoundedEngine(Engine):
     """Exhaustive small-scope validity (wraps the bounded checker)."""
 
     name = "bounded"
+    capabilities = EngineCapabilities(propositional_only=True, exact=False)
 
     def run(self, request: CheckRequest, session) -> CheckResult:
         formula = self._interval_formula(request)
@@ -158,6 +210,7 @@ class TableauEngine(Engine):
     """Exact decision of the LTL fragment (wraps Appendix B / Algorithm A)."""
 
     name = "tableau"
+    capabilities = EngineCapabilities(ltl_fragment_only=True, exact=True)
 
     def _ltl_formula(self, request: CheckRequest) -> LTLFormula:
         formula = request.resolved_formula()
@@ -203,6 +256,9 @@ class LLLEngine(Engine):
     """
 
     name = "lll"
+    capabilities = EngineCapabilities(
+        queries=(QUERY_SATISFIABILITY,), ltl_fragment_only=True, exact=False
+    )
 
     @staticmethod
     def _canonical(interpretations) -> Tuple:
@@ -235,7 +291,9 @@ class LLLEngine(Engine):
             )
         bound = request.max_length
         expression = self._expression(request)
-        models = satisfying_interpretations(expression, bound)
+        models = satisfying_interpretations(
+            expression, bound, max_interpretations=request.budget
+        )
         return CheckResult(
             verdict=bool(models),
             engine=self.name,
@@ -257,6 +315,9 @@ class MonitorEngine(Engine):
     """
 
     name = "monitor"
+    capabilities = EngineCapabilities(
+        needs_trace=True, exact=True, incremental=True, stutter_only=True
+    )
 
     def run(self, request: CheckRequest, session) -> CheckResult:
         # Imported lazily: repro.checking imports the façade for its
@@ -312,6 +373,10 @@ class EngineRegistry:
 
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._engines))
+
+    def engines(self) -> Tuple[Engine, ...]:
+        """The registered engines, in name order."""
+        return tuple(self._engines[name] for name in self.names())
 
     def __contains__(self, name: str) -> bool:
         return name in self._engines

@@ -50,6 +50,12 @@ class CheckRequest:
     theory:
         Optional specialized theory handed to the tableau engine
         (Algorithm A).
+    budget:
+        Optional work budget for engines whose bounded semantics can blow
+        up super-exponentially on nested input.  Currently honored by the
+        ``lll`` engine (maximum partial-interpretation pairings explored
+        before raising :class:`repro.lll.semantics.PsiBudgetError`); other
+        engines ignore it.  ``None`` means unbounded work.
     extract_model:
         Ask for explicit evidence beyond the verdict: the tableau engine
         extracts a lasso model / validity counterexample, the trace engine
@@ -72,6 +78,7 @@ class CheckRequest:
     include_lassos: bool = True
     variables: Optional[Sequence[str]] = None
     theory: Optional[object] = None
+    budget: Optional[int] = None
     extract_model: bool = False
     capture_errors: bool = False
     label: Optional[str] = None

@@ -158,6 +158,15 @@ class Session:
     def engines(self) -> Tuple[str, ...]:
         return self._registry.names()
 
+    @property
+    def registry(self) -> EngineRegistry:
+        """The engine registry (engine objects carry their capabilities)."""
+        return self._registry
+
+    def capabilities(self) -> Dict[str, Any]:
+        """Engine name → :class:`~repro.api.engines.EngineCapabilities`."""
+        return {engine.name: engine.capabilities for engine in self._registry.engines()}
+
     def register_engine(self, engine: Engine, replace: bool = False) -> "Session":
         self._registry.register(engine, replace=replace)
         return self

@@ -1,0 +1,86 @@
+"""Seeded scenario generation and cross-engine differential fuzzing.
+
+The five engines behind the :mod:`repro.api` façade answer overlapping
+questions, which makes them free oracles for each other.  This package
+closes the loop:
+
+* :mod:`~repro.gen.generators` — seeded, grammar-directed random formulas,
+  traces and transition systems (driven through the simulation kernel);
+* :mod:`~repro.gen.oracle` — the differential oracle routing each case
+  through every applicable engine (selected from the engines' capability
+  metadata) and comparing verdicts under soundness-aware rules;
+* :mod:`~repro.gen.shrink` — greedy minimization of failing cases;
+* :mod:`~repro.gen.cases` / :mod:`~repro.gen.corpus` — the replayable
+  corpus file format and the built-in catalogue/spec corpora under
+  ``tests/corpus/``;
+* :mod:`~repro.gen.fuzz` + ``python -m repro.gen`` — campaign driver and
+  the ``fuzz`` / ``replay`` / ``corpus`` command line.
+
+Quickstart::
+
+    from repro.gen import FuzzConfig, fuzz
+
+    report = fuzz(FuzzConfig(seed=7, cases=500))
+    assert report.ok, report.summary()
+"""
+
+from .cases import Case, TraceSpec, load_corpus, save_corpus
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    build_catalogue_corpus,
+    build_spec_corpus,
+    load_corpus_dir,
+    replay_corpus,
+    seed_builtin_corpora,
+)
+from .fuzz import FuzzConfig, fuzz, gen_case, gen_cases
+from .generators import (
+    RandomSystem,
+    ScenarioProfile,
+    gen_expr,
+    gen_formula,
+    gen_system_trace,
+    gen_term,
+    gen_trace,
+)
+from .oracle import (
+    Disagreement,
+    DifferentialOracle,
+    EngineVerdict,
+    FormulaProfile,
+    OracleReport,
+)
+from .shrink import case_variants, formula_variants, shrink_case, term_variants
+
+__all__ = [
+    "Case",
+    "TraceSpec",
+    "load_corpus",
+    "save_corpus",
+    "DEFAULT_CORPUS_DIR",
+    "build_catalogue_corpus",
+    "build_spec_corpus",
+    "load_corpus_dir",
+    "replay_corpus",
+    "seed_builtin_corpora",
+    "FuzzConfig",
+    "fuzz",
+    "gen_case",
+    "gen_cases",
+    "RandomSystem",
+    "ScenarioProfile",
+    "gen_expr",
+    "gen_formula",
+    "gen_system_trace",
+    "gen_term",
+    "gen_trace",
+    "Disagreement",
+    "DifferentialOracle",
+    "EngineVerdict",
+    "FormulaProfile",
+    "OracleReport",
+    "case_variants",
+    "formula_variants",
+    "shrink_case",
+    "term_variants",
+]

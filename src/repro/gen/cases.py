@@ -1,0 +1,258 @@
+"""The replayable scenario case and its JSON corpus format.
+
+A :class:`Case` is one self-contained differential-testing scenario: a
+formula in concrete syntax, the question kind, and — for trace questions —
+the computation to evaluate it on.  Cases serialize to single JSON objects
+(one per line in a ``.jsonl`` corpus file), so every fuzzing disagreement
+becomes a permanent regression test and every corpus entry can be replayed
+bit-for-bit by ``python -m repro.gen replay``.
+
+Case kinds mirror the façade's questions:
+
+``"trace"``
+    does the formula hold on the given computation? (trace + monitor
+    engines);
+``"validity"``
+    is the formula valid? (bounded engine; tableau when the formula is in
+    the LTL fragment);
+``"satisfiability"``
+    is the formula satisfiable? (bounded + tableau + lll).
+
+Traces are stored either inline (``rows`` / ``operations`` / ``loop_start``
+— exactly the arguments of :func:`repro.semantics.trace.make_trace`) or as
+a named reference into the simulator registry (``system`` + ``args``), which
+keeps the spec-module corpus compact and exercises the simulators on every
+replay.
+
+The optional ``expect`` mapping records each engine's verdict at the time
+the case was added; replaying compares fresh verdicts against it, turning
+single-engine cases into genuine regressions too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..semantics.trace import Trace, make_trace
+from ..syntax.formulas import Formula
+from ..syntax.parser import parse_formula
+from ..syntax.pretty import to_ascii
+
+__all__ = ["CASE_KINDS", "Case", "TraceSpec", "SYSTEM_FACTORIES", "load_corpus", "save_corpus"]
+
+
+CASE_KINDS = ("trace", "validity", "satisfiability")
+
+
+def _system_factories() -> Dict[str, Any]:
+    # Imported lazily so repro.gen stays importable without the systems
+    # package's transitive dependencies in minimal deployments.
+    from ..systems import (
+        ab_protocol_trace,
+        ABProtocolConfig,
+        arbiter_trace,
+        mutex_trace,
+        reliable_queue_trace,
+        request_ack_trace,
+        stack_trace,
+        unreliable_queue_trace,
+    )
+
+    return {
+        "reliable_queue": reliable_queue_trace,
+        "stack": stack_trace,
+        "unreliable_queue": unreliable_queue_trace,
+        "arbiter": arbiter_trace,
+        "request_ack": request_ack_trace,
+        "ab_protocol": lambda **kwargs: ab_protocol_trace(ABProtocolConfig(**kwargs)),
+        "mutex": mutex_trace,
+    }
+
+
+#: Simulator registry available to ``TraceSpec(system=...)`` references.
+SYSTEM_FACTORIES = _system_factories
+
+
+@dataclass
+class TraceSpec:
+    """A replayable description of one computation.
+
+    Exactly one of ``rows`` (an inline trace) or ``system`` (a simulator
+    reference) must be set.
+    """
+
+    rows: Optional[List[Dict[str, Any]]] = None
+    operations: Optional[List[Dict[str, List[Any]]]] = None
+    loop_start: Optional[int] = None
+    system: Optional[str] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Trace:
+        if self.system is not None:
+            factories = SYSTEM_FACTORIES()
+            try:
+                factory = factories[self.system]
+            except KeyError:
+                raise ValueError(
+                    f"unknown system {self.system!r}; available: "
+                    f"{', '.join(sorted(factories))}"
+                ) from None
+            return factory(**self.args)
+        if self.rows is None:
+            raise ValueError("TraceSpec requires rows or a system reference")
+        operations = None
+        if self.operations is not None:
+            operations = [
+                {
+                    name: (record[0], tuple(record[1]), tuple(record[2]))
+                    for name, record in per_state.items()
+                }
+                for per_state in self.operations
+            ]
+        return make_trace(self.rows, loop_start=self.loop_start, operations=operations)
+
+    @staticmethod
+    def from_trace(trace: Trace) -> "TraceSpec":
+        """Serialize a concrete trace (generated traces carry JSON-safe values)."""
+        rows: List[Dict[str, Any]] = []
+        operations: List[Dict[str, List[Any]]] = []
+        any_operations = False
+        for state in trace.states():
+            rows.append(
+                {name: value for name, value in state.values_map.items() if name != "__start__"}
+            )
+            record = {
+                name: [op.phase, list(op.args), list(op.results)]
+                for name, op in state.operations.items()
+            }
+            any_operations = any_operations or bool(record)
+            operations.append(record)
+        return TraceSpec(
+            rows=rows,
+            operations=operations if any_operations else None,
+            loop_start=None if trace.is_stutter_extended else trace.loop_start,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if self.system is not None:
+            payload["system"] = self.system
+            if self.args:
+                payload["args"] = self.args
+        else:
+            payload["rows"] = self.rows
+            if self.operations is not None:
+                payload["operations"] = self.operations
+            if self.loop_start is not None:
+                payload["loop_start"] = self.loop_start
+        return payload
+
+    @staticmethod
+    def from_json(payload: Dict[str, Any]) -> "TraceSpec":
+        return TraceSpec(
+            rows=payload.get("rows"),
+            operations=payload.get("operations"),
+            loop_start=payload.get("loop_start"),
+            system=payload.get("system"),
+            args=dict(payload.get("args", {})),
+        )
+
+
+@dataclass
+class Case:
+    """One replayable differential-testing scenario."""
+
+    kind: str
+    formula: str
+    id: str = ""
+    trace: Optional[TraceSpec] = None
+    domain: Optional[Dict[str, List[Any]]] = None
+    max_length: int = 3
+    include_lassos: bool = True
+    variables: Optional[List[str]] = None
+    expect: Optional[Dict[str, Optional[bool]]] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CASE_KINDS:
+            raise ValueError(f"kind must be one of {CASE_KINDS}, got {self.kind!r}")
+        if isinstance(self.formula, Formula):
+            self.formula = to_ascii(self.formula)
+
+    def parsed_formula(self) -> Formula:
+        return parse_formula(self.formula)
+
+    def built_trace(self) -> Optional[Trace]:
+        return self.trace.build() if self.trace is not None else None
+
+    def replacing(self, **changes: Any) -> "Case":
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    # -- JSON ------------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"id": self.id, "kind": self.kind, "formula": self.formula}
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_json()
+        if self.domain is not None:
+            payload["domain"] = self.domain
+        if self.kind != "trace":
+            payload["max_length"] = self.max_length
+            payload["include_lassos"] = self.include_lassos
+            if self.variables is not None:
+                payload["variables"] = self.variables
+        if self.expect is not None:
+            payload["expect"] = self.expect
+        if self.note:
+            payload["note"] = self.note
+        return payload
+
+    @staticmethod
+    def from_json(payload: Dict[str, Any]) -> "Case":
+        trace = payload.get("trace")
+        return Case(
+            kind=payload["kind"],
+            formula=payload["formula"],
+            id=payload.get("id", ""),
+            trace=TraceSpec.from_json(trace) if trace is not None else None,
+            domain=payload.get("domain"),
+            max_length=payload.get("max_length", 3),
+            include_lassos=payload.get("include_lassos", True),
+            variables=payload.get("variables"),
+            expect=payload.get("expect"),
+            note=payload.get("note", ""),
+        )
+
+    def to_line(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+
+def load_corpus(path) -> List[Case]:
+    """Read a ``.jsonl`` corpus file into cases (blank lines ignored)."""
+    cases: List[Case] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                cases.append(Case.from_json(json.loads(line)))
+            except (ValueError, KeyError) as exc:
+                raise ValueError(f"{path}:{line_number}: malformed corpus case: {exc}") from exc
+    return cases
+
+
+def save_corpus(path, cases, append: bool = False) -> None:
+    """Write cases to a ``.jsonl`` corpus file, one JSON object per line.
+
+    With ``append`` the cases are added to whatever the file already holds
+    (how fuzzing campaigns archive new disagreements without destroying
+    earlier regressions).
+    """
+    with open(path, "a" if append else "w", encoding="utf-8") as handle:
+        for case in cases:
+            handle.write(case.to_line() + "\n")

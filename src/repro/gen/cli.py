@@ -1,0 +1,145 @@
+"""The ``python -m repro.gen`` command line.
+
+Three subcommands::
+
+    python -m repro.gen fuzz --seed 7 --cases 500 [--processes N]
+        [--save-failures PATH]
+    python -m repro.gen replay [PATH ...]        # files or directories
+    python -m repro.gen corpus [--list] [--seed-builtin] [--dir DIR]
+
+``fuzz`` runs a seeded differential campaign and exits non-zero on any
+cross-engine disagreement, printing each shrunk witness (and appending it to
+``--save-failures`` as replayable corpus lines).  ``replay`` re-runs corpus
+files through the oracle.  ``corpus`` lists or (re)seeds the built-in
+corpora under ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .cases import load_corpus, save_corpus
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_files,
+    replay_corpus,
+    seed_builtin_corpora,
+)
+from .fuzz import FuzzConfig, fuzz
+from .oracle import DifferentialOracle, OracleReport
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gen",
+        description="Seeded scenario generation and cross-engine differential fuzzing.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fuzz_cmd = commands.add_parser("fuzz", help="run a seeded differential campaign")
+    fuzz_cmd.add_argument("--seed", type=int, default=0)
+    fuzz_cmd.add_argument("--cases", type=int, default=100)
+    fuzz_cmd.add_argument("--processes", type=int, default=None,
+                          help="fan the campaign out over worker processes")
+    fuzz_cmd.add_argument("--max-states", type=int, default=7,
+                          help="maximum states of generated traces")
+    fuzz_cmd.add_argument("--formula-size", type=int, default=10,
+                          help="maximum node budget of generated formulas")
+    fuzz_cmd.add_argument("--no-shrink", action="store_true",
+                          help="report disagreements without minimizing them")
+    fuzz_cmd.add_argument("--save-failures", metavar="PATH", default=None,
+                          help="append shrunk disagreements to this corpus file")
+
+    replay_cmd = commands.add_parser("replay", help="replay corpus cases")
+    replay_cmd.add_argument("paths", nargs="*", default=None,
+                            help=f"corpus files or directories (default: {DEFAULT_CORPUS_DIR})")
+    replay_cmd.add_argument("--processes", type=int, default=None)
+
+    corpus_cmd = commands.add_parser("corpus", help="list or seed the built-in corpora")
+    corpus_cmd.add_argument("--dir", default=DEFAULT_CORPUS_DIR)
+    corpus_cmd.add_argument("--list", action="store_true", help="list corpus cases")
+    corpus_cmd.add_argument("--seed-builtin", action="store_true",
+                            help="(re)write the catalogue and spec corpora")
+    return parser
+
+
+def _report_disagreements(report: OracleReport) -> None:
+    for disagreement in report.disagreements:
+        print(f"DISAGREEMENT {disagreement}")
+        replay = disagreement.replay_case()
+        if replay is not disagreement.case:
+            print(f"  shrunk to: {replay.formula!r}")
+        print(f"  replay line: {replay.to_line()}")
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    config = FuzzConfig(
+        seed=args.seed,
+        cases=args.cases,
+        max_trace_states=args.max_states,
+        max_formula_size=args.formula_size,
+    )
+    oracle = DifferentialOracle(shrink=not args.no_shrink)
+    report = fuzz(config, oracle=oracle, processes=args.processes)
+    print(f"fuzz seed={args.seed}: {report.summary()}")
+    _report_disagreements(report)
+    if report.disagreements and args.save_failures:
+        failures = [d.replay_case().replacing(id=d.case.id) for d in report.disagreements]
+        try:
+            save_corpus(args.save_failures, failures, append=True)
+        except OSError as exc:
+            print(f"cannot write {args.save_failures}: {exc}", file=sys.stderr)
+            print("replay lines above carry the same cases", file=sys.stderr)
+        else:
+            print(f"appended {len(failures)} replayable case(s) to {args.save_failures}")
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    paths = args.paths or [DEFAULT_CORPUS_DIR]
+    files = corpus_files(paths)
+    missing = [path for path in files if not os.path.exists(path)]
+    if missing or not files:
+        print(
+            f"no corpus files found: {', '.join(missing or paths)}",
+            file=sys.stderr,
+        )
+        return 2
+    status = 0
+    for path in files:
+        cases = load_corpus(path)
+        report = replay_corpus(cases, processes=args.processes)
+        print(f"{path}: {report.summary()}")
+        _report_disagreements(report)
+        if not report.ok:
+            status = 1
+    return status
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    if args.seed_builtin:
+        for path in seed_builtin_corpora(args.dir):
+            print(f"wrote {path}")
+    if args.list or not args.seed_builtin:
+        for path in corpus_files([args.dir]):
+            for case in load_corpus(path):
+                trace = ""
+                if case.trace is not None:
+                    if case.trace.system is not None:
+                        trace = f" trace=system:{case.trace.system}"
+                    else:
+                        trace = f" trace=inline[{len(case.trace.rows or [])}]"
+                print(f"{case.id or '?'}: kind={case.kind}{trace} formula={case.formula!r}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_corpus(args)

@@ -1,0 +1,172 @@
+"""Built-in corpora and corpus replay.
+
+Two corpora are seeded from the reproduction's own material and live under
+``tests/corpus/``:
+
+* ``catalogue.jsonl`` — the Chapter 4 valid-formula catalogue (V1–V16) as
+  small-scope validity cases (bounds capped by variable count so a full
+  replay stays test-suite fast);
+* ``specs.jsonl`` — every clause of every specification module, evaluated
+  on the matching simulated system, as trace cases referencing the
+  simulator registry.
+
+Seeding records each engine's verdict in the case's ``expect`` mapping via
+:meth:`~repro.gen.oracle.DifferentialOracle.record_expectations`, so a
+replay (``python -m repro.gen replay tests/corpus``) both re-runs the
+cross-engine comparison and pins every verdict as a regression.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.valid_formulas import catalogue
+from ..syntax.parser import parse_formula
+from ..syntax.pretty import to_ascii
+from .cases import Case, TraceSpec, load_corpus, save_corpus
+from .oracle import DifferentialOracle, OracleReport
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "build_catalogue_corpus",
+    "build_spec_corpus",
+    "seed_builtin_corpora",
+    "corpus_files",
+    "load_corpus_dir",
+    "replay_corpus",
+]
+
+
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+
+def _capped_bound(entry_bound: int, variable_count: int) -> int:
+    """Cap a catalogue entry's bound so the boolean enumeration stays small.
+
+    The enumeration visits ``Σ (2^v)^L · L`` traces; capping by variable
+    count keeps every entry around or below ~2k traces.
+    """
+    if variable_count <= 2:
+        return min(entry_bound, 4)
+    if variable_count == 3:
+        return min(entry_bound, 3)
+    return min(entry_bound, 2)
+
+
+def build_catalogue_corpus(oracle: Optional[DifferentialOracle] = None) -> List[Case]:
+    """The Chapter 4 catalogue as validity cases with recorded verdicts."""
+    oracle = oracle or DifferentialOracle()
+    cases = []
+    for entry in catalogue():
+        case = Case(
+            kind="validity",
+            formula=to_ascii(entry.formula),
+            id=f"catalogue/{entry.name}",
+            max_length=_capped_bound(entry.max_length, len(entry.variables)),
+            include_lassos=entry.include_lassos,
+            variables=list(entry.variables),
+            note=entry.description,
+        )
+        cases.append(oracle.record_expectations(case))
+    return cases
+
+
+def _spec_systems() -> Sequence[Tuple[object, str, dict]]:
+    from ..specs import (
+        arbiter_spec,
+        mutex_spec,
+        receiver_spec,
+        reliable_queue_spec,
+        request_ack_spec,
+        sender_spec,
+        service_provided_spec,
+        stack_spec,
+        unreliable_queue_spec,
+    )
+
+    return (
+        (reliable_queue_spec(), "reliable_queue", {"num_values": 3, "seed": 1}),
+        (stack_spec(), "stack", {"num_values": 3, "seed": 1}),
+        (unreliable_queue_spec(), "unreliable_queue", {"seed": 1}),
+        (arbiter_spec(), "arbiter", {"seed": 1}),
+        (request_ack_spec(), "request_ack", {"seed": 1}),
+        (sender_spec(), "ab_protocol", {"seed": 1}),
+        (receiver_spec(), "ab_protocol", {"seed": 1}),
+        (service_provided_spec(), "ab_protocol", {"seed": 1}),
+        (mutex_spec(2), "mutex", {"processes": 2, "entries": 2, "seed": 1}),
+        (mutex_spec(3), "mutex", {"processes": 3, "entries": 2, "seed": 1}),
+    )
+
+
+def build_spec_corpus(oracle: Optional[DifferentialOracle] = None) -> List[Case]:
+    """Every spec-module clause on its matching simulated system."""
+    oracle = oracle or DifferentialOracle()
+    cases = []
+    for specification, system, args in _spec_systems():
+        for clause in specification.clauses:
+            formula = clause.interpreted_formula()
+            text = to_ascii(formula)
+            if parse_formula(text) != formula:  # pragma: no cover - guards new clauses
+                raise ValueError(
+                    f"clause {specification.name}/{clause.name} does not "
+                    "round-trip through the corpus text format"
+                )
+            case = Case(
+                kind="trace",
+                formula=text,
+                id=f"{specification.name}/{clause.name}",
+                trace=TraceSpec(system=system, args=dict(args)),
+            )
+            cases.append(oracle.record_expectations(case))
+    return cases
+
+
+def seed_builtin_corpora(
+    directory: str = DEFAULT_CORPUS_DIR, oracle: Optional[DifferentialOracle] = None
+) -> List[str]:
+    """(Re)write the built-in corpus files; returns the written paths."""
+    oracle = oracle or DifferentialOracle()
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for name, cases in (
+        ("catalogue.jsonl", build_catalogue_corpus(oracle)),
+        ("specs.jsonl", build_spec_corpus(oracle)),
+    ):
+        path = os.path.join(directory, name)
+        save_corpus(path, cases)
+        written.append(path)
+    return written
+
+
+def corpus_files(paths: Iterable[str]) -> List[str]:
+    """Expand files and directories into the ``.jsonl`` corpus files within."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".jsonl")
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def load_corpus_dir(directory: str = DEFAULT_CORPUS_DIR) -> List[Case]:
+    """All cases from every ``.jsonl`` file under ``directory``."""
+    cases: List[Case] = []
+    for path in corpus_files([directory]):
+        cases.extend(load_corpus(path))
+    return cases
+
+
+def replay_corpus(
+    cases: Sequence[Case],
+    oracle: Optional[DifferentialOracle] = None,
+    processes: Optional[int] = None,
+) -> OracleReport:
+    """Run the differential oracle over corpus cases."""
+    oracle = oracle or DifferentialOracle()
+    return oracle.run(list(cases), processes=processes)

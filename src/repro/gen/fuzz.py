@@ -1,0 +1,125 @@
+"""The differential fuzzing campaign driver.
+
+``fuzz(FuzzConfig(seed=7, cases=500))`` generates seeded scenario cases —
+trace-satisfaction cases over random computations (half of them produced by
+random transition systems running on the simulation kernel), small-scope
+validity cases, and satisfiability cases in the LTL fragment — routes every
+case through all applicable engines with the
+:class:`~repro.gen.oracle.DifferentialOracle`, and reports shrunk,
+replayable disagreements.  The same entry point backs
+``python -m repro.gen fuzz``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..syntax.pretty import to_ascii
+from .cases import Case, TraceSpec
+from .generators import (
+    ScenarioProfile,
+    gen_formula,
+    gen_system_trace,
+    gen_trace,
+)
+from .oracle import DifferentialOracle, OracleReport
+
+__all__ = ["FuzzConfig", "gen_case", "gen_cases", "fuzz"]
+
+
+@dataclass
+class FuzzConfig:
+    """Parameters of one fuzzing campaign (fully determined by ``seed``)."""
+
+    seed: int = 0
+    cases: int = 100
+    #: Relative weights of the three case kinds.
+    trace_weight: int = 7
+    validity_weight: int = 2
+    satisfiability_weight: int = 1
+    max_formula_size: int = 10
+    max_trace_states: int = 7
+    #: Fraction of trace cases whose computation comes from a random
+    #: transition system instead of independent random rows.
+    system_trace_fraction: float = 0.5
+    #: Probability that a generated computation is a genuine lasso
+    #: (``loop_start < n``) rather than the finite stutter extension.
+    lasso_probability: float = 0.25
+    #: Bound for the decision engines (small: the boolean enumeration is
+    #: exponential in ``variables × max_length``).
+    max_length: int = 3
+    #: Interval-operator nesting cap for decision-engine cases: deciding
+    #: interval logic is non-elementary in that nesting, so validity /
+    #: satisfiability campaigns keep it shallow (trace cases nest freely).
+    decision_interval_depth: int = 2
+    profile: ScenarioProfile = field(default_factory=ScenarioProfile)
+    decision_profile: ScenarioProfile = field(
+        default_factory=lambda: ScenarioProfile.propositional(("p", "q"))
+    )
+
+
+def gen_case(rng: random.Random, config: FuzzConfig, index: int = 0) -> Case:
+    """One random case (kind chosen by the configured weights)."""
+    kinds = (
+        ["trace"] * config.trace_weight
+        + ["validity"] * config.validity_weight
+        + ["satisfiability"] * config.satisfiability_weight
+    )
+    kind = rng.choice(kinds)
+    case_id = f"fuzz-{config.seed}-{index}"
+    if kind == "trace":
+        profile = config.profile
+        size = rng.randint(2, config.max_formula_size)
+        formula = gen_formula(rng, profile, size=size, fragment="rich")
+        if rng.random() < config.system_trace_fraction:
+            trace = gen_system_trace(
+                rng, profile,
+                max_steps=config.max_trace_states + 3,
+                lasso_probability=config.lasso_probability,
+            )
+        else:
+            trace = gen_trace(
+                rng, profile,
+                max_states=config.max_trace_states,
+                lasso_probability=config.lasso_probability,
+            )
+        return Case(
+            kind="trace",
+            formula=to_ascii(formula),
+            id=case_id,
+            trace=TraceSpec.from_trace(trace),
+            domain=profile.domain() or None,
+        )
+    profile = config.decision_profile
+    size = rng.randint(2, max(3, config.max_formula_size - 3))
+    fragment = "ltl" if kind == "satisfiability" else rng.choice(("ltl", "interval"))
+    formula = gen_formula(
+        rng, profile, size=size, fragment=fragment,
+        max_interval_depth=config.decision_interval_depth,
+    )
+    return Case(
+        kind=kind,
+        formula=to_ascii(formula),
+        id=case_id,
+        max_length=config.max_length,
+        variables=list(profile.bool_vars),
+    )
+
+
+def gen_cases(config: FuzzConfig) -> List[Case]:
+    """The campaign's full case list, reproducible from ``config.seed``."""
+    rng = random.Random(config.seed)
+    return [gen_case(rng, config, index) for index in range(config.cases)]
+
+
+def fuzz(
+    config: Optional[FuzzConfig] = None,
+    oracle: Optional[DifferentialOracle] = None,
+    processes: Optional[int] = None,
+) -> OracleReport:
+    """Run a differential fuzzing campaign; returns the oracle's report."""
+    config = config or FuzzConfig()
+    oracle = oracle or DifferentialOracle()
+    return oracle.run(gen_cases(config), processes=processes)

@@ -1,0 +1,466 @@
+"""Seeded, grammar-directed random generators for scenarios.
+
+Three things are generated, all from a caller-supplied ``random.Random`` so
+every scenario is replayable from its seed:
+
+* **formulas** — :func:`gen_formula` walks the Chapter 2/3 grammar under a
+  node budget: atoms (propositions, comparisons, operation predicates,
+  ``start``), the propositional connectives, ``[] / <>``, interval formulas
+  ``[I] α`` and eventualities ``*I`` over terms built from events,
+  ``begin/end``, both arrows and the ``*`` modifier, plus ``forall`` over
+  rigid variables (fragment permitting);
+* **traces** — :func:`gen_trace` draws random state rows (and random lasso
+  shapes) over a :class:`ScenarioProfile`'s variable pools;
+* **transition systems** — :class:`RandomSystem` builds a random guarded
+  update system and drives it through the simulation kernel
+  (:class:`repro.systems.simulator.TraceBuilder` /
+  :class:`~repro.systems.simulator.OperationDriver`), so generated traces
+  also exercise operation lifecycles exactly the way the paper's case-study
+  simulators do.
+
+Fragments
+---------
+``gen_formula`` takes a ``fragment`` argument mirroring the engine
+capability metadata of :mod:`repro.api.engines`:
+
+``"ltl"``
+    propositional atoms, boolean connectives, ``[] / <>`` and ``*e`` over
+    propositional events — the exact input language of the tableau and LLL
+    engines;
+``"interval"``
+    adds the full interval-term grammar (``[I] α``, ``begin/end``, arrows,
+    ``*`` modifier) while keeping atoms propositional — the bounded engine's
+    language;
+``"rich"``
+    adds comparisons over state expressions, operation predicates,
+    ``start`` and ``forall`` over rigid variables — everything the trace and
+    monitor engines evaluate.
+
+Every generated formula round-trips through the concrete syntax
+(``parse_formula(to_ascii(f)) == f`` and the unicode variant); the
+generators deliberately avoid the two documented one-way spellings (the
+``bind-next`` convention, which the parser does not read, and ``<=``
+comparisons, whose ASCII spelling collides with the backward arrow inside
+interval terms).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..semantics.trace import Trace, make_trace
+from ..syntax.builder import (
+    after_op,
+    at_op,
+    in_op,
+)
+from ..syntax.formulas import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntervalFormula,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+)
+from ..syntax.intervals import Backward, Begin, End, EventTerm, Forward, IntervalTerm, Star
+from ..syntax.terms import (
+    BinOp,
+    Cmp,
+    Const,
+    Expr,
+    LogicalVar,
+    Prop,
+    StartPredicate,
+    Var,
+)
+from ..systems.simulator import OperationDriver, TraceBuilder
+
+__all__ = [
+    "FRAGMENTS",
+    "ScenarioProfile",
+    "gen_expr",
+    "gen_formula",
+    "gen_term",
+    "gen_trace",
+    "RandomSystem",
+    "gen_system_trace",
+]
+
+
+FRAGMENTS = ("ltl", "interval", "rich")
+
+# Comparison operators the generators use.  "<=" is deliberately absent: its
+# ASCII spelling is the backward arrow inside interval terms (the documented
+# one-way case of repro.syntax.parser), so formulas containing it would not
+# round-trip through the corpus file format.
+_CMP_OPS = ("==", "!=", "<", ">", ">=")
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """The shared vocabulary of a generated scenario.
+
+    Formulas draw their atoms from these pools and traces assign exactly
+    these variables in every state, so any generated formula can be
+    evaluated on any generated trace of the same profile.
+    """
+
+    bool_vars: Tuple[str, ...] = ("p", "q", "r")
+    int_vars: Tuple[str, ...] = ("x", "y")
+    logical_vars: Tuple[str, ...] = ("a", "b")
+    operations: Tuple[str, ...] = ("Dq", "Req")
+    int_range: Tuple[int, int] = (0, 3)
+
+    def domain(self) -> Dict[str, List[int]]:
+        """A quantification domain covering every logical variable."""
+        lo, hi = self.int_range
+        return {name: list(range(lo, hi + 1)) for name in self.logical_vars}
+
+    @staticmethod
+    def propositional(variables: Sequence[str] = ("p", "q")) -> "ScenarioProfile":
+        """A profile whose formulas stay propositional (decision engines)."""
+        return ScenarioProfile(
+            bool_vars=tuple(variables), int_vars=(), logical_vars=(), operations=()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Expressions and atoms
+# ---------------------------------------------------------------------------
+
+
+def gen_expr(
+    rng: random.Random,
+    profile: ScenarioProfile,
+    bound_vars: Tuple[str, ...] = (),
+    depth: int = 1,
+) -> Expr:
+    """A random integer-valued state expression."""
+    lo, hi = profile.int_range
+    choices = ["const"]
+    if profile.int_vars:
+        choices += ["var", "var"]
+    if bound_vars:
+        choices += ["lvar", "lvar"]
+    if depth > 0 and profile.int_vars:
+        choices.append("binop")
+    kind = rng.choice(choices)
+    if kind == "var":
+        return Var(rng.choice(profile.int_vars))
+    if kind == "lvar":
+        return LogicalVar(rng.choice(bound_vars))
+    if kind == "binop":
+        op = rng.choice(("+", "-"))
+        return BinOp(
+            op,
+            gen_expr(rng, profile, bound_vars, depth - 1),
+            gen_expr(rng, profile, bound_vars, depth - 1),
+        )
+    return Const(rng.randint(lo, hi))
+
+
+def _gen_atom(
+    rng: random.Random,
+    profile: ScenarioProfile,
+    fragment: str,
+    bound_vars: Tuple[str, ...],
+) -> Formula:
+    choices: List[str] = []
+    if profile.bool_vars:
+        choices += ["prop"] * 4
+    choices += ["const"]
+    if fragment == "rich":
+        if profile.int_vars or bound_vars:
+            choices += ["cmp"] * 3
+        if profile.operations:
+            choices += ["op"] * 2
+        choices += ["start"]
+    kind = rng.choice(choices)
+    if kind == "prop":
+        return Atom(Prop(rng.choice(profile.bool_vars)))
+    if kind == "cmp":
+        op = rng.choice(_CMP_OPS)
+        return Atom(
+            Cmp(gen_expr(rng, profile, bound_vars), op, gen_expr(rng, profile, bound_vars))
+        )
+    if kind == "op":
+        name = rng.choice(profile.operations)
+        maker = rng.choice((at_op, in_op, after_op))
+        if rng.random() < 0.5:
+            return maker(name, gen_expr(rng, profile, bound_vars))
+        return maker(name)
+    if kind == "start":
+        return Atom(StartPredicate())
+    return TrueFormula() if rng.random() < 0.5 else FalseFormula()
+
+
+# ---------------------------------------------------------------------------
+# Formulas and interval terms
+# ---------------------------------------------------------------------------
+
+
+def gen_formula(
+    rng: random.Random,
+    profile: Optional[ScenarioProfile] = None,
+    size: int = 8,
+    fragment: str = "rich",
+    bound_vars: Tuple[str, ...] = (),
+    max_interval_depth: Optional[int] = None,
+) -> Formula:
+    """A random formula of the requested fragment with ~``size`` nodes.
+
+    ``max_interval_depth`` caps the nesting of interval operators
+    (``[I] α``, ``*I`` and their terms).  Deciding interval logic is
+    non-elementary in that nesting — the bounded engine's per-trace
+    evaluation and the LLL ``Ψ`` computation both blow up on it — so
+    campaign configurations keep decision-engine cases shallow while
+    letting single-trace cases nest freely.
+    """
+    if fragment not in FRAGMENTS:
+        raise ValueError(f"fragment must be one of {FRAGMENTS}, got {fragment!r}")
+    profile = profile or ScenarioProfile()
+    if size <= 1:
+        return _gen_atom(rng, profile, fragment, bound_vars)
+    choices = ["not", "and", "or", "implies", "iff", "always", "eventually"]
+    if max_interval_depth is None or max_interval_depth > 0:
+        choices += ["occurs"]
+        if fragment != "ltl":
+            choices += ["interval", "interval"]
+    if fragment == "rich":
+        unbound = tuple(v for v in profile.logical_vars if v not in bound_vars)
+        if unbound:
+            choices.append("forall")
+    kind = rng.choice(choices)
+    budget = size - 1
+    depth = max_interval_depth
+    inner_depth = None if depth is None else depth - 1
+    if kind == "not":
+        return Not(gen_formula(rng, profile, budget, fragment, bound_vars, depth))
+    if kind in ("and", "or", "implies", "iff"):
+        left_budget = rng.randint(1, max(1, budget - 1))
+        left = gen_formula(rng, profile, left_budget, fragment, bound_vars, depth)
+        right = gen_formula(rng, profile, budget - left_budget, fragment, bound_vars, depth)
+        cls = {"and": And, "or": Or, "implies": Implies, "iff": Iff}[kind]
+        return cls(left, right)
+    if kind == "always":
+        return Always(gen_formula(rng, profile, budget, fragment, bound_vars, depth))
+    if kind == "eventually":
+        return Eventually(gen_formula(rng, profile, budget, fragment, bound_vars, depth))
+    if kind == "occurs":
+        return Occurs(gen_term(rng, profile, max(1, budget), fragment, bound_vars, inner_depth))
+    if kind == "interval":
+        term_budget = rng.randint(1, max(1, budget - 1))
+        term = gen_term(rng, profile, term_budget, fragment, bound_vars, inner_depth)
+        body = gen_formula(rng, profile, budget - term_budget, fragment, bound_vars, inner_depth)
+        return IntervalFormula(term, body)
+    # forall: bind a fresh rigid variable in the body.
+    unbound = tuple(v for v in profile.logical_vars if v not in bound_vars)
+    name = rng.choice(unbound)
+    body = gen_formula(rng, profile, budget, fragment, bound_vars + (name,), depth)
+    return Forall((name,), body)
+
+
+def _gen_event_formula(
+    rng: random.Random,
+    profile: ScenarioProfile,
+    size: int,
+    fragment: str,
+    bound_vars: Tuple[str, ...],
+    max_interval_depth: Optional[int],
+) -> Formula:
+    """An event-defining formula.
+
+    A top-level ``Occurs`` is avoided: the event ``*(I)`` prints exactly like
+    the ``*`` interval-term modifier applied to ``(I)``, so it would not
+    round-trip through the concrete syntax.
+    """
+    for _ in range(8):
+        formula = gen_formula(rng, profile, size, fragment, bound_vars, max_interval_depth)
+        if not isinstance(formula, Occurs):
+            return formula
+    return _gen_atom(rng, profile, fragment, bound_vars)
+
+
+def gen_term(
+    rng: random.Random,
+    profile: Optional[ScenarioProfile] = None,
+    size: int = 4,
+    fragment: str = "rich",
+    bound_vars: Tuple[str, ...] = (),
+    max_interval_depth: Optional[int] = None,
+) -> IntervalTerm:
+    """A random interval term with ~``size`` nodes.
+
+    In the ``"ltl"`` fragment only plain event terms are generated (the
+    translation of :mod:`repro.ltl.translation` accepts nothing else).
+    """
+    profile = profile or ScenarioProfile()
+    depth = max_interval_depth
+    if fragment == "ltl" or size <= 1:
+        return EventTerm(
+            _gen_event_formula(rng, profile, max(1, size), fragment, bound_vars, depth)
+        )
+    kind = rng.choice(["event", "event", "begin", "end", "forward", "backward", "star"])
+    budget = size - 1
+    if kind == "event":
+        return EventTerm(_gen_event_formula(rng, profile, size, fragment, bound_vars, depth))
+    if kind == "begin":
+        return Begin(gen_term(rng, profile, budget, fragment, bound_vars, depth))
+    if kind == "end":
+        return End(gen_term(rng, profile, budget, fragment, bound_vars, depth))
+    if kind == "star":
+        return Star(gen_term(rng, profile, budget, fragment, bound_vars, depth))
+    cls = Forward if kind == "forward" else Backward
+    shape = rng.choice(("both", "left", "right"))
+    if shape == "both" and budget >= 2:
+        left_budget = rng.randint(1, budget - 1)
+        return cls(
+            gen_term(rng, profile, left_budget, fragment, bound_vars, depth),
+            gen_term(rng, profile, budget - left_budget, fragment, bound_vars, depth),
+        )
+    if shape == "left":
+        return cls(gen_term(rng, profile, budget, fragment, bound_vars, depth), None)
+    return cls(None, gen_term(rng, profile, budget, fragment, bound_vars, depth))
+
+
+# ---------------------------------------------------------------------------
+# Traces
+# ---------------------------------------------------------------------------
+
+
+_PHASE_CYCLE = ("at", "in", "after")
+
+
+def gen_trace(
+    rng: random.Random,
+    profile: Optional[ScenarioProfile] = None,
+    max_states: int = 7,
+    lasso_probability: float = 0.25,
+    with_operations: bool = True,
+) -> Trace:
+    """A random trace assigning every profile variable in every state.
+
+    With probability ``lasso_probability`` the trace is a genuine lasso
+    (``loop_start < n``); otherwise it uses the paper's finite-computation
+    convention.  Operation lifecycles follow the legal
+    ``idle → at → in* → after → idle`` cycle so the Chapter 2.2 axioms hold
+    on generated traces exactly as they do on simulated ones.
+    """
+    profile = profile or ScenarioProfile()
+    lo, hi = profile.int_range
+    length = rng.randint(1, max(1, max_states))
+    rows: List[Dict[str, Any]] = []
+    operations: List[Dict[str, Tuple[str, Tuple[int, ...], Tuple[int, ...]]]] = []
+    phase_index = {name: -1 for name in profile.operations}
+    op_args: Dict[str, Tuple[int, ...]] = {}
+    for _ in range(length):
+        row: Dict[str, Any] = {}
+        for name in profile.bool_vars:
+            row[name] = rng.random() < 0.5
+        for name in profile.int_vars:
+            row[name] = rng.randint(lo, hi)
+        rows.append(row)
+        record: Dict[str, Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = {}
+        if with_operations:
+            for name in profile.operations:
+                index = phase_index[name]
+                if index < 0:
+                    if rng.random() < 0.4:
+                        phase_index[name] = 0
+                        op_args[name] = (rng.randint(lo, hi),)
+                elif index == 1 and rng.random() < 0.5:
+                    pass  # linger in the "in" phase
+                else:
+                    phase_index[name] = index + 1
+                    if phase_index[name] >= len(_PHASE_CYCLE):
+                        phase_index[name] = -1
+                index = phase_index[name]
+                if index >= 0:
+                    phase = _PHASE_CYCLE[index]
+                    results = (rng.randint(lo, hi),) if phase == "after" else ()
+                    record[name] = (phase, op_args[name], results)
+        operations.append(record)
+    loop_start = None
+    if length > 1 and rng.random() < lasso_probability:
+        loop_start = rng.randint(1, length - 1)
+    return make_trace(rows, loop_start=loop_start, operations=operations if with_operations else None)
+
+
+# ---------------------------------------------------------------------------
+# Random transition systems
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RandomSystem:
+    """A random guarded-update transition system over a profile's variables.
+
+    The system is fully determined by ``(profile, seed)``: each boolean
+    variable gets a random mod-2 update rule, each integer variable a random
+    bounded affine walk, and each profile operation is invoked through
+    :class:`~repro.systems.simulator.OperationDriver` whenever its random
+    guard fires — so produced traces carry realistic operation lifecycles
+    and correlated variable histories rather than independent noise.
+    """
+
+    profile: ScenarioProfile = field(default_factory=ScenarioProfile)
+    seed: int = 0
+
+    def trace(self, steps: int = 8, lasso_probability: float = 0.0) -> Trace:
+        rng = random.Random(self.seed)
+        lo, hi = self.profile.int_range
+        initial: Dict[str, Any] = {name: False for name in self.profile.bool_vars}
+        initial.update({name: lo for name in self.profile.int_vars})
+        builder = TraceBuilder(initial)
+        drivers = [OperationDriver(builder, name) for name in self.profile.operations]
+        flip_probability = {name: rng.uniform(0.2, 0.8) for name in self.profile.bool_vars}
+        step_delta = {name: rng.choice((-1, 1)) for name in self.profile.int_vars}
+        builder.commit()
+        committed = 1
+        while committed < max(1, steps):
+            for name in self.profile.bool_vars:
+                if rng.random() < flip_probability[name]:
+                    builder.set(**{name: not builder.get(name)})
+            for name in self.profile.int_vars:
+                value = builder.get(name) + step_delta[name]
+                if not lo <= value <= hi:
+                    step_delta[name] = -step_delta[name]
+                    value = builder.get(name) + step_delta[name]
+                builder.set(**{name: value})
+            if drivers and rng.random() < 0.5:
+                driver = rng.choice(drivers)
+                argument = rng.randint(lo, hi)
+                driver.call(argument, results=(argument,), busy_steps=2, rng=rng)
+                committed += 4  # at + in(+) + after states, approximately
+            else:
+                builder.commit()
+                committed += 1
+        loop_start = None
+        if lasso_probability and rng.random() < lasso_probability and builder.steps() > 1:
+            loop_start = rng.randint(1, builder.steps() - 1)
+        return builder.build(loop_start=loop_start)
+
+
+def gen_system_trace(
+    rng: random.Random,
+    profile: Optional[ScenarioProfile] = None,
+    max_steps: int = 10,
+    lasso_probability: float = 0.25,
+) -> Trace:
+    """A trace of a fresh :class:`RandomSystem` seeded from ``rng``."""
+    profile = profile or ScenarioProfile()
+    system = RandomSystem(profile=profile, seed=rng.randrange(2**31))
+    return system.trace(
+        steps=rng.randint(2, max(2, max_steps)),
+        lasso_probability=lasso_probability,
+    )

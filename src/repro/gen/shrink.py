@@ -1,0 +1,234 @@
+"""Greedy minimization of failing cases.
+
+Given a case and a ``still_fails`` predicate, the shrinker repeatedly tries
+one-step-smaller variants — structural simplifications of the formula,
+shorter traces, simpler state values, smaller quantification domains — and
+greedily keeps any variant that still fails, until no candidate helps (or a
+predicate-call budget is exhausted).  The result is the smallest replayable
+witness the greedy walk can find, which is what a fuzzing disagreement is
+reported and archived as.
+
+The formula simplifications never introduce syntax the generators avoid, so
+a shrunk case still round-trips through the corpus file format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Iterator
+
+from ..syntax.formulas import (
+    Always,
+    And,
+    Eventually,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntervalFormula,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+    formula_size,
+)
+from ..syntax.intervals import Backward, Begin, End, EventTerm, Forward, IntervalTerm, Star
+from ..syntax.parser import parse_formula
+from ..syntax.pretty import to_ascii
+from .cases import Case, TraceSpec
+
+__all__ = ["formula_variants", "term_variants", "case_variants", "shrink_case"]
+
+
+def _unique(variants: Iterator[Any]) -> Iterator[Any]:
+    seen = set()
+    for variant in variants:
+        key = str(variant)
+        if key not in seen:
+            seen.add(key)
+            yield variant
+
+
+def formula_variants(formula: Formula) -> Iterator[Formula]:
+    """One-step-simpler formulas (root replacements first, then recursion)."""
+    yield from _unique(_formula_variants(formula))
+
+
+def _formula_variants(formula: Formula) -> Iterator[Formula]:
+    # Replace the whole formula by a constant or by one of its sub-formulas.
+    if not isinstance(formula, (TrueFormula, FalseFormula)):
+        yield TrueFormula()
+        yield FalseFormula()
+    for child in formula.children():
+        yield child
+    # Rebuild the node around a simplified child.
+    if isinstance(formula, Not):
+        for sub in _formula_variants(formula.operand):
+            yield Not(sub)
+    elif isinstance(formula, (And, Or, Implies, Iff)):
+        cls = type(formula)
+        for sub in _formula_variants(formula.left):
+            yield cls(sub, formula.right)
+        for sub in _formula_variants(formula.right):
+            yield cls(formula.left, sub)
+    elif isinstance(formula, Always):
+        for sub in _formula_variants(formula.operand):
+            yield Always(sub)
+    elif isinstance(formula, Eventually):
+        for sub in _formula_variants(formula.operand):
+            yield Eventually(sub)
+    elif isinstance(formula, IntervalFormula):
+        for term in term_variants(formula.term):
+            yield IntervalFormula(term, formula.body)
+        for sub in _formula_variants(formula.body):
+            yield IntervalFormula(formula.term, sub)
+    elif isinstance(formula, Occurs):
+        for term in term_variants(formula.term):
+            yield Occurs(term)
+    elif isinstance(formula, Forall):
+        for sub in _formula_variants(formula.body):
+            yield Forall(formula.variables, sub)
+
+
+def term_variants(term: IntervalTerm) -> Iterator[IntervalTerm]:
+    """One-step-simpler interval terms."""
+    if isinstance(term, EventTerm):
+        for sub in _formula_variants(term.formula):
+            if not isinstance(sub, Occurs):  # *(I) would re-parse as Star
+                yield EventTerm(sub)
+        return
+    if isinstance(term, (Begin, End, Star)):
+        yield term.term
+        cls = type(term)
+        for sub in term_variants(term.term):
+            yield cls(sub)
+        return
+    if isinstance(term, (Forward, Backward)):
+        cls = type(term)
+        if term.left is not None:
+            yield term.left
+            yield cls(None, term.right)
+            for sub in term_variants(term.left):
+                yield cls(sub, term.right)
+        if term.right is not None:
+            yield term.right
+            yield cls(term.left, None)
+            for sub in term_variants(term.right):
+                yield cls(term.left, sub)
+
+
+def _trace_variants(spec: TraceSpec) -> Iterator[TraceSpec]:
+    if spec.rows is None:
+        return  # simulator references shrink through the formula only
+    rows = spec.rows
+    operations = spec.operations
+    # Drop one state at a time (keeping at least one).
+    if len(rows) > 1:
+        for index in range(len(rows)):
+            new_rows = rows[:index] + rows[index + 1 :]
+            new_operations = (
+                operations[:index] + operations[index + 1 :]
+                if operations is not None
+                else None
+            )
+            loop_start = spec.loop_start
+            if loop_start is not None and loop_start > len(new_rows):
+                loop_start = None
+            yield replace(spec, rows=new_rows, operations=new_operations, loop_start=loop_start)
+    # Forget the lasso shape.
+    if spec.loop_start is not None:
+        yield replace(spec, loop_start=None)
+    # Drop operation records wholesale.
+    if operations is not None and any(operations):
+        yield replace(spec, operations=None)
+    # Drop a whole variable column (vetoed by the predicate when the
+    # formula still reads it — the evaluation error changes the failure).
+    if rows:
+        for name in sorted(rows[0]):
+            yield replace(spec, rows=[{k: v for k, v in row.items() if k != name} for row in rows])
+    # Simplify one value at a time.
+    for index, row in enumerate(rows):
+        for name, value in row.items():
+            simple: Any = False if isinstance(value, bool) else 0
+            if value != simple:
+                new_row = dict(row)
+                new_row[name] = simple
+                yield replace(spec, rows=rows[:index] + [new_row] + rows[index + 1 :])
+
+
+def case_variants(case: Case) -> Iterator[Case]:
+    """One-step-smaller cases: simpler formula, trace, domain or bound."""
+    formula = case.parsed_formula()
+    for variant in formula_variants(formula):
+        yield case.replacing(formula=to_ascii(variant))
+    if case.trace is not None:
+        for spec in _trace_variants(case.trace):
+            yield case.replacing(trace=spec)
+    if case.domain:
+        yield case.replacing(domain=None)
+        for name, values in case.domain.items():
+            if len(values) > 1:
+                smaller = dict(case.domain)
+                smaller[name] = values[:-1]
+                yield case.replacing(domain=smaller)
+    if case.kind != "trace" and case.max_length > 1:
+        yield case.replacing(max_length=case.max_length - 1)
+
+
+def _value_weight(value: Any) -> int:
+    if isinstance(value, bool):
+        return 1 if value else 0
+    if isinstance(value, int):
+        return abs(value)
+    return 1
+
+
+def _case_weight(case: Case, formula: Formula) -> int:
+    weight = formula_size(formula)
+    if case.trace is not None and case.trace.rows is not None:
+        weight += 2 * len(case.trace.rows)
+        for row in case.trace.rows:
+            weight += sum(2 + _value_weight(value) for value in row.values())
+        if case.trace.operations is not None:
+            weight += sum(2 * len(per_state) for per_state in case.trace.operations)
+    if case.domain:
+        weight += sum(len(values) for values in case.domain.values())
+    return weight
+
+
+def shrink_case(
+    case: Case,
+    still_fails: Callable[[Case], bool],
+    max_checks: int = 400,
+) -> Case:
+    """Greedily minimize ``case`` while ``still_fails`` holds.
+
+    The returned case always satisfies ``still_fails`` (it is the input case
+    when no smaller variant does); recorded expectations are dropped, since
+    a shrunk scenario is a different question than the one the expectations
+    were recorded for.
+    """
+    current = case.replacing(expect=None)
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        current_weight = _case_weight(current, current.parsed_formula())
+        for candidate in case_variants(current):
+            if checks >= max_checks:
+                break
+            try:
+                # The candidate must still round-trip (replayability is the
+                # whole point of a shrunk case).
+                candidate_formula = parse_formula(candidate.formula)
+            except Exception:
+                continue
+            if _case_weight(candidate, candidate_formula) >= current_weight:
+                continue
+            checks += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

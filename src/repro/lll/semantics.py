@@ -25,7 +25,7 @@ semantics is the documented substitution for it (see DESIGN.md).
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import DecisionProcedureError
 from .syntax import (
@@ -58,9 +58,42 @@ __all__ = [
     "interp_seq",
     "is_consistent",
     "Psi",
+    "PsiBudgetError",
     "is_satisfiable_bounded",
     "satisfying_interpretations",
 ]
+
+
+class PsiBudgetError(DecisionProcedureError):
+    """The ``Ψ`` computation exceeded its optional work budget.
+
+    The bounded semantics is exact within the length bound but the number of
+    partial interpretations explored can grow super-exponentially with
+    expression nesting (each ``∧`` / chop / iteration forms a cross product
+    of interpretation sets).  Callers that must stay responsive — batch
+    campaigns, the differential fuzzing oracle — pass ``max_interpretations``
+    and treat this error as "the engine abstained", not as a verdict.
+    """
+
+
+class _Budget:
+    """Counts interpretation pairings explored by one ``Ψ`` computation."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, limit: Optional[int]) -> None:
+        self.remaining = limit
+
+    def charge(self, amount: int) -> None:
+        if self.remaining is None:
+            return
+        self.remaining -= amount
+        if self.remaining < 0:
+            raise PsiBudgetError(
+                "the bounded Psi computation exceeded its interpretation "
+                "budget; raise max_interpretations (or pass None) to explore "
+                "this expression exhaustively"
+            )
 
 
 Literal = Tuple[str, bool]
@@ -135,18 +168,30 @@ def is_consistent(interpretation: PartialInterpretation) -> bool:
     return all(conj_consistent(conjunction) for conjunction in interpretation)
 
 
-def Psi(expression: LLLExpression, bound: int) -> Set[PartialInterpretation]:
-    """All partial interpretations of length at most ``bound`` denoted by the expression."""
+def Psi(
+    expression: LLLExpression,
+    bound: int,
+    max_interpretations: Optional[int] = None,
+) -> Set[PartialInterpretation]:
+    """All partial interpretations of length at most ``bound`` denoted by the expression.
+
+    ``max_interpretations`` caps the total number of interpretation pairings
+    explored; exceeding it raises :class:`PsiBudgetError` (see its docstring
+    for when callers want that).
+    """
     if bound < 1:
         raise DecisionProcedureError("the length bound must be at least 1")
-    return _psi(expression, bound)
+    return _psi(expression, bound, _Budget(max_interpretations))
 
 
 def _bounded(interps: Set[PartialInterpretation], bound: int) -> Set[PartialInterpretation]:
     return {i for i in interps if 1 <= len(i) <= bound}
 
 
-def _psi(expression: LLLExpression, bound: int) -> Set[PartialInterpretation]:
+def _psi(
+    expression: LLLExpression, bound: int, budget: _Budget
+) -> Set[PartialInterpretation]:
+    budget.charge(1)
     if isinstance(expression, LVar):
         return {(frozenset({(expression.name, True)}),)}
     if isinstance(expression, LNeg):
@@ -158,48 +203,33 @@ def _psi(expression: LLLExpression, bound: int) -> Set[PartialInterpretation]:
     if isinstance(expression, LTrueStar):
         return {tuple([EMPTY_CONJUNCTION] * n) for n in range(1, bound + 1)}
     if isinstance(expression, LChoice):
-        return _psi(expression.left, bound) | _psi(expression.right, bound)
-    if isinstance(expression, LConcur):
-        return _bounded(
-            {interp_and(i, j)
-             for i in _psi(expression.left, bound)
-             for j in _psi(expression.right, bound)},
-            bound,
-        )
-    if isinstance(expression, LConcurSame):
-        return _bounded(
-            {interp_and(i, j)
-             for i in _psi(expression.left, bound)
-             for j in _psi(expression.right, bound)
-             if len(i) == len(j)},
-            bound,
-        )
-    if isinstance(expression, LSeq):
-        return _bounded(
-            {interp_seq(i, j)
-             for i in _psi(expression.left, bound)
-             for j in _psi(expression.right, bound)},
-            bound,
-        )
-    if isinstance(expression, LChop):
-        return _bounded(
-            {interp_chop(i, j)
-             for i in _psi(expression.left, bound)
-             for j in _psi(expression.right, bound)},
-            bound,
-        )
+        return _psi(expression.left, bound, budget) | _psi(expression.right, bound, budget)
+    if isinstance(expression, (LConcur, LConcurSame, LSeq, LChop)):
+        left = _psi(expression.left, bound, budget)
+        right = _psi(expression.right, bound, budget)
+        budget.charge(len(left) * len(right))
+        if isinstance(expression, LConcur):
+            combined = {interp_and(i, j) for i in left for j in right}
+        elif isinstance(expression, LConcurSame):
+            combined = {interp_and(i, j) for i in left for j in right
+                        if len(i) == len(j)}
+        elif isinstance(expression, LSeq):
+            combined = {interp_seq(i, j) for i in left for j in right}
+        else:
+            combined = {interp_chop(i, j) for i in left for j in right}
+        return _bounded(combined, bound)
     if isinstance(expression, LExists):
-        return {_hide(i, expression.variable) for i in _psi(expression.body, bound)}
+        return {_hide(i, expression.variable) for i in _psi(expression.body, bound, budget)}
     if isinstance(expression, LForceFalse):
-        return {_force(i, expression.variable, False) for i in _psi(expression.body, bound)}
+        return {_force(i, expression.variable, False) for i in _psi(expression.body, bound, budget)}
     if isinstance(expression, LForceTrue):
-        return {_force(i, expression.variable, True) for i in _psi(expression.body, bound)}
+        return {_force(i, expression.variable, True) for i in _psi(expression.body, bound, budget)}
     if isinstance(expression, LInfloop):
-        return _psi_infloop(expression.body, bound)
+        return _psi_infloop(expression.body, bound, budget)
     if isinstance(expression, LIterStar):
-        return _psi_iter(expression.body, expression.until, bound, require_until=True)
+        return _psi_iter(expression.body, expression.until, bound, budget, require_until=True)
     if isinstance(expression, LIterOpt):
-        return _psi_iter(expression.body, expression.until, bound, require_until=False)
+        return _psi_iter(expression.body, expression.until, bound, budget, require_until=False)
     raise DecisionProcedureError(f"unknown LLL expression: {expression!r}")
 
 
@@ -209,7 +239,9 @@ def _shift(interps: Set[PartialInterpretation], offset: int, bound: int) -> Set[
     return _bounded({prefix + i for i in interps}, bound)
 
 
-def _psi_infloop(body: LLLExpression, bound: int) -> Set[PartialInterpretation]:
+def _psi_infloop(
+    body: LLLExpression, bound: int, budget: _Budget
+) -> Set[PartialInterpretation]:
     """``infloop(a)``: a copy of ``a`` starts at every instant.
 
     The exact denotation ``a ∧ (T;a) ∧ (T;T;a) ∧ ...`` consists of infinite
@@ -220,13 +252,14 @@ def _psi_infloop(body: LLLExpression, bound: int) -> Set[PartialInterpretation]:
     def truncate(interpretation: PartialInterpretation) -> PartialInterpretation:
         return interpretation[:bound]
 
-    base = {truncate(i) for i in _psi(body, bound)}
+    base = {truncate(i) for i in _psi(body, bound, budget)}
     if not base:
         return set()
     current: Set[PartialInterpretation] = set(base)
     for offset in range(1, bound):
         prefix = tuple([EMPTY_CONJUNCTION] * offset)
         shifted = {truncate(prefix + i) for i in base}
+        budget.charge(len(current) * len(shifted))
         current = {
             truncate(interp_and(left, right))
             for left in current
@@ -241,27 +274,32 @@ def _psi_iter(
     body: LLLExpression,
     until: LLLExpression,
     bound: int,
+    budget: _Budget,
     require_until: bool,
 ) -> Set[PartialInterpretation]:
     """``iter*`` / ``iter(*)``: copies of ``a`` start at successive instants
     until ``b`` starts (bounded)."""
-    base = _psi(body, bound)
-    stop = _psi(until, bound)
+    base = _psi(body, bound, budget)
+    stop = _psi(until, bound, budget)
     results: Set[PartialInterpretation] = set(stop)  # b starts immediately
     accumulated: Set[PartialInterpretation] = set(base)
     for offset in range(1, bound):
         # b starts at instant ``offset``: all copies of a started before must
         # end no later than b does (the paper's simultaneity requirement is
         # relaxed to containment within the bound).
+        shifted_stop = _shift(stop, offset, bound)
+        budget.charge(len(accumulated) * len(shifted_stop))
         for left in accumulated:
-            for right in _shift(stop, offset, bound):
+            for right in shifted_stop:
                 combined = interp_and(left, right)
                 if len(combined) <= bound and len(right) >= len(left):
                     results.add(combined)
         # Start another copy of a at instant ``offset``.
+        shifted_base = _shift(base, offset, bound)
+        budget.charge(len(accumulated) * len(shifted_base))
         next_acc: Set[PartialInterpretation] = set()
         for left in accumulated:
-            for right in _shift(base, offset, bound):
+            for right in shifted_base:
                 combined = interp_and(left, right)
                 if len(combined) <= bound:
                     next_acc.add(combined)
@@ -269,15 +307,27 @@ def _psi_iter(
         if not accumulated:
             break
     if not require_until:
-        results |= _psi_infloop(body, bound)
+        results |= _psi_infloop(body, bound, budget)
     return _bounded(results, bound)
 
 
-def satisfying_interpretations(expression: LLLExpression, bound: int) -> Set[PartialInterpretation]:
+def satisfying_interpretations(
+    expression: LLLExpression,
+    bound: int,
+    max_interpretations: Optional[int] = None,
+) -> Set[PartialInterpretation]:
     """The consistent (non-contradictory) interpretations within the bound."""
-    return {i for i in Psi(expression, bound) if is_consistent(i)}
+    return {
+        i
+        for i in Psi(expression, bound, max_interpretations=max_interpretations)
+        if is_consistent(i)
+    }
 
 
-def is_satisfiable_bounded(expression: LLLExpression, bound: int = 4) -> bool:
+def is_satisfiable_bounded(
+    expression: LLLExpression,
+    bound: int = 4,
+    max_interpretations: Optional[int] = None,
+) -> bool:
     """Is the expression satisfiable by some computation of length <= bound?"""
-    return bool(satisfying_interpretations(expression, bound))
+    return bool(satisfying_interpretations(expression, bound, max_interpretations))

@@ -291,16 +291,38 @@ class _Parser:
         if token.kind in ("AT", "IN", "AFTER"):
             return self.parse_operation_predicate()
         if token.kind == "LPAREN":
+            saved = self.index
+            saved_depth = self._event_depth
             self.advance()
             # Parentheses re-open plain formula context: inside them ``<=``
             # is a comparison again even below an interval term.
-            saved_depth = self._event_depth
             self._event_depth = 0
             try:
                 inner = self.parse_formula()
-            finally:
+                self.expect("RPAREN")
+            except ParseError as formula_error:
+                self.index = saved
                 self._event_depth = saved_depth
-            self.expect("RPAREN")
+                # Not a parenthesized formula: try a parenthesized
+                # *expression* opening a comparison, e.g. ``(x - y) == 1``.
+                # When that fails too, the original error — pointing inside
+                # the parentheses — is the real one.
+                try:
+                    return self.parse_comparison_or_prop()
+                except ParseError:
+                    raise formula_error from None
+            self._event_depth = saved_depth
+            if self.peek().kind in self._comparison_kinds():
+                # A parenthesized formula directly followed by a comparison
+                # operator, e.g. ``(x) == 1`` — re-parse as a comparison.
+                after_formula = self.index
+                self.index = saved
+                try:
+                    return self.parse_comparison_or_prop()
+                except ParseError:
+                    # Not an expression either: keep the formula and let the
+                    # caller report the trailing operator.
+                    self.index = after_formula
             return inner
         # A comparison or a bare boolean state variable.
         return self.parse_comparison_or_prop()
@@ -320,6 +342,13 @@ class _Parser:
 
     _CMP_KINDS = ("CMP", "EQ_SINGLE", "ARROW_B")
 
+    def _comparison_kinds(self) -> Tuple[str, ...]:
+        if self._event_depth:
+            # Inside an interval term ``<=`` is the backward arrow, so it
+            # must not be consumed as a comparison.
+            return tuple(k for k in self._CMP_KINDS if k != "ARROW_B")
+        return self._CMP_KINDS
+
     def parse_comparison_or_prop(self) -> Formula:
         # Try a comparison first; fall back to a boolean proposition.
         saved = self.index
@@ -329,12 +358,7 @@ class _Parser:
             self.index = saved
             raise self.error("expected a formula")
         token = self.peek()
-        cmp_kinds = self._CMP_KINDS
-        if self._event_depth:
-            # Inside an interval term ``<=`` is the backward arrow, so it
-            # must not be consumed as a comparison here.
-            cmp_kinds = tuple(k for k in cmp_kinds if k != "ARROW_B")
-        if token.kind in cmp_kinds:
+        if token.kind in self._comparison_kinds():
             self.advance()
             if token.kind == "CMP":
                 op = _CMP_NORMALIZE.get(token.value, token.value)

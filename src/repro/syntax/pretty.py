@@ -120,8 +120,12 @@ def _render(formula: Formula, symbols: dict) -> str:
     if isinstance(formula, Occurs):
         return f"*({_render_term(formula.term, symbols)})"
     if isinstance(formula, Forall):
+        # Parenthesized because the quantifier body extends as far right as
+        # possible when re-parsed: ``forall a . X \/ Y`` reads as
+        # ``forall a . (X \/ Y)``, so an un-parenthesized rendering of
+        # ``Or(Forall(..., X), Y)`` would not round-trip.
         vars_ = ", ".join(formula.variables)
-        return f"{symbols['forall']}{vars_} . {_render(formula.body, symbols)}"
+        return f"({symbols['forall']}{vars_} . {_render(formula.body, symbols)})"
     if isinstance(formula, NextBinding):
         vars_ = ", ".join(formula.variables)
         return f"bind-next {formula.operation}({vars_}) . {_render(formula.body, symbols)}"

@@ -371,6 +371,51 @@ class TestNextBindingSatellite:
         assert Evaluator(trace).satisfies(formula)
 
 
+class TestParallelParity:
+    """`check_many(processes=N)` must be indistinguishable from serial."""
+
+    @staticmethod
+    def _requests(count):
+        trace = make_trace([{"x": 1, "p": False}, {"x": 2, "p": True}])
+        formulas = ["<> x == 2", "[] x == 1", "<> p", "[] (p -> <> x == 2)"]
+        return [
+            CheckRequest(formulas[i % len(formulas)], mode="trace", trace=trace,
+                         capture_errors=True, label=f"req-{i}")
+            for i in range(count)
+        ]
+
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3, 100])
+    def test_worker_results_identical_and_in_order(self, chunk_size):
+        requests = self._requests(10)
+        serial = Session().check_many(requests)
+        fanned = Session().check_many(requests, processes=3, chunk_size=chunk_size)
+        assert [r.request.label for r in fanned] == [f"req-{i}" for i in range(10)]
+        assert [(r.request.label, r.verdict, r.error) for r in fanned] == \
+            [(r.request.label, r.verdict, r.error) for r in serial]
+
+    def test_empty_batch(self):
+        assert Session().check_many([]) == []
+        assert Session().check_many([], processes=4) == []
+
+    def test_single_request_batch_with_workers(self):
+        [result] = Session().check_many(self._requests(1), processes=4)
+        assert result.verdict is True
+
+    def test_split_chunks_edge_cases(self):
+        from repro.api.parallel import split_chunks
+
+        requests = self._requests(5)
+        assert split_chunks([], 3) == []
+        assert split_chunks(requests, 2, chunk_size=100) == [requests]
+        assert split_chunks(requests, 2, chunk_size=2) == \
+            [requests[0:2], requests[2:4], requests[4:5]]
+        even = split_chunks(requests, 5)
+        assert [r.label for chunk in even for r in chunk] == \
+            [r.label for r in requests]
+        with pytest.raises(ValueError):
+            split_chunks(requests, 2, chunk_size=0)
+
+
 class TestLegacyShims:
     def test_every_entry_point_resolves_and_warns(self):
         for name in legacy.__all__:
@@ -381,6 +426,30 @@ class TestLegacyShims:
             assert attribute is not None
             assert any(issubclass(w.category, DeprecationWarning) for w in caught), name
 
+    def test_each_entry_point_warns_exactly_once(self):
+        for name in legacy.__all__:
+            legacy._warned.discard(name)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = getattr(legacy, name)
+                second = getattr(legacy, name)
+            assert first is second
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1, name
+            assert name in str(deprecations[0].message)
+
+    def test_shims_forward_the_defining_module_objects(self):
+        from importlib import import_module
+
+        from repro.api.legacy import _ENTRY_POINTS
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name, (module_name, attribute, _) in _ENTRY_POINTS.items():
+                assert getattr(legacy, name) is \
+                    getattr(import_module(module_name), attribute), name
+
     def test_shimmed_entry_points_still_work(self):
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
@@ -388,3 +457,17 @@ class TestLegacyShims:
             assert legacy.is_bounded_valid(parse_formula("<> p -> <> p"),
                                            max_length=2).valid
             assert legacy.is_valid(Sometime(LProp("p"))) is False
+
+    def test_shim_verdicts_match_the_facade(self):
+        trace = make_trace(ROWS)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for text in ("<> x == 2", "[] x == 1", "<> p"):
+                shim = legacy.satisfies(trace, parse_formula(text))
+                facade = Session().check(text, trace=trace)
+                assert shim == facade.verdict
+            shim_bounded = legacy.is_bounded_valid(parse_formula("<> p -> <> p"),
+                                                   max_length=2)
+            facade_bounded = Session().check("<> p -> <> p", mode="bounded",
+                                             max_length=2)
+            assert shim_bounded.valid == facade_bounded.verdict

@@ -1,0 +1,384 @@
+"""The repro.gen subsystem: generators, shrinker, differential oracle,
+corpus format and CLI.
+
+Covers the acceptance criteria of the fuzzing-harness PR: seeded campaigns
+are deterministic and disagreement-free across all engines (serial and
+multiprocessing), a deliberately broken engine is caught and reported with
+a shrunk replayable case, and the checked-in ``tests/corpus/`` files replay
+with zero disagreements.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.api import (
+    BoundedEngine,
+    EngineCapabilities,
+    EngineRegistry,
+    LLLEngine,
+    MonitorEngine,
+    Session,
+    TableauEngine,
+    TraceEngine,
+)
+from repro.gen import (
+    Case,
+    DifferentialOracle,
+    FuzzConfig,
+    RandomSystem,
+    ScenarioProfile,
+    TraceSpec,
+    fuzz,
+    gen_cases,
+    gen_formula,
+    gen_system_trace,
+    gen_trace,
+    load_corpus,
+    replay_corpus,
+    save_corpus,
+    shrink_case,
+)
+from repro.gen.cli import main as gen_main
+from repro.syntax.formulas import Or, formula_size, walk_formula
+from repro.syntax.parser import parse_formula
+from repro.syntax.terms import OpPhase
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class TestGenerators:
+    def test_same_seed_same_scenarios(self):
+        config = FuzzConfig(seed=11, cases=25)
+        first = [case.to_line() for case in gen_cases(config)]
+        second = [case.to_line() for case in gen_cases(config)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [c.to_line() for c in gen_cases(FuzzConfig(seed=1, cases=25))]
+        b = [c.to_line() for c in gen_cases(FuzzConfig(seed=2, cases=25))]
+        assert a != b
+
+    def test_fragments_respect_engine_languages(self):
+        from repro.core.bounded_checker import proposition_names
+        from repro.ltl.translation import is_in_ltl_fragment
+
+        rng = random.Random(5)
+        for _ in range(50):
+            assert is_in_ltl_fragment(gen_formula(rng, size=8, fragment="ltl"))
+        rng = random.Random(5)
+        profile = ScenarioProfile.propositional(("p", "q"))
+        for _ in range(50):
+            proposition_names(gen_formula(rng, profile, size=8, fragment="interval"))
+
+    def test_generated_traces_cover_profile_and_lifecycles(self):
+        profile = ScenarioProfile()
+        rng = random.Random(3)
+        for _ in range(30):
+            trace = gen_trace(rng, profile, max_states=6)
+            for state in trace.states():
+                for name in profile.bool_vars + profile.int_vars:
+                    assert name in state
+            # Operation lifecycles follow at -> in* -> after (never e.g.
+            # after without a preceding at).
+            for name in profile.operations:
+                previous = OpPhase.IDLE
+                for state in trace.states():
+                    phase = state.operation(name).phase
+                    legal = {
+                        OpPhase.IDLE: (OpPhase.IDLE, OpPhase.AT),
+                        OpPhase.AT: (OpPhase.IN,),
+                        OpPhase.IN: (OpPhase.IN, OpPhase.AFTER),
+                        OpPhase.AFTER: (OpPhase.IDLE, OpPhase.AT),
+                    }[previous]
+                    assert phase in legal, (previous, phase)
+                    previous = phase
+
+    def test_random_system_is_deterministic(self):
+        system = RandomSystem(seed=42)
+        assert system.trace(steps=9).states() == system.trace(steps=9).states()
+        trace = gen_system_trace(random.Random(0), max_steps=8)
+        assert trace.length >= 1
+
+    def test_trace_spec_round_trips_generated_traces(self):
+        rng = random.Random(8)
+        for _ in range(20):
+            trace = gen_trace(rng, max_states=5)
+            spec = TraceSpec.from_trace(trace)
+            rebuilt = spec.build()
+            assert rebuilt.states() == trace.states()
+            assert rebuilt.loop_start == trace.loop_start
+
+
+class TestShrinker:
+    def test_shrinks_to_a_minimal_or_witness(self):
+        case = Case(
+            kind="trace",
+            formula="((p /\\ q) \\/ <> x == 2)",
+            trace=TraceSpec(rows=[{"p": True, "q": True, "x": 1}, {"p": False, "q": True, "x": 2}]),
+            domain={"a": [0, 1, 2]},
+        )
+
+        def fails(candidate):
+            try:
+                formula = candidate.parsed_formula()
+            except Exception:
+                return False
+            return any(isinstance(node, Or) for node in walk_formula(formula))
+
+        shrunk = shrink_case(case, fails)
+        assert fails(shrunk)
+        assert formula_size(shrunk.parsed_formula()) == 3  # Or of two constants
+        assert shrunk.trace is not None and len(shrunk.trace.rows) == 1
+        assert shrunk.domain is None
+
+    def test_shrunk_case_always_round_trips(self):
+        case = Case(
+            kind="validity",
+            formula="[] (p -> <> (q \\/ p))",
+            max_length=3,
+            variables=["p", "q"],
+        )
+        shrunk = shrink_case(case, lambda c: "q" in c.formula)
+        assert "q" in shrunk.formula
+        parse_formula(shrunk.formula)
+
+    def test_result_is_input_when_nothing_smaller_fails(self):
+        case = Case(kind="trace", formula="p", trace=TraceSpec(rows=[{"p": True}]))
+
+        def exact(candidate):
+            return candidate.formula == "p" and candidate.trace.rows == [{"p": True}]
+
+        assert shrink_case(case, exact) == case.replacing(expect=None)
+
+
+class TestDifferentialOracle:
+    def test_seeded_campaign_has_no_disagreements(self):
+        report = fuzz(FuzzConfig(seed=7, cases=120))
+        assert report.ok, [str(d) for d in report.disagreements]
+        assert report.cases == 120
+        assert report.engine_runs > report.cases  # most cases hit >1 engine
+
+    def test_parallel_campaign_matches_serial(self):
+        cases = gen_cases(FuzzConfig(seed=13, cases=40))
+        oracle = DifferentialOracle(shrink=False)
+        serial = oracle.run(cases)
+        fanned = oracle.run(cases, processes=2)
+        assert serial.ok and fanned.ok
+        assert serial.engine_runs == fanned.engine_runs
+
+    def test_applicability_follows_capability_metadata(self):
+        oracle = DifferentialOracle()
+        trace_case = Case(kind="trace", formula="<> p",
+                          trace=TraceSpec(rows=[{"p": False}, {"p": True}]))
+        formula = trace_case.parsed_formula()
+        trace = trace_case.built_trace()
+        assert set(oracle.applicable_engines(trace_case, formula, trace)) == \
+            {"trace", "monitor"}
+        lasso = TraceSpec(rows=[{"p": False}, {"p": True}], loop_start=1).build()
+        # The monitor cannot see a lasso's cycle: capability-filtered out.
+        assert oracle.applicable_engines(trace_case, formula, lasso) == ["trace"]
+        validity = Case(kind="validity", formula="<> p -> <> p")
+        assert set(oracle.applicable_engines(validity, validity.parsed_formula(), None)) == \
+            {"bounded", "tableau"}
+        sat = Case(kind="satisfiability", formula="<> p")
+        assert set(oracle.applicable_engines(sat, sat.parsed_formula(), None)) == \
+            {"bounded", "tableau", "lll"}
+        beyond_fragment = Case(kind="validity", formula="[begin(p)] q")
+        assert oracle.applicable_engines(
+            beyond_fragment, beyond_fragment.parsed_formula(), None) == ["bounded"]
+
+    def test_broken_engine_is_caught_with_a_shrunk_replayable_case(self):
+        class BrokenTraceEngine(TraceEngine):
+            """Flips the verdict of any formula containing a disjunction."""
+
+            def run(self, request, session):
+                result = super().run(request, session)
+                formula = request.resolved_formula()
+                if any(isinstance(node, Or) for node in walk_formula(formula)):
+                    result.verdict = not result.verdict
+                return result
+
+        registry = EngineRegistry([
+            BrokenTraceEngine(), BoundedEngine(), TableauEngine(),
+            LLLEngine(), MonitorEngine(),
+        ])
+        broken_oracle = DifferentialOracle(session=Session(engines=registry))
+        report = fuzz(FuzzConfig(seed=3, cases=40), oracle=broken_oracle)
+        assert not report.ok
+        disagreement = report.disagreements[0]
+        assert "disagree" in disagreement.reason
+        replay = disagreement.replay_case()
+        # The witness was minimized and is replayable: it still trips the
+        # broken session, parses from its corpus line, and is clean on a
+        # healthy session.
+        assert disagreement.shrunk is not None
+        assert formula_size(replay.parsed_formula()) <= \
+            formula_size(disagreement.case.parsed_formula())
+        reloaded = Case.from_json(json.loads(replay.to_line()))
+        broken_reason, _ = broken_oracle.check_case(reloaded)
+        assert broken_reason is not None
+        healthy_reason, _ = DifferentialOracle().check_case(reloaded)
+        assert healthy_reason is None
+
+    def test_expect_mismatch_is_a_disagreement(self):
+        case = Case(
+            kind="trace", formula="<> p",
+            trace=TraceSpec(rows=[{"p": False}, {"p": True}]),
+            expect={"trace": False},  # wrong on purpose
+        )
+        reason, _ = DifferentialOracle().check_case(case)
+        assert reason is not None and "recorded" in reason
+
+    def test_exhausted_lll_budget_is_an_abstention_not_a_disagreement(self):
+        case = Case(kind="satisfiability", formula="[] (p -> <> q)", max_length=3)
+        starved = DifferentialOracle(work_budget=1)
+        reason, per_engine = starved.check_case(case)
+        assert reason is None
+        assert "PsiBudgetError" in per_engine["lll"].error
+        # The abstained engine pins nothing when expectations are recorded.
+        recorded = starved.record_expectations(case)
+        assert "lll" not in recorded.expect
+        assert recorded.expect["tableau"] is True
+        # With a real budget the lll engine answers again.
+        _, healthy = DifferentialOracle().check_case(case)
+        assert healthy["lll"].error is None
+
+    def test_lll_engine_honors_the_request_budget(self):
+        from repro.lll.semantics import PsiBudgetError
+
+        with pytest.raises(PsiBudgetError):
+            Session().check("[] (p -> <> q)", mode="lll",
+                            query="satisfiability", max_length=3, budget=1)
+
+    def test_record_expectations_pins_current_verdicts(self):
+        oracle = DifferentialOracle()
+        case = oracle.record_expectations(
+            Case(kind="trace", formula="<> p", trace=TraceSpec(rows=[{"p": True}]))
+        )
+        assert case.expect == {"trace": True, "monitor": True}
+        reason, _ = oracle.check_case(case)
+        assert reason is None
+
+
+class TestCorpus:
+    def test_case_json_round_trip(self):
+        case = Case(
+            kind="trace",
+            formula="(forall a . <> x == ?a)",
+            id="example",
+            trace=TraceSpec(
+                rows=[{"x": 1, "p": True}, {"x": 2, "p": False}],
+                operations=[{}, {"Dq": ["at", [2], []]}],
+                loop_start=1,
+            ),
+            domain={"a": [1, 2]},
+            expect={"trace": True},
+            note="docs example",
+        )
+        reloaded = Case.from_json(json.loads(case.to_line()))
+        assert reloaded == case
+        assert reloaded.built_trace().states() == case.built_trace().states()
+
+    def test_corpus_file_round_trip(self, tmp_path):
+        cases = gen_cases(FuzzConfig(seed=21, cases=10))
+        path = tmp_path / "sample.jsonl"
+        save_corpus(path, cases)
+        assert [c.to_line() for c in load_corpus(path)] == [c.to_line() for c in cases]
+
+    def test_save_corpus_append_preserves_existing_cases(self, tmp_path):
+        path = tmp_path / "regressions.jsonl"
+        first = gen_cases(FuzzConfig(seed=1, cases=3))
+        second = gen_cases(FuzzConfig(seed=2, cases=2))
+        save_corpus(path, first)
+        save_corpus(path, second, append=True)
+        assert [c.to_line() for c in load_corpus(path)] == \
+            [c.to_line() for c in first + second]
+
+    def test_builtin_corpus_files_are_checked_in(self):
+        for name in ("catalogue.jsonl", "specs.jsonl"):
+            assert os.path.exists(os.path.join(CORPUS_DIR, name)), name
+
+    def test_catalogue_corpus_replays_without_disagreement(self):
+        cases = load_corpus(os.path.join(CORPUS_DIR, "catalogue.jsonl"))
+        assert len(cases) == 16  # V1 .. V16
+        assert all(case.expect for case in cases)
+        report = replay_corpus(cases)
+        assert report.ok, [str(d) for d in report.disagreements]
+
+    def test_spec_corpus_replays_without_disagreement(self):
+        cases = load_corpus(os.path.join(CORPUS_DIR, "specs.jsonl"))
+        assert len(cases) >= 40  # every clause of every spec module
+        assert all(case.kind == "trace" and case.trace.system for case in cases)
+        report = replay_corpus(cases)
+        assert report.ok, [str(d) for d in report.disagreements]
+
+    def test_unknown_system_reference_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            TraceSpec(system="warp_drive").build()
+
+    def test_malformed_corpus_case_is_reported_not_fatal(self):
+        good = Case(kind="trace", formula="<> p", trace=TraceSpec(rows=[{"p": True}]))
+        bad_formula = Case(kind="trace", formula="p /\\",
+                           trace=TraceSpec(rows=[{"p": True}]), id="bad-formula")
+        bad_system = Case(kind="trace", formula="p",
+                          trace=TraceSpec(system="warp_drive"), id="bad-system")
+        report = DifferentialOracle().run([bad_formula, good, bad_system])
+        # The good case still ran; both malformed ones are reported by id.
+        assert report.cases == 3 and report.engine_runs == 2
+        reasons = {d.case.id: d.reason for d in report.disagreements}
+        assert set(reasons) == {"bad-formula", "bad-system"}
+        assert all(r.startswith("malformed case") for r in reasons.values())
+
+
+class TestCLI:
+    def test_fuzz_subcommand_exit_codes(self, capsys):
+        assert gen_main(["fuzz", "--seed", "7", "--cases", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "15 cases" in out
+
+    def test_replay_subcommand_on_builtin_corpus(self, capsys):
+        assert gen_main(["replay", os.path.join(CORPUS_DIR, "catalogue.jsonl")]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_replay_reports_and_fails_on_a_poisoned_corpus(self, tmp_path, capsys):
+        poisoned = Case(
+            kind="trace", formula="<> p",
+            trace=TraceSpec(rows=[{"p": True}]),
+            expect={"trace": False},
+            id="poisoned",
+        )
+        path = tmp_path / "poisoned.jsonl"
+        save_corpus(path, [poisoned])
+        assert gen_main(["replay", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "DISAGREEMENT" in out and "replay line" in out
+
+    def test_corpus_subcommand_lists_cases(self, capsys):
+        assert gen_main(["corpus", "--dir", CORPUS_DIR, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "catalogue/V1" in out
+
+    def test_missing_corpus_path_is_an_error(self, tmp_path):
+        assert gen_main(["replay", str(tmp_path)]) == 2
+
+
+class TestEngineCapabilities:
+    def test_default_session_capability_map(self):
+        capabilities = Session().capabilities()
+        assert set(capabilities) == {"trace", "monitor", "bounded", "tableau", "lll"}
+        assert capabilities["trace"].needs_trace and capabilities["trace"].exact
+        assert capabilities["monitor"].stutter_only and capabilities["monitor"].incremental
+        assert capabilities["bounded"].propositional_only and not capabilities["bounded"].exact
+        assert capabilities["tableau"].ltl_fragment_only and capabilities["tableau"].exact
+        assert capabilities["lll"].queries == ("satisfiability",)
+
+    def test_custom_engines_default_capabilities(self):
+        class NullEngine(TraceEngine):
+            name = "null"
+
+        registry = EngineRegistry([NullEngine()])
+        assert Session(engines=registry).capabilities()["null"] == \
+            EngineCapabilities(needs_trace=True, exact=True)

@@ -128,6 +128,19 @@ class TestPsi:
         bad = LForceFalse("x", LChoice(LVar("x"), LVar("y")))
         assert not check_l1_restriction(bad)
 
+    def test_interpretation_budget(self):
+        from repro.lll.semantics import PsiBudgetError
+
+        expr = LChop(LChop(LTrueStar(), LVar("P")), LTrueStar())
+        unlimited = satisfying_interpretations(expr, 3)
+        # A generous budget changes nothing; an exhausted one raises the
+        # dedicated error (callers treat it as abstention, not a verdict).
+        assert satisfying_interpretations(expr, 3, max_interpretations=10_000) == unlimited
+        with pytest.raises(PsiBudgetError):
+            Psi(expr, 3, max_interpretations=1)
+        with pytest.raises(PsiBudgetError):
+            is_satisfiable_bounded(expr, 3, max_interpretations=1)
+
 
 class TestLTLEncoding:
     def test_literal_encoding(self):

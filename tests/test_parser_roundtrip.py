@@ -1,6 +1,9 @@
 """Parser round-trips: ``parse_formula(to_ascii(f)) == f`` and the unicode
-variant, across the Chapter 4 valid-formula catalogue and every clause
-formula of the spec modules."""
+variant, across the Chapter 4 valid-formula catalogue, every clause formula
+of the spec modules, and property-based sweeps over the ``repro.gen``
+grammar-directed random generators."""
+
+import random
 
 import pytest
 
@@ -114,3 +117,72 @@ class TestParserExtensions:
             f = parse_formula(text)
             assert parse_formula(to_unicode(f)) == f
             assert parse_formula(to_ascii(f)) == f
+
+    def test_parenthesized_expression_comparisons(self):
+        from repro.syntax.terms import BinOp, Cmp, Var
+
+        f = parse_formula("(x - y) == 1")
+        assert isinstance(f.predicate, Cmp)
+        assert isinstance(f.predicate.left, BinOp)
+        assert parse_formula(to_ascii(f)) == f
+        # Also when the parenthesized expression would parse as a formula.
+        g = parse_formula("(x) == 1")
+        assert isinstance(g.predicate, Cmp)
+        assert isinstance(g.predicate.left, Var)
+        assert g == parse_formula("x == 1")
+
+    def test_unbalanced_parens_report_the_inner_error(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("([] p /\\ q")
+        # The message points at the real problem (the missing RPAREN), not
+        # at the opening parenthesis.
+        assert "RPAREN" in str(excinfo.value)
+
+    def test_forall_under_binary_connectives_round_trips(self):
+        from repro.syntax.builder import eq, forall, lor, lvar, prop
+
+        f = lor(forall("a", eq("x", lvar("a"))), prop("q"))
+        assert parse_formula(to_ascii(f)) == f
+        assert parse_formula(to_unicode(f)) == f
+
+
+class TestGeneratedRoundTrips:
+    """Property-based sweeps: every generated formula must survive
+    ``pretty → parser → pretty`` in both renderings."""
+
+    FRAGMENT_SEEDS = [
+        (fragment, seed)
+        for fragment in ("ltl", "interval", "rich")
+        for seed in range(12)
+    ]
+
+    @pytest.mark.parametrize(
+        "fragment,seed", FRAGMENT_SEEDS,
+        ids=[f"{fragment}-{seed}" for fragment, seed in FRAGMENT_SEEDS],
+    )
+    def test_generated_formulas_round_trip(self, fragment, seed):
+        from repro.gen import gen_formula
+
+        rng = random.Random(seed)
+        for _ in range(25):
+            formula = gen_formula(rng, size=rng.randint(1, 14), fragment=fragment)
+            ascii_text = to_ascii(formula)
+            unicode_text = to_unicode(formula)
+            assert parse_formula(ascii_text) == formula, ascii_text
+            assert parse_formula(unicode_text) == formula, unicode_text
+            # pretty → parse → pretty is a fixpoint in both renderings.
+            assert to_ascii(parse_formula(ascii_text)) == ascii_text
+            assert to_unicode(parse_formula(unicode_text)) == unicode_text
+
+    def test_generated_terms_round_trip_inside_formulas(self):
+        from repro.gen import gen_term
+        from repro.syntax.formulas import Occurs, TrueFormula, IntervalFormula
+
+        rng = random.Random(99)
+        for _ in range(100):
+            term = gen_term(rng, size=rng.randint(1, 8), fragment="rich")
+            for formula in (Occurs(term), IntervalFormula(term, TrueFormula())):
+                assert parse_formula(to_ascii(formula)) == formula
+                assert parse_formula(to_unicode(formula)) == formula
