@@ -10,9 +10,11 @@ Three nouns cover every checking question of the reproduction:
 * :class:`CheckResult` — one verdict with witness/counterexample, per-engine
   statistics and wall time, whatever engine produced it.
 
-Five pluggable engines wrap the pre-façade subsystems: ``trace`` (Chapter 3
-satisfaction), ``bounded`` (small-scope validity), ``tableau`` (Appendix B /
-Algorithm A), ``lll`` (Appendix C) and ``monitor`` (incremental prefixes).
+Six pluggable engines wrap the underlying subsystems: ``trace`` (Chapter 3
+satisfaction), ``compiled`` (the same satisfaction relation through the
+:mod:`repro.compile` plan pipeline — normalized, hash-consed, plan-cached),
+``bounded`` (small-scope validity), ``tableau`` (Appendix B / Algorithm A),
+``lll`` (Appendix C) and ``monitor`` (incremental prefixes).
 ``Session.check`` auto-dispatches on the formula fragment when no mode is
 given.  The historical entry points remain available as deprecation shims in
 :mod:`repro.api.legacy`.
@@ -30,6 +32,7 @@ from . import legacy
 from .coerce import CheckRequestError, coerce_formula, coerce_trace
 from .engines import (
     BoundedEngine,
+    CompiledEngine,
     Engine,
     EngineCapabilities,
     EngineRegistry,
@@ -56,6 +59,7 @@ __all__ = [
     "EngineCapabilities",
     "EngineRegistry",
     "TraceEngine",
+    "CompiledEngine",
     "BoundedEngine",
     "TableauEngine",
     "LLLEngine",

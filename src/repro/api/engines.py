@@ -1,11 +1,12 @@
 """The pluggable checking engines behind the façade.
 
-Five engines wrap the pre-existing subsystems, one per decision style:
+Six engines wrap the underlying subsystems, one per decision style:
 
 ========  =====================================================  ==========
 name      wraps                                                  question
 ========  =====================================================  ==========
 trace     :mod:`repro.semantics.evaluator`                       s ⊨ α on one trace
+compiled  :mod:`repro.compile`                                   s ⊨ α via a cached evaluation plan
 bounded   :mod:`repro.core.bounded_checker`                      small-scope validity
 tableau   :mod:`repro.ltl.decision` + :mod:`repro.ltl.translation`  exact LTL-fragment validity
 lll       :mod:`repro.lll`                                       Appendix C bounded satisfiability
@@ -43,6 +44,7 @@ __all__ = [
     "EngineCapabilities",
     "EngineRegistry",
     "TraceEngine",
+    "CompiledEngine",
     "BoundedEngine",
     "TableauEngine",
     "LLLEngine",
@@ -85,9 +87,11 @@ class EngineCapabilities:
         bounded "valid"/"unsatisfiable" does not settle the unbounded
         question.
     incremental:
-        The engine re-evaluates every prefix of the trace, costing
-        O(states²) instead of O(states) (monitor); batch tools may want to
-        cap trace length for such engines.
+        The engine produces a verdict for every prefix of the trace, not
+        just the whole computation (monitor).  Per-prefix verdicts cost
+        extra work even with incremental plan states absorbing each
+        appended state, so batch tools may still cap trace length for such
+        engines.
     stutter_only:
         The engine only implements the paper's finite-computation
         convention and cannot see a lasso's repeating cycle (monitor).
@@ -159,6 +163,59 @@ class TraceEngine(Engine):
                 "memo_entries": evaluator.memo_size,
                 "memo_new_entries": evaluator.memo_size - memo_before,
             },
+        )
+
+
+class CompiledEngine(Engine):
+    """Chapter 3 satisfaction through the :mod:`repro.compile` pipeline.
+
+    Semantically identical to the ``trace`` engine (the differential fuzzer
+    enforces this), but the formula is normalized, hash-consed and lowered
+    to an executable plan exactly once: the session's
+    :class:`~repro.compile.cache.PlanCache` shares the plan across
+    ``check_many`` batches and across traces, the per-trace
+    :class:`~repro.compile.runtime.PlanState` shares memo tables and
+    interval-endpoint indexes across requests, and event searches bisect
+    instead of scanning.  Pick it with ``mode="compiled"``,
+    ``compile=True`` on a request, or ``Session(prefer_compiled=True)``.
+    """
+
+    name = "compiled"
+    capabilities = EngineCapabilities(needs_trace=True, exact=True)
+
+    def run(self, request: CheckRequest, session) -> CheckResult:
+        formula = self._interval_formula(request)
+        trace = session.resolve_trace(request.trace)
+        state, from_cache = session.plan_state(trace, formula, request.domain)
+        plan = state.plan
+        memo_before = state.memo_size
+        dispatch_before = state.stats.dispatch_calls
+        verdict = state.satisfies(request.env)
+        witness = None
+        if request.extract_model:
+            # Witness construction is opt-in, exactly like the trace engine.
+            found = state.construct_root_interval(request.env)
+            if found is not None and found is not BOTTOM:
+                witness = found
+        statistics = {
+            "trace_length": trace.length,
+            "plan_nodes": plan.node_count,
+            "plan_terms": plan.term_count,
+            "plan_digest": plan.digest[:12],
+            "plan_from_cache": from_cache,
+            "memo_entries": state.memo_size,
+            "memo_new_entries": state.memo_size - memo_before,
+            "dispatch_calls": state.stats.dispatch_calls - dispatch_before,
+            "event_indexes": state.index_count,
+        }
+        statistics.update(session.plan_cache.statistics())
+        return CheckResult(
+            verdict=verdict,
+            engine=self.name,
+            request=request,
+            witness=witness,
+            statistics=statistics,
+            details=plan,
         )
 
 
@@ -307,9 +364,11 @@ class MonitorEngine(Engine):
     """Incremental prefix evaluation (wraps the trace monitor).
 
     Each request drives its own :class:`~repro.checking.monitor.Monitor`
-    over the full trace, so batching C formulas over an S-state trace costs
-    C×S prefix evaluations.  For large specifications where only the final
-    verdicts matter, the ``trace`` engine is the cheaper choice;
+    over the full trace.  Monitors run on incremental plan states
+    (:mod:`repro.compile`), so the S per-prefix verdicts cost amortized
+    O(changed work) per state rather than a full re-evaluation each; when
+    only the final verdict matters the ``trace``/``compiled`` engines are
+    still cheaper, and
     :class:`~repro.checking.monitor.SpecificationMonitor` remains the tool
     for observing many clauses in one pass over a *live* state stream.
     """
@@ -383,7 +442,14 @@ class EngineRegistry:
 
 
 def default_registry() -> EngineRegistry:
-    """A fresh registry holding the five standard engines."""
+    """A fresh registry holding the six standard engines."""
     return EngineRegistry(
-        [TraceEngine(), BoundedEngine(), TableauEngine(), LLLEngine(), MonitorEngine()]
+        [
+            TraceEngine(),
+            CompiledEngine(),
+            BoundedEngine(),
+            TableauEngine(),
+            LLLEngine(),
+            MonitorEngine(),
+        ]
     )

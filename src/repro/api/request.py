@@ -60,6 +60,12 @@ class CheckRequest:
         Ask for explicit evidence beyond the verdict: the tableau engine
         extracts a lasso model / validity counterexample, the trace engine
         constructs the witness interval of a top-level interval formula.
+    compile:
+        For trace-carrying requests with no explicit ``mode``: ``True``
+        routes to the ``compiled`` engine (normalized, plan-cached
+        evaluation — see :mod:`repro.compile`), ``False`` forces the
+        interpreting ``trace`` engine, and ``None`` (default) defers to the
+        session's ``prefer_compiled`` setting.
     capture_errors:
         When true, engine exceptions become an error verdict on the
         :class:`~repro.api.result.CheckResult` instead of propagating —
@@ -80,6 +86,7 @@ class CheckRequest:
     theory: Optional[object] = None
     budget: Optional[int] = None
     extract_model: bool = False
+    compile: Optional[bool] = None
     capture_errors: bool = False
     label: Optional[str] = None
 

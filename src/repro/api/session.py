@@ -10,7 +10,9 @@ Auto-dispatch picks the engine from the formula fragment and the request
 shape::
 
     LLL expression                      -> lll
-    request carries a trace             -> trace
+    request carries a trace             -> trace (or compiled, when the
+                                           request sets compile=True or the
+                                           session prefers compiled plans)
     LTL formula / LTL fragment          -> tableau
     anything else (quantifiers, ops...) -> bounded
 
@@ -63,10 +65,15 @@ class Session:
         carries none.
     engines:
         A custom :class:`~repro.api.engines.EngineRegistry`; defaults to the
-        five standard engines.
+        six standard engines.
     processes:
         Default worker-process count for :meth:`check_many` (``None`` =
         in-process).
+    prefer_compiled:
+        Auto-dispatch trace-carrying requests to the ``compiled`` engine
+        (plan-cached evaluation, :mod:`repro.compile`) instead of the
+        interpreting ``trace`` engine.  Requests override per-call with
+        ``compile=True`` / ``compile=False``.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class Session:
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
         engines: Optional[EngineRegistry] = None,
         processes: Optional[int] = None,
+        prefer_compiled: bool = False,
     ) -> None:
         self._default_domain = dict(domain) if domain else None
         self._registry = engines if engines is not None else default_registry()
@@ -81,9 +89,12 @@ class Session:
         # so parallel fan-out is reserved for the default engine set.
         self._registry_is_default = engines is None
         self._processes = processes
+        self._prefer_compiled = prefer_compiled
         self._traces: Dict[str, Trace] = {}
         self._evaluators: Dict[Tuple[int, Any], Evaluator] = {}
         self._trace_refs: Dict[int, Trace] = {}
+        self._plan_cache: Optional[Any] = None
+        self._plan_states: Dict[Tuple[str, int, Any], Any] = {}
 
     # -- traces and evaluators -----------------------------------------------------
 
@@ -143,14 +154,60 @@ class Session:
         return evaluator
 
     def clear_caches(self) -> "Session":
-        """Release every shared evaluator, memo table and pinned trace.
+        """Release every shared evaluator, memo table, plan and pinned trace.
 
         Named traces registered with :meth:`add_trace` are kept; call this
         between campaigns on a long-lived session to bound memory.
         """
         self._evaluators.clear()
         self._trace_refs.clear()
+        self._plan_states.clear()
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
         return self
+
+    # -- compiled plans ----------------------------------------------------------
+
+    @property
+    def plan_cache(self):
+        """The session's :class:`~repro.compile.cache.PlanCache` (lazy)."""
+        if self._plan_cache is None:
+            from ..compile import PlanCache
+
+            self._plan_cache = PlanCache()
+        return self._plan_cache
+
+    def plan_state(
+        self,
+        trace: Trace,
+        formula: Any,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+    ):
+        """The shared compiled plan state for ``(formula, trace, domain)``.
+
+        The plan itself is cached by formula digest + domain shape — one
+        compilation serves every trace and every ``check_many`` batch — and
+        each ``(plan, trace, domain)`` binding keeps one
+        :class:`~repro.compile.runtime.PlanState` whose memo tables and
+        endpoint indexes are shared across requests, exactly like
+        :meth:`evaluator` shares interpreter memo tables.
+
+        Returns ``(plan_state, plan_from_cache)``.
+        """
+        if domain is None:
+            domain = self._default_domain
+        plan, from_cache = self.plan_cache.get(formula, domain)
+        domain_key = _domain_key(domain)
+        if domain_key is _UNCACHEABLE:
+            return plan.evaluator(trace, domain), from_cache
+        key = (plan.digest, id(trace), domain_key)
+        state = self._plan_states.get(key)
+        if state is None:
+            state = plan.evaluator(trace, domain)
+            self._plan_states[key] = state
+            # Keep the trace alive so the id() key cannot be recycled.
+            self._trace_refs[id(trace)] = trace
+        return state, from_cache
 
     # -- engines ----------------------------------------------------------------------
 
@@ -178,6 +235,13 @@ class Session:
         if isinstance(formula, LLLExpression):
             return self._registry.get("lll")
         if request.trace is not None:
+            use_compiled = (
+                request.compile
+                if request.compile is not None
+                else self._prefer_compiled
+            )
+            if use_compiled and "compiled" in self._registry:
+                return self._registry.get("compiled")
             return self._registry.get("trace")
         if isinstance(formula, LTLFormula):
             return self._registry.get("tableau")
@@ -248,6 +312,10 @@ class Session:
             changes["trace"] = self.resolve_trace(request.trace)
         if request.domain is None and self._default_domain is not None:
             changes["domain"] = self._default_domain
+        if request.compile is None and self._prefer_compiled:
+            # Worker sessions are plain Session(); write the preference onto
+            # the request so fan-out dispatches like the in-process path.
+            changes["compile"] = True
         if changes:
             return request.with_options(**changes)
         return request
@@ -270,9 +338,10 @@ class Session:
 
         resolved = self.resolve_trace(trace)
         requests = [
+            # mode=None: auto-dispatch sends these to the trace engine, or
+            # to the compiled engine on a Session(prefer_compiled=True).
             CheckRequest(
                 formula=clause.interpreted_formula(),
-                mode="trace",
                 trace=resolved,
                 domain=domain,
                 capture_errors=True,

@@ -1,0 +1,75 @@
+"""``repro.compile`` — formula compilation and executable evaluation plans.
+
+Every engine used to interpret raw interval-logic ASTs on every call; this
+package is the compile-once/run-many layer between the Chapter 2/3 syntax
+and the engines.  The pipeline, mapped to the paper:
+
+========================  ==================================================
+stage                     paper anchor
+========================  ==================================================
+:mod:`.normalize`         Appendix A star reduction applied once up front;
+                          NNF over the Chapter 3 connectives (``¬[]α ≡
+                          <>¬α`` and duals); constant folding over the
+                          Chapter 4 boolean identities; canonical ordering
+                          of the commutative connectives
+:mod:`.dag`               hash-consed subformula DAG: each distinct
+                          subformula of the Chapter 2/3 grammar is lowered
+                          (and later memoized) exactly once, with
+                          precomputed free-variable signatures per node —
+                          the rigid/state variable split of Appendix B
+:mod:`.plan`              :class:`CompiledPlan` — the trace-independent
+                          artifact, digest-addressed for caching
+:mod:`.runtime`           :class:`PlanState` — the Chapter 3 satisfaction
+                          relation over slot-addressed environments, with
+                          an interval-endpoint index over state-change
+                          events so the construction function ``F``
+                          (Chapter 3) bisects changesets instead of
+                          scanning, and incremental plan states absorbing
+                          one appended state in amortized O(changed work)
+                          for the finite-computation convention monitors
+:mod:`.cache`             :class:`PlanCache` — the session-level
+                          digest-keyed plan store behind the ``compiled``
+                          engine of :mod:`repro.api.engines`
+========================  ==================================================
+
+Typical use::
+
+    from repro.compile import compile_formula
+
+    plan = compile_formula(parse_formula("[] (p -> <> q)"))
+    state = plan.evaluator(trace)          # bind once per trace
+    state.satisfies()                      # run many: memo + index warm
+
+    monitor = plan.monitor()               # incremental variant
+    monitor.trace.append(next_state)
+    monitor.note_append()
+    monitor.satisfies()                    # O(changed work), not O(prefix)
+
+The ``compiled`` engine (``Session.check(..., mode="compiled")`` or
+``Session(prefer_compiled=True)``) wraps exactly this, adding the session
+plan cache and the unified :class:`~repro.api.result.CheckResult`.
+"""
+
+from .cache import PlanCache
+from .dag import CompileError, DagBuilder, PlanNode, PlanTerm
+from .normalize import normalize, structural_key
+from .plan import CompiledPlan, compile_formula, formula_digest
+from .runtime import UNSET, EventIndex, GrowingPrefix, PlanState, PlanStats
+
+__all__ = [
+    "normalize",
+    "structural_key",
+    "CompileError",
+    "DagBuilder",
+    "PlanNode",
+    "PlanTerm",
+    "CompiledPlan",
+    "compile_formula",
+    "formula_digest",
+    "PlanCache",
+    "PlanState",
+    "PlanStats",
+    "GrowingPrefix",
+    "EventIndex",
+    "UNSET",
+]

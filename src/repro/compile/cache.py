@@ -1,0 +1,67 @@
+"""The session-level compiled-plan cache.
+
+Plans are trace-independent, so one compilation serves every trace, every
+``check_many`` batch and every monitoring session that asks the same
+question.  The cache keys on the **formula digest plus domain shape** (the
+names carrying explicit quantification domains — the request-level
+knowledge a session hands out with a plan) and keeps hit/miss/compile-time
+counters that the ``compiled`` engine reports on every
+:class:`~repro.api.result.CheckResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..syntax.formulas import Formula
+from .plan import CompiledPlan, formula_digest
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Digest-keyed cache of :class:`~repro.compile.plan.CompiledPlan`."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[str, CompiledPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.compile_time_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(
+        self,
+        formula: Formula,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+    ) -> Tuple[CompiledPlan, bool]:
+        """The cached plan for ``formula`` (compiling on miss).
+
+        Returns ``(plan, from_cache)``.
+        """
+        shape = tuple(sorted(domain)) if domain else ()
+        digest = formula_digest(formula, domain_shape=shape)
+        plan = self._plans.get(digest)
+        if plan is not None:
+            self.hits += 1
+            return plan, True
+        self.misses += 1
+        started = time.perf_counter()
+        plan = CompiledPlan(formula, digest=digest)
+        self.compile_time_s += time.perf_counter() - started
+        self._plans[digest] = plan
+        return plan, False
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def statistics(self) -> Dict[str, Any]:
+        """Counters reported on compiled-engine results."""
+        return {
+            "plan_cache_size": len(self._plans),
+            "plan_cache_hits": self.hits,
+            "plan_cache_misses": self.misses,
+            "plan_compile_time_s": self.compile_time_s,
+        }

@@ -1,0 +1,231 @@
+"""Formula normalization passes (the compiler front end).
+
+Four semantics-preserving passes run, in order, before lowering:
+
+1. **star elimination** — the Appendix A reduction
+   (:func:`repro.semantics.reduction.eliminate_stars`) is applied once,
+   up front, instead of on the fly at every starred node the evaluator
+   meets; compiled plans never see a ``*`` interval-term modifier;
+2. **negation normal form** — negations are pushed through the boolean
+   connectives and the ``[] / <>`` duals (``¬[]α ≡ <>¬α``,
+   ``¬<>α ≡ []¬α``) and stop at atoms, interval formulas, ``*I``
+   eventualities, quantifiers and bind-next nodes, whose negations are
+   not expressible positively in the Chapter 3 grammar;
+3. **constant folding** — boolean identities (``α ∧ True ≡ α``,
+   ``False ⊃ α ≡ True``, ``[]True ≡ True``, ...) computed with smart
+   constructors during the NNF rewrite.  Only constant subtrees are ever
+   dropped, mirroring the evaluator's own short-circuit order, so folding
+   cannot change which states a total evaluation reads;
+4. **flattening and canonical ordering** — nested ``forall`` quantifiers
+   over disjoint variables merge into one node, and the operand lists of
+   the commutative connectives (``∧``, ``∨``, ``≡``) are flattened and
+   sorted under a deterministic structural key, so that ``p ∧ (q ∧ p)``
+   and ``(p ∧ q) ∧ p`` hash-cons to the same subformula DAG.
+
+The output is an ordinary :class:`repro.syntax.formulas.Formula`, so the
+equivalence "``normalize(α)`` evaluates exactly like ``α``" is directly
+testable against the Chapter 3 evaluator (see
+``tests/test_compile_normalize.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..syntax.formulas import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntervalFormula,
+    NextBinding,
+    Not,
+    Occurs,
+    Or,
+    TrueFormula,
+)
+from ..semantics.reduction import eliminate_stars
+
+__all__ = ["normalize", "structural_key"]
+
+
+def structural_key(formula: Formula) -> str:
+    """A deterministic total order on formulas, used for canonical sorting.
+
+    The dataclass ``repr`` is fully structural (class names plus every
+    field), so distinct formulas get distinct keys and the sort is stable
+    across processes.
+    """
+    return repr(formula)
+
+
+def _is_true(f: Formula) -> bool:
+    return isinstance(f, TrueFormula)
+
+
+def _is_false(f: Formula) -> bool:
+    return isinstance(f, FalseFormula)
+
+
+# -- smart constructors (constant folding + canonical ordering) -------------
+
+
+def _flatten(cls, formula: Formula, out: List[Formula]) -> None:
+    if isinstance(formula, cls):
+        _flatten(cls, formula.left, out)
+        _flatten(cls, formula.right, out)
+    else:
+        out.append(formula)
+
+
+def _make_and(left: Formula, right: Formula) -> Formula:
+    operands: List[Formula] = []
+    _flatten(And, left, operands)
+    _flatten(And, right, operands)
+    if any(_is_false(f) for f in operands):
+        return FalseFormula()
+    operands = [f for f in operands if not _is_true(f)]
+    if not operands:
+        return TrueFormula()
+    operands.sort(key=structural_key)
+    result = operands[0]
+    for f in operands[1:]:
+        result = And(result, f)
+    return result
+
+
+def _make_or(left: Formula, right: Formula) -> Formula:
+    operands: List[Formula] = []
+    _flatten(Or, left, operands)
+    _flatten(Or, right, operands)
+    if any(_is_true(f) for f in operands):
+        return TrueFormula()
+    operands = [f for f in operands if not _is_false(f)]
+    if not operands:
+        return FalseFormula()
+    operands.sort(key=structural_key)
+    result = operands[0]
+    for f in operands[1:]:
+        result = Or(result, f)
+    return result
+
+
+def _make_not(operand: Formula) -> Formula:
+    if _is_true(operand):
+        return FalseFormula()
+    if _is_false(operand):
+        return TrueFormula()
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def _make_iff(left: Formula, right: Formula) -> Formula:
+    if _is_true(left):
+        return right
+    if _is_true(right):
+        return left
+    if _is_false(left):
+        return _make_not(right)
+    if _is_false(right):
+        return _make_not(left)
+    if structural_key(left) > structural_key(right):
+        left, right = right, left
+    return Iff(left, right)
+
+
+def _make_always(operand: Formula) -> Formula:
+    if _is_true(operand) or _is_false(operand):
+        return operand
+    return Always(operand)
+
+
+def _make_eventually(operand: Formula) -> Formula:
+    if _is_true(operand) or _is_false(operand):
+        return operand
+    return Eventually(operand)
+
+
+def _make_forall(variables: Tuple[str, ...], body: Formula) -> Formula:
+    if _is_true(body):
+        # ∀x.True is True on every (even empty) domain.
+        return TrueFormula()
+    if isinstance(body, Forall) and not (set(variables) & set(body.variables)):
+        # Flatten nested quantifiers over disjoint variables; the evaluator
+        # binds variables one at a time, so the merged node is equivalent.
+        return Forall(tuple(variables) + tuple(body.variables), body.body)
+    return Forall(tuple(variables), body)
+
+
+# -- negation normal form ---------------------------------------------------
+
+
+def _nnf(formula: Formula, negated: bool) -> Formula:
+    if isinstance(formula, TrueFormula):
+        return FalseFormula() if negated else formula
+    if isinstance(formula, FalseFormula):
+        return TrueFormula() if negated else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negated)
+    if isinstance(formula, And):
+        if negated:  # ¬(α ∧ β) ≡ ¬α ∨ ¬β
+            return _make_or(_nnf(formula.left, True), _nnf(formula.right, True))
+        return _make_and(_nnf(formula.left, False), _nnf(formula.right, False))
+    if isinstance(formula, Or):
+        if negated:
+            return _make_and(_nnf(formula.left, True), _nnf(formula.right, True))
+        return _make_or(_nnf(formula.left, False), _nnf(formula.right, False))
+    if isinstance(formula, Implies):
+        if negated:  # ¬(α ⊃ β) ≡ α ∧ ¬β
+            return _make_and(_nnf(formula.left, False), _nnf(formula.right, True))
+        # α ⊃ β ≡ ¬α ∨ β
+        return _make_or(_nnf(formula.left, True), _nnf(formula.right, False))
+    if isinstance(formula, Iff):
+        # ¬(α ≡ β) ≡ (α ≡ ¬β); both operands normalize positively.
+        return _make_iff(
+            _nnf(formula.left, False), _nnf(formula.right, negated)
+        )
+    if isinstance(formula, Always):
+        if negated:  # ¬[]α ≡ <>¬α
+            return _make_eventually(_nnf(formula.operand, True))
+        return _make_always(_nnf(formula.operand, False))
+    if isinstance(formula, Eventually):
+        if negated:
+            return _make_always(_nnf(formula.operand, True))
+        return _make_eventually(_nnf(formula.operand, False))
+    # Negation is not pushed through atoms, interval formulas, interval
+    # eventualities, quantifiers or bind-next; normalize the node positively
+    # and re-wrap.
+    positive = _positive(formula)
+    return _make_not(positive) if negated else positive
+
+
+def _positive(formula: Formula) -> Formula:
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, IntervalFormula):
+        # Interval terms are star-free here and are kept syntactically
+        # intact — event formulas inside them are lowered *un*-normalized,
+        # deliberately: the constructed interval (and therefore the truth
+        # of the whole formula on error-sensitive inputs) must come from
+        # exactly the event searches the evaluator performs.
+        return IntervalFormula(formula.term, _nnf(formula.body, False))
+    if isinstance(formula, Occurs):
+        return formula
+    if isinstance(formula, Forall):
+        return _make_forall(formula.variables, _nnf(formula.body, False))
+    if isinstance(formula, NextBinding):
+        return NextBinding(
+            formula.operation, formula.variables, _nnf(formula.body, False)
+        )
+    return formula
+
+
+def normalize(formula: Formula) -> Formula:
+    """The composed pipeline: stars out, NNF, folding, canonical ordering."""
+    return _nnf(eliminate_stars(formula), False)

@@ -1,0 +1,92 @@
+"""Compiled evaluation plans.
+
+A :class:`CompiledPlan` is the trace-independent artifact of the pipeline:
+the normalized formula, the hash-consed node/term tables, the logical-
+variable slot layout, and a content digest used as the plan-cache key.
+Binding a plan to a computation yields a
+:class:`~repro.compile.runtime.PlanState` (one per trace, reusable across
+any number of checks); :meth:`CompiledPlan.monitor` yields the incremental
+variant that absorbs appended states for online monitoring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..syntax.formulas import Forall, Formula, NextBinding, walk_formula
+from .dag import DagBuilder, PlanNode, PlanTerm
+from .normalize import normalize
+
+__all__ = ["CompiledPlan", "compile_formula", "formula_digest"]
+
+
+def formula_digest(formula: Formula, domain_shape: Tuple[str, ...] = ()) -> str:
+    """A content digest of a formula (plus the request's domain shape).
+
+    The dataclass ``repr`` is fully structural, so equal formulas share a
+    digest and distinct formulas practically never collide; the domain
+    shape (the *names* carrying explicit quantification domains, not their
+    values) keys plans the way the session cache hands them out.
+    """
+    payload = repr(formula) + "\x00" + "\x00".join(domain_shape)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _logical_names(formula: Formula) -> Tuple[str, ...]:
+    names: Set[str] = set(formula.free_variables())
+    for node in walk_formula(formula):
+        if isinstance(node, (Forall, NextBinding)):
+            names.update(node.variables)
+    return tuple(sorted(names))
+
+
+class CompiledPlan:
+    """The compile-once artifact: normalized DAG plus slot layout."""
+
+    def __init__(self, formula: Formula, digest: Optional[str] = None) -> None:
+        self.source = formula
+        self.normalized = normalize(formula)
+        self.digest = digest if digest is not None else formula_digest(formula)
+        names = _logical_names(self.normalized)
+        self.slot_names: Tuple[str, ...] = names
+        self.slot_of: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        builder = DagBuilder(self.slot_of)
+        self.root: int = builder.add_formula(self.normalized)
+        self.nodes: List[PlanNode] = builder.nodes
+        self.terms: List[PlanTerm] = builder.terms
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def term_count(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan(nodes={self.node_count}, terms={self.term_count}, "
+            f"slots={len(self.slot_names)}, digest={self.digest[:12]})"
+        )
+
+    # -- binding -------------------------------------------------------------
+
+    def evaluator(self, trace, domain: Optional[Mapping[str, Iterable[Any]]] = None):
+        """A :class:`PlanState` bound to a fixed (possibly lasso) trace."""
+        from .runtime import PlanState
+
+        return PlanState(self, trace, domain=domain)
+
+    def monitor(self, domain: Optional[Mapping[str, Iterable[Any]]] = None):
+        """An incremental :class:`PlanState` over a growing state prefix."""
+        from .runtime import GrowingPrefix, PlanState
+
+        return PlanState(self, GrowingPrefix(), domain=domain, incremental=True)
+
+
+def compile_formula(formula: Formula) -> CompiledPlan:
+    """Compile one interval-logic formula into an evaluation plan."""
+    return CompiledPlan(formula)

@@ -1,0 +1,860 @@
+"""Executable plan states: the compiled evaluator runtime.
+
+A :class:`PlanState` binds one :class:`~repro.compile.plan.CompiledPlan` to
+one computation and answers ``<lo, hi> |= α`` exactly like the Chapter 3
+evaluator (:mod:`repro.semantics.evaluator`), with three representation
+changes:
+
+* **slot-addressed environments** — quantifiers and ``bind-next`` write
+  logical-variable values into a flat slot vector instead of copying
+  environment dictionaries; memo keys restrict to each node's precomputed
+  free-slot signature;
+* **node-id memo tables** — verdicts key on small integers from the
+  hash-consed DAG, so structurally repeated subformulas share entries, and
+  *state formulas* (truth determined by the first state of the context)
+  share one entry per canonical position across every context;
+* **interval-endpoint indexes** — for events defined by state formulas,
+  the per-state truth profile and its False→True change positions are
+  computed once (per environment signature) and event searches bisect the
+  change list instead of re-scanning the trace.
+
+Incremental monitoring
+----------------------
+
+``PlanState(..., incremental=True)`` evaluates over a
+:class:`GrowingPrefix` — the paper's finite-computation convention on a
+prefix that gains one state per :meth:`GrowingPrefix.append`.  During
+evaluation the runtime tracks, per memo entry, whether the verdict
+depended on the *tail* of the computation (a stuttered position beyond the
+last concrete state, the exhaustion of an infinite suffix enumeration, a
+backward event search, or the growing default quantification domain).
+Tail-independent verdicts are frozen forever in a stable memo; tail-
+dependent ones go to a volatile memo cleared by :meth:`PlanState.note_append`.
+Resumable frontier aggregators for ``[] / <>`` on infinite contexts, and
+the incrementally extended endpoint indexes, then make re-evaluation after
+one appended state cost amortized O(changed work) instead of O(prefix).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..errors import EvaluationError, TraceError
+from ..semantics.construction import BOTTOM, Direction, Interval
+from ..semantics.state import State
+from ..semantics.trace import INFINITY
+from .dag import (
+    N_ALWAYS,
+    N_AND,
+    N_ATOM,
+    N_BINDNEXT,
+    N_EVENTUALLY,
+    N_FALSE,
+    N_FORALL,
+    N_IFF,
+    N_IMPLIES,
+    N_INTERVAL,
+    N_NOT,
+    N_OCCURS,
+    N_OR,
+    N_TRUE,
+    T_BEGIN,
+    T_END,
+    T_EVENT,
+    T_FORWARD,
+)
+
+__all__ = ["UNSET", "GrowingPrefix", "EventIndex", "PlanStats", "PlanState"]
+
+
+Position = Union[int, float]
+
+#: Sentinel marking an unbound logical-variable slot.
+UNSET = object()
+
+_MISS = object()
+
+
+class GrowingPrefix:
+    """A stutter-extended state prefix supporting O(1) appends.
+
+    Implements the position protocol of :class:`repro.semantics.trace.Trace`
+    specialized to the paper's finite-computation convention
+    (``loop_start == length``, period 1), without rebuilding the state list
+    on every appended state the way ``Trace(list(states))`` would.
+    """
+
+    __slots__ = ("_states", "_universe", "_universe_seen")
+
+    def __init__(self) -> None:
+        self._states: List[State] = []
+        self._universe: List[Any] = []
+        # Companion set for O(1) membership on hashable values; the list
+        # keeps the deterministic observation order Trace.value_universe has.
+        self._universe_seen: set = set()
+
+    def append(self, state: State) -> None:
+        if not isinstance(state, State):
+            raise TraceError(
+                f"trace element {len(self._states)} is not a State: "
+                f"{type(state).__name__}"
+            )
+        if not self._states:
+            values = dict(state.values_map)
+            values["__start__"] = True
+            state = State(values, state.operations)
+        elif "__start__" not in state:
+            values = dict(state.values_map)
+            values["__start__"] = False
+            state = State(values, state.operations)
+        self._states.append(state)
+        for value in state.observed_values():
+            try:
+                if value in self._universe_seen:
+                    continue
+                self._universe_seen.add(value)
+            except TypeError:
+                if value in self._universe:  # unhashable: linear fallback
+                    continue
+            self._universe.append(value)
+
+    # -- Trace position protocol --------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return len(self._states)
+
+    @property
+    def loop_start(self) -> int:
+        return len(self._states)
+
+    @property
+    def period(self) -> int:
+        return 1
+
+    def states(self) -> Tuple[State, ...]:
+        return tuple(self._states)
+
+    def canonical(self, position: Position) -> int:
+        if position == INFINITY:
+            raise TraceError("cannot canonicalize the infinite position")
+        pos = int(position)
+        if pos < 1:
+            raise TraceError(f"positions are 1-based, got {pos}")
+        n = len(self._states)
+        return pos if pos <= n else n
+
+    def state_at(self, position: Position) -> State:
+        return self._states[self.canonical(position) - 1]
+
+    def suffix_representatives(self, start: Position, end: Position) -> List[int]:
+        if start == INFINITY:
+            raise TraceError("context cannot start at infinity")
+        lo = int(start)
+        if end != INFINITY:
+            return list(range(lo, int(end) + 1))
+        n = len(self._states)
+        if lo >= n:
+            return [lo]
+        return list(range(lo, n + 1))
+
+    def scan_bound(self, start: Position, end: Position) -> int:
+        if end != INFINITY:
+            return int(end)
+        return max(int(start), len(self._states)) + 1
+
+    def repeats_forever(self, position: Position) -> bool:
+        if position == INFINITY:
+            return True
+        return int(position) >= len(self._states)
+
+    def value_universe(self) -> Tuple[Any, ...]:
+        return tuple(self._universe)
+
+
+class EventIndex:
+    """Per-state truth profile and change positions of one state-formula event.
+
+    ``profile[c]`` is the event formula's truth in concrete state ``c + 1``;
+    ``stem`` holds the virtual positions ``k`` in ``[2, length]`` where the
+    formula changes False→True between adjacent concrete states, and
+    ``cycle`` the change positions in the first virtual copy of a lasso's
+    repeating cycle (every later change beyond the concrete states is
+    ``cycle[i] + t·period``).  Queries bisect instead of scanning.
+    """
+
+    __slots__ = ("_eval", "profile", "stem", "cycle", "built_to", "unusable")
+
+    def __init__(self, state_eval: Callable[[State], bool]) -> None:
+        self._eval = state_eval
+        self.profile: List[bool] = []
+        self.stem: List[int] = []
+        self.cycle: List[int] = []
+        self.built_to = 0
+        self.unusable = False
+
+    def ensure(self, trace, growing: bool) -> bool:
+        """Extend the profile to the trace's current length.
+
+        Returns ``False`` (permanently) when profiling raised — the event
+        formula errors on some state the lazy scan might never have
+        visited, so the caller must fall back to the generic scan to keep
+        error behaviour identical to the evaluator's.
+        """
+        if self.unusable:
+            return False
+        n = trace.length
+        if self.built_to >= n:
+            return True
+        try:
+            for pos in range(self.built_to + 1, n + 1):
+                self.profile.append(bool(self._eval(trace.state_at(pos))))
+        except Exception:
+            self.unusable = True
+            return False
+        if growing:
+            # A stutter tail repeats the last state: no change positions
+            # beyond the concrete states, and the stem extends in place.
+            for pos in range(max(2, self.built_to + 1), n + 1):
+                if self.profile[pos - 1] and not self.profile[pos - 2]:
+                    self.stem.append(pos)
+        else:
+            self.stem, self.cycle = trace.change_positions(self.profile)
+        self.built_to = n
+        return True
+
+    def first_change(self, start: int, bound: int, period: int) -> Optional[int]:
+        """The least change position in ``[start, bound]``, or ``None``."""
+        n = self.built_to
+        best: Optional[int] = None
+        if start <= n:
+            idx = bisect_left(self.stem, start)
+            if idx < len(self.stem):
+                best = self.stem[idx]
+        if best is None and self.cycle:
+            anchor = max(start, n + 1)
+            for base in self.cycle:
+                candidate = base
+                if candidate < anchor:
+                    steps = (anchor - base + period - 1) // period
+                    candidate = base + steps * period
+                if best is None or candidate < best:
+                    best = candidate
+        if best is not None and best <= bound:
+            return best
+        return None
+
+    def last_change(self, start: int, bound: int, period: int) -> Optional[int]:
+        """The greatest change position in ``[start, bound]``, or ``None``."""
+        n = self.built_to
+        best: Optional[int] = None
+        if self.cycle and bound >= n + 1:
+            anchor = max(start, n + 1)
+            for base in self.cycle:
+                if base > bound:
+                    continue
+                candidate = base + ((bound - base) // period) * period
+                if candidate >= anchor and (best is None or candidate > best):
+                    best = candidate
+        if best is not None:
+            return best
+        hi = min(bound, n)
+        idx = bisect_right(self.stem, hi)
+        if idx > 0 and self.stem[idx - 1] >= start:
+            return self.stem[idx - 1]
+        return None
+
+
+class PlanStats:
+    """Work counters of one plan state (the monitor regression hooks)."""
+
+    __slots__ = ("dispatch_calls", "steps")
+
+    def __init__(self) -> None:
+        self.dispatch_calls = 0
+        self.steps = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"dispatch_calls": self.dispatch_calls, "steps": self.steps}
+
+
+class PlanState:
+    """One compiled plan bound to one computation.
+
+    Parameters
+    ----------
+    plan:
+        The compiled plan.
+    trace:
+        A :class:`repro.semantics.trace.Trace` (static mode) or a
+        :class:`GrowingPrefix` (incremental mode).
+    domain:
+        Explicit ``Forall`` quantification domains; variables not mentioned
+        quantify over the trace's observed value universe, exactly as in
+        the evaluator.
+    incremental:
+        Enable tail-dependence tracking and frontier aggregators for
+        monitoring a growing prefix.
+    """
+
+    def __init__(
+        self,
+        plan,
+        trace,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        incremental: bool = False,
+    ) -> None:
+        self._plan = plan
+        self._nodes = plan.nodes
+        self._terms = plan.terms
+        self._trace = trace
+        self._incremental = incremental
+        self._domain = {k: tuple(v) for k, v in (domain or {}).items()}
+        self._default_domain: Optional[Tuple[Any, ...]] = None
+        self._slots: List[Any] = [UNSET] * len(plan.slot_names)
+        self._stable: Dict[Any, bool] = {}
+        self._volatile: Dict[Any, bool] = {}
+        self._agg: Dict[Any, int] = {}
+        self._indexes: Dict[Any, EventIndex] = {}
+        self._tail: List[bool] = [False]
+        self.stats = PlanStats()
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def plan(self):
+        return self._plan
+
+    @property
+    def trace(self):
+        return self._trace
+
+    @property
+    def memo_size(self) -> int:
+        return len(self._stable) + len(self._volatile)
+
+    @property
+    def index_count(self) -> int:
+        return len(self._indexes)
+
+    def satisfies(self, env: Optional[Mapping[str, Any]] = None) -> bool:
+        """``s |= α`` over the whole computation ``<1, ∞>``."""
+        return self.holds(1, INFINITY, env)
+
+    def holds(
+        self, lo: Position, hi: Position, env: Optional[Mapping[str, Any]] = None
+    ) -> bool:
+        """``<lo, hi> |= α`` under ``env`` (names outside the plan ignored)."""
+        if self._trace.length == 0:
+            raise TraceError(
+                "the plan state has no observed states yet; append at least "
+                "one state before evaluating"
+            )
+        saved = list(self._slots)
+        slot_of = self._plan.slot_of
+        for name, value in (env or {}).items():
+            slot = slot_of.get(name)
+            if slot is not None:
+                self._slots[slot] = value
+        try:
+            return self._holds(self._plan.root, int(lo), hi)
+        finally:
+            self._slots[:] = saved
+
+    def construct_root_interval(self, env: Optional[Mapping[str, Any]] = None):
+        """The witness interval of a top-level ``[I]α`` / ``*I`` root, if any."""
+        node = self._nodes[self._plan.root]
+        if node.op not in (N_INTERVAL, N_OCCURS):
+            return None
+        saved = list(self._slots)
+        slot_of = self._plan.slot_of
+        for name, value in (env or {}).items():
+            slot = slot_of.get(name)
+            if slot is not None:
+                self._slots[slot] = value
+        try:
+            return self._construct(node.term, Interval(1, INFINITY), Direction.FORWARD)
+        finally:
+            self._slots[:] = saved
+
+    def note_append(self) -> None:
+        """Absorb one appended state: drop only tail-dependent verdicts."""
+        self._volatile.clear()
+        self._default_domain = None
+        self.stats.steps += 1
+
+    # -- the satisfaction relation ------------------------------------------
+
+    def _normalize_ctx(self, lo: int, hi: Position) -> Tuple[int, Position]:
+        trace = self._trace
+        period = trace.period
+        loop_start = trace.loop_start
+        while lo - period >= loop_start:
+            lo -= period
+            if hi != INFINITY:
+                hi -= period
+        return lo, hi
+
+    def _mark_tail(self) -> None:
+        if self._incremental:
+            self._tail[-1] = True
+
+    def _env_view(self, node) -> Dict[str, Any]:
+        env: Dict[str, Any] = {}
+        slots = self._slots
+        for name, slot in zip(node.free_names, node.free_slots):
+            value = slots[slot]
+            if value is not UNSET:
+                env[name] = value
+        return env
+
+    def _holds(self, nid: int, lo: int, hi: Position) -> bool:
+        self.stats.dispatch_calls += 1
+        incremental = self._incremental
+        if incremental and lo > self._trace.length:
+            self._tail[-1] = True
+        lo, hi = self._normalize_ctx(lo, hi)
+        node = self._nodes[nid]
+        key: Optional[Tuple[Any, ...]] = None
+        try:
+            if node.free_slots:
+                slots = self._slots
+                envkey = tuple(slots[s] for s in node.free_slots)
+            else:
+                envkey = ()
+            if node.is_state:
+                key = (nid, self._trace.canonical(lo), envkey)
+            else:
+                key = (nid, lo, hi, envkey)
+            hit = self._stable.get(key, _MISS)
+            if hit is not _MISS:
+                return hit
+            if incremental:
+                hit = self._volatile.get(key, _MISS)
+                if hit is not _MISS:
+                    self._tail[-1] = True
+                    return hit
+        except TypeError:
+            key = None
+        if not incremental:
+            value = self._dispatch(node, lo, hi)
+            if key is not None:
+                self._stable[key] = value
+            return value
+        self._tail.append(False)
+        try:
+            value = self._dispatch(node, lo, hi)
+        finally:
+            tail = self._tail.pop()
+            if tail:
+                self._tail[-1] = True
+        if key is not None:
+            (self._volatile if tail else self._stable)[key] = value
+        return value
+
+    def _junction(self, node, lo: int, hi: Position, deciding: bool) -> bool:
+        """``∧`` / ``∨`` with order-insensitive error behaviour.
+
+        Normalization sorts commutative operands canonically, which can
+        move an erroring operand ahead of the one the evaluator's original
+        left-to-right short-circuit would have decided on.  An operand
+        exception is therefore *deferred*: it surfaces only when no other
+        operand decides the verdict (``deciding`` = the absorbing value:
+        True for ``∨``, False for ``∧``).  Whenever the interpreting
+        evaluator produces a verdict, this produces the same verdict; only
+        evaluator-error cases can become more defined.
+        """
+        error: Optional[Exception] = None
+        for child in (node.a, node.b):
+            try:
+                if self._holds(child, lo, hi) is deciding:
+                    return deciding
+            except Exception as exc:  # deferred: may be absorbed by the other side
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return not deciding
+
+    def _holds_tracked(self, nid: int, lo: int, hi: Position) -> Tuple[bool, bool]:
+        """Evaluate a child and report whether its verdict is tail-dependent."""
+        self._tail.append(False)
+        try:
+            value = self._holds(nid, lo, hi)
+        finally:
+            tail = self._tail.pop()
+            if tail:
+                self._tail[-1] = True
+        return value, tail
+
+    def _dispatch(self, node, lo: int, hi: Position) -> bool:
+        op = node.op
+        if op == N_ATOM:
+            return node.predicate.holds(self._trace.state_at(lo), self._env_view(node))
+        if op == N_TRUE:
+            return True
+        if op == N_FALSE:
+            return False
+        if op == N_NOT:
+            return not self._holds(node.a, lo, hi)
+        if op == N_AND:
+            return self._junction(node, lo, hi, deciding=False)
+        if op == N_OR:
+            return self._junction(node, lo, hi, deciding=True)
+        if op == N_IMPLIES:
+            return (not self._holds(node.a, lo, hi)) or self._holds(node.b, lo, hi)
+        if op == N_IFF:
+            return self._holds(node.a, lo, hi) == self._holds(node.b, lo, hi)
+        if op == N_EVENTUALLY:
+            return self._holds_suffixes(node, lo, hi, want=True)
+        if op == N_ALWAYS:
+            return self._holds_suffixes(node, lo, hi, want=False)
+        if op == N_INTERVAL:
+            found = self._construct(node.term, Interval(lo, hi), Direction.FORWARD)
+            if found is BOTTOM:
+                return True
+            return self._holds(node.a, found.lo, found.hi)
+        if op == N_OCCURS:
+            found = self._construct(node.term, Interval(lo, hi), Direction.FORWARD)
+            return found is not BOTTOM
+        if op == N_FORALL:
+            return self._holds_forall(node, lo, hi)
+        if op == N_BINDNEXT:
+            return self._holds_bindnext(node, lo, hi)
+        raise EvaluationError(f"unknown plan node: {node!r}")
+
+    # -- [] / <> -------------------------------------------------------------
+
+    def _holds_suffixes(self, node, lo: int, hi: Position, want: bool) -> bool:
+        if self._incremental and hi == INFINITY:
+            return self._holds_suffixes_incremental(node, lo, want)
+        child = node.a
+        if want:
+            for k in self._trace.suffix_representatives(lo, hi):
+                if self._holds(child, k, hi):
+                    return True
+            if hi == INFINITY:
+                self._mark_tail()
+            return False
+        for k in self._trace.suffix_representatives(lo, hi):
+            if not self._holds(child, k, hi):
+                return False
+        if hi == INFINITY:
+            self._mark_tail()
+        return True
+
+    def _holds_suffixes_incremental(self, node, lo: int, want: bool) -> bool:
+        """Resumable frontier for ``[] / <>`` on the growing infinite context.
+
+        Representatives whose child verdict was tail-*independent* (and not
+        the deciding one) never need re-examination: the frontier records
+        the last such position, so each appended state re-checks only the
+        pending tail-dependent suffix.  A deciding verdict (a False child
+        under ``[]``, a True child under ``<>``) short-circuits exactly like
+        the evaluator's ``all()`` / ``any()``.
+        """
+        child = node.a
+        n = self._trace.length
+        agg_key: Optional[Tuple[Any, ...]] = None
+        frontier = lo - 1
+        try:
+            envkey = tuple(self._slots[s] for s in node.free_slots)
+            agg_key = (node.id, lo, envkey)
+            frontier = self._agg.get(agg_key, lo - 1)
+        except TypeError:
+            agg_key = None
+        first_tail: Optional[int] = None
+        for k in range(max(frontier + 1, lo), n + 1):
+            value, tail = self._holds_tracked(child, k, INFINITY)
+            if value is want:
+                return want
+            if tail and first_tail is None:
+                first_tail = k
+        if agg_key is not None:
+            self._agg[agg_key] = n if first_tail is None else first_tail - 1
+        self._mark_tail()  # an undecided verdict depends on future states
+        return not want
+
+    # -- quantification and binding -----------------------------------------
+
+    def _default_universe(self) -> Tuple[Any, ...]:
+        if self._incremental:
+            # The observed value universe can still grow with the prefix.
+            self._mark_tail()
+            return self._trace.value_universe()
+        if self._default_domain is None:
+            self._default_domain = self._trace.value_universe()
+        return self._default_domain
+
+    def _domain_for(self, name: str) -> Tuple[Any, ...]:
+        if name in self._domain:
+            return self._domain[name]
+        return self._default_universe()
+
+    def _holds_forall(self, node, lo: int, hi: Position) -> bool:
+        names = node.var_names
+        var_slots = node.var_slots
+        slots = self._slots
+        count = len(names)
+
+        def recurse(index: int) -> bool:
+            if index == count:
+                return self._holds(node.a, lo, hi)
+            slot = var_slots[index]
+            saved = slots[slot]
+            try:
+                for value in self._domain_for(names[index]):
+                    slots[slot] = value
+                    if not recurse(index + 1):
+                        return False
+                return True
+            finally:
+                slots[slot] = saved
+
+        return recurse(0)
+
+    def _holds_bindnext(self, node, lo: int, hi: Position) -> bool:
+        found = self._find_event(node.event, Interval(lo, hi), Direction.FORWARD)
+        if found is BOTTOM:
+            return True
+        if self._incremental and found.hi > self._trace.length:
+            self._tail[-1] = True
+        call_state = self._trace.state_at(found.hi)
+        record = call_state.operation(node.operation)
+        args = record.args
+        if len(args) < len(node.var_names):
+            raise EvaluationError(
+                f"bind-next over operation {node.operation!r} binds "
+                f"{len(node.var_names)} variable(s) "
+                f"({', '.join(node.var_names)}) but the call at position "
+                f"{found.hi} supplies only {len(args)} argument(s)"
+            )
+        slots = self._slots
+        saved = [slots[s] for s in node.var_slots]
+        try:
+            for slot, value in zip(node.var_slots, args):
+                slots[slot] = value
+            return self._holds(node.a, lo, hi)
+        finally:
+            for slot, value in zip(node.var_slots, saved):
+                slots[slot] = value
+
+    # -- the construction function F ----------------------------------------
+
+    def _construct(self, tid: int, context: Optional[Interval], direction: str):
+        if context is BOTTOM:
+            return BOTTOM
+        term = self._terms[tid]
+        op = term.op
+        if op == T_EVENT:
+            return self._find_event(term.event, context, direction)
+        if op == T_BEGIN:
+            inner = self._construct(term.a, context, direction)
+            if inner is BOTTOM:
+                return BOTTOM
+            return Interval(inner.first, inner.first)
+        if op == T_END:
+            inner = self._construct(term.a, context, direction)
+            if inner is BOTTOM or inner.is_infinite:
+                return BOTTOM
+            return Interval(int(inner.last), int(inner.last))
+        if op == T_FORWARD:
+            return self._construct_forward(term, context, direction)
+        return self._construct_backward(term, context, direction)
+
+    def _forward_from_left(self, left_tid: int, context: Interval, direction: str):
+        # ``I =>``: from the end of the next I to the end of the context.
+        inner = self._construct(left_tid, context, direction)
+        if inner is BOTTOM or inner.is_infinite:
+            return BOTTOM
+        return Interval(int(inner.last), context.hi)
+
+    def _forward_to_right(self, right_tid: int, context: Interval):
+        # ``=> J``: from the start of the context to the end of the first J.
+        inner = self._construct(right_tid, context, Direction.FORWARD)
+        if inner is BOTTOM or inner.is_infinite:
+            return BOTTOM
+        return Interval(context.lo, int(inner.last))
+
+    def _construct_forward(self, term, context: Interval, direction: str):
+        left, right = term.a, term.b
+        if left is None and right is None:
+            return context
+        if left is not None and right is None:
+            return self._forward_from_left(left, context, direction)
+        if left is None:
+            return self._forward_to_right(right, context)
+        prefix = self._forward_from_left(left, context, direction)
+        if prefix is BOTTOM:
+            return BOTTOM
+        return self._forward_to_right(right, prefix)
+
+    def _backward_from_left(self, left_tid: int, context: Interval):
+        # ``I <=``: from the end of the most recent I to the end of the context.
+        inner = self._construct(left_tid, context, Direction.BACKWARD)
+        if inner is BOTTOM or inner.is_infinite:
+            return BOTTOM
+        return Interval(int(inner.last), context.hi)
+
+    def _backward_to_right(self, right_tid: int, context: Interval, direction: str):
+        # ``<= J``: like ``=> J`` except the inner direction follows d.
+        inner = self._construct(right_tid, context, direction)
+        if inner is BOTTOM or inner.is_infinite:
+            return BOTTOM
+        return Interval(context.lo, int(inner.last))
+
+    def _construct_backward(self, term, context: Interval, direction: str):
+        left, right = term.a, term.b
+        if left is None and right is None:
+            return context
+        if left is not None and right is None:
+            return self._backward_from_left(left, context)
+        if left is None:
+            return self._backward_to_right(right, context, direction)
+        suffix = self._backward_to_right(right, context, direction)
+        if suffix is BOTTOM:
+            return BOTTOM
+        return self._backward_from_left(left, suffix)
+
+    # -- event search --------------------------------------------------------
+
+    def _state_truth(self, nid: int, state: State, env: Mapping[str, Any]) -> bool:
+        node = self._nodes[nid]
+        op = node.op
+        if op == N_ATOM:
+            return node.predicate.holds(state, env)
+        if op == N_TRUE:
+            return True
+        if op == N_FALSE:
+            return False
+        if op == N_NOT:
+            return not self._state_truth(node.a, state, env)
+        if op == N_AND:
+            return self._state_junction(node, state, env, deciding=False)
+        if op == N_OR:
+            return self._state_junction(node, state, env, deciding=True)
+        if op == N_IMPLIES:
+            return (not self._state_truth(node.a, state, env)) or self._state_truth(
+                node.b, state, env
+            )
+        if op == N_IFF:
+            return self._state_truth(node.a, state, env) == self._state_truth(
+                node.b, state, env
+            )
+        raise EvaluationError(f"not a state formula node: {node!r}")
+
+    def _state_junction(
+        self, node, state: State, env: Mapping[str, Any], deciding: bool
+    ) -> bool:
+        # Same deferred-error rule as _junction, on the state-level evaluator.
+        error: Optional[Exception] = None
+        for child in (node.a, node.b):
+            try:
+                if self._state_truth(child, state, env) is deciding:
+                    return deciding
+            except Exception as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return not deciding
+
+    def _index_for(self, event_nid: int, node) -> Optional[EventIndex]:
+        try:
+            envkey = tuple(self._slots[s] for s in node.free_slots)
+            key = (event_nid, envkey)
+            index = self._indexes.get(key)
+        except TypeError:
+            return None
+        if index is None:
+            env = self._env_view(node)
+            index = EventIndex(
+                lambda state: self._state_truth(event_nid, state, env)
+            )
+            self._indexes[key] = index
+        if not index.ensure(self._trace, self._incremental):
+            return None
+        return index
+
+    def _find_event(
+        self, event_nid: int, context: Optional[Interval], direction: str
+    ):
+        """The changeset search of Chapter 3 (first/last False→True event)."""
+        if context is BOTTOM:
+            return BOTTOM
+        i, j = context.lo, context.hi
+        trace = self._trace
+        bound = trace.scan_bound(i, j)
+        node = self._nodes[event_nid]
+        if node.is_state:
+            index = self._index_for(event_nid, node)
+            if index is not None:
+                return self._find_event_indexed(index, i, j, bound, direction)
+        return self._find_event_scan(event_nid, i, j, bound, direction)
+
+    def _find_event_indexed(
+        self, index: EventIndex, i: int, j: Position, bound: int, direction: str
+    ):
+        trace = self._trace
+        n = trace.length
+        period = trace.period
+        if direction == Direction.FORWARD:
+            k = index.first_change(i + 1, bound, period)
+            if k is None:
+                if bound > n:
+                    self._mark_tail()  # no event yet; one may still appear
+                return BOTTOM
+            if k > n:
+                self._mark_tail()
+            return Interval(k - 1, k)
+        if j == INFINITY:
+            # The maximum of the changeset can move (or become ⊥) as the
+            # computation grows, so backward results over infinite contexts
+            # are never frozen.
+            self._mark_tail()
+            threshold = trace.loop_start + 1
+            if bound >= threshold and index.first_change(
+                max(i + 1, threshold), bound, period
+            ) is not None:
+                # An event whose change pair lies in the repeating cycle
+                # recurs infinitely often: the changeset max is ⊥.
+                return BOTTOM
+            k = index.last_change(i + 1, min(bound, threshold - 1), period)
+        else:
+            if bound > n:
+                self._mark_tail()
+            k = index.last_change(i + 1, bound, period)
+        if k is None:
+            return BOTTOM
+        return Interval(k - 1, k)
+
+    def _find_event_scan(
+        self, event_nid: int, i: int, j: Position, bound: int, direction: str
+    ):
+        trace = self._trace
+        found: List[int] = []
+        for k in range(i + 1, bound + 1):
+            if self._holds(event_nid, k - 1, j):
+                continue
+            if self._holds(event_nid, k, j):
+                if direction == Direction.FORWARD:
+                    return Interval(k - 1, k)
+                found.append(k)
+        if direction == Direction.FORWARD:
+            if self._incremental and bound > trace.length:
+                self._tail[-1] = True
+            return BOTTOM
+        if j == INFINITY:
+            self._mark_tail()
+            if not found:
+                return BOTTOM
+            for k in found:
+                if trace.repeats_forever(k - 1):
+                    return BOTTOM
+        elif not found:
+            if self._incremental and bound > trace.length:
+                self._tail[-1] = True
+            return BOTTOM
+        k = max(found)
+        return Interval(k - 1, k)

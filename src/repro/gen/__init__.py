@@ -28,6 +28,7 @@ from .cases import Case, TraceSpec, load_corpus, save_corpus
 from .corpus import (
     DEFAULT_CORPUS_DIR,
     build_catalogue_corpus,
+    build_faulty_corpus,
     build_spec_corpus,
     load_corpus_dir,
     replay_corpus,
@@ -59,6 +60,7 @@ __all__ = [
     "save_corpus",
     "DEFAULT_CORPUS_DIR",
     "build_catalogue_corpus",
+    "build_faulty_corpus",
     "build_spec_corpus",
     "load_corpus_dir",
     "replay_corpus",

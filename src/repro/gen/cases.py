@@ -50,15 +50,26 @@ def _system_factories() -> Dict[str, Any]:
     # Imported lazily so repro.gen stays importable without the systems
     # package's transitive dependencies in minimal deployments.
     from ..systems import (
+        ab_protocol_faulty_trace,
         ab_protocol_trace,
         ABProtocolConfig,
+        arbiter_faulty_trace,
         arbiter_trace,
+        inventing_queue_trace,
+        mutex_faulty_trace,
         mutex_trace,
         reliable_queue_trace,
+        reordering_queue_trace,
+        request_ack_faulty_trace,
         request_ack_trace,
         stack_trace,
+        unreliable_misordering_trace,
         unreliable_queue_trace,
     )
+
+    def ab_protocol_faulty(fault: str = "no_alternation", **kwargs: Any) -> Any:
+        config = ABProtocolConfig(**kwargs) if kwargs else None
+        return ab_protocol_faulty_trace(config, fault=fault)
 
     return {
         "reliable_queue": reliable_queue_trace,
@@ -68,6 +79,15 @@ def _system_factories() -> Dict[str, Any]:
         "request_ack": request_ack_trace,
         "ab_protocol": lambda **kwargs: ab_protocol_trace(ABProtocolConfig(**kwargs)),
         "mutex": mutex_trace,
+        # Fault-injected variants: the differential corpus replays these to
+        # pin that every engine keeps *detecting* the violations.
+        "reordering_queue": reordering_queue_trace,
+        "inventing_queue": inventing_queue_trace,
+        "unreliable_misordering": unreliable_misordering_trace,
+        "arbiter_faulty": arbiter_faulty_trace,
+        "request_ack_faulty": request_ack_faulty_trace,
+        "ab_protocol_faulty": ab_protocol_faulty,
+        "mutex_faulty": mutex_faulty_trace,
     }
 
 

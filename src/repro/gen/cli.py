@@ -48,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="maximum states of generated traces")
     fuzz_cmd.add_argument("--formula-size", type=int, default=10,
                           help="maximum node budget of generated formulas")
+    fuzz_cmd.add_argument("--max-length", type=int, default=3,
+                          help="length bound handed to the decision engines "
+                               "(nightly sweeps raise it; the boolean "
+                               "enumeration is exponential in it)")
     fuzz_cmd.add_argument("--no-shrink", action="store_true",
                           help="report disagreements without minimizing them")
     fuzz_cmd.add_argument("--save-failures", metavar="PATH", default=None,
@@ -81,6 +85,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         cases=args.cases,
         max_trace_states=args.max_states,
         max_formula_size=args.formula_size,
+        max_length=args.max_length,
     )
     oracle = DifferentialOracle(shrink=not args.no_shrink)
     report = fuzz(config, oracle=oracle, processes=args.processes)

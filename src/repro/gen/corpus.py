@@ -1,14 +1,18 @@
 """Built-in corpora and corpus replay.
 
-Two corpora are seeded from the reproduction's own material and live under
-``tests/corpus/``:
+Three corpora are seeded from the reproduction's own material and live
+under ``tests/corpus/``:
 
 * ``catalogue.jsonl`` — the Chapter 4 valid-formula catalogue (V1–V16) as
   small-scope validity cases (bounds capped by variable count so a full
   replay stays test-suite fast);
 * ``specs.jsonl`` — every clause of every specification module, evaluated
   on the matching simulated system, as trace cases referencing the
-  simulator registry.
+  simulator registry;
+* ``faulty_traces.jsonl`` — the same specifications on fault-injected runs
+  of the four case-study simulators (queues, arbiter / request-ack
+  handshake, AB protocol, mutex), pinning the ``False`` verdicts so every
+  engine keeps *detecting* the violations.
 
 Seeding records each engine's verdict in the case's ``expect`` mapping via
 :meth:`~repro.gen.oracle.DifferentialOracle.record_expectations`, so a
@@ -31,6 +35,7 @@ __all__ = [
     "DEFAULT_CORPUS_DIR",
     "build_catalogue_corpus",
     "build_spec_corpus",
+    "build_faulty_corpus",
     "seed_builtin_corpora",
     "corpus_files",
     "load_corpus_dir",
@@ -122,6 +127,84 @@ def build_spec_corpus(oracle: Optional[DifferentialOracle] = None) -> List[Case]
     return cases
 
 
+def _faulty_systems() -> Sequence[Tuple[object, str, str, dict, str]]:
+    """(specification, case-family label, system, args, note) per fault."""
+    from ..specs import (
+        arbiter_spec,
+        mutex_spec,
+        reliable_queue_spec,
+        request_ack_spec,
+        sender_spec,
+        unreliable_queue_spec,
+    )
+
+    return (
+        (reliable_queue_spec(), "queue-reorder", "reordering_queue",
+         {"num_values": 4, "seed": 2},
+         "faulty queue serves values out of order (violates FIFO.)"),
+        (reliable_queue_spec(), "queue-invent", "inventing_queue",
+         {"num_values": 4, "seed": 2},
+         "faulty queue delivers values never enqueued"),
+        (unreliable_queue_spec(), "lossy-misorder", "unreliable_misordering",
+         {"num_values": 4, "seed": 2},
+         "lossy queue delivers surviving values out of order (violates I1)"),
+        (arbiter_spec(), "arbiter-early-ack", "arbiter_faulty",
+         {"seed": 2, "fault": "early_user_ack"},
+         "UAi raised before TAi and RMA (violates Figure 6-4 A1)"),
+        (arbiter_spec(), "arbiter-double-grant", "arbiter_faulty",
+         {"seed": 2, "fault": "simultaneous_grants"},
+         "both transfer requests up at once (violates Figure 6-4 A2)"),
+        (request_ack_spec(), "handshake-early-drop", "request_ack_faulty",
+         {"seed": 2, "fault": "early_ack_drop"},
+         "A lowered while R still up (violates Figure 6-2 A2)"),
+        (request_ack_spec(), "handshake-request-drop", "request_ack_faulty",
+         {"seed": 2, "fault": "request_drop"},
+         "R lowered before A rises (violates Figure 6-2 A1)"),
+        (sender_spec(), "ab-no-alternation", "ab_protocol_faulty",
+         {"fault": "no_alternation"},
+         "sender never alternates the sequence number (violates A2)"),
+        (sender_spec(), "ab-transmit-during-dq", "ab_protocol_faulty",
+         {"fault": "transmit_during_dq"},
+         "packet transmission overlaps a dequeue (violates sender A3)"),
+        (mutex_spec(2), "mutex-barge-in", "mutex_faulty",
+         {"processes": 2, "seed": 2},
+         "process 2 enters its critical section without checking flags"),
+    )
+
+
+def build_faulty_corpus(oracle: Optional[DifferentialOracle] = None) -> List[Case]:
+    """Fault-injected case-study runs with every clause verdict pinned.
+
+    One trace case per (fault family, specification clause): the four
+    case-study simulators with injected faults (queues, arbiter /
+    request-ack handshake, AB protocol, mutex) evaluated against their own
+    specifications.  The ``expect`` mappings pin the per-engine verdicts —
+    prominently the ``False`` ones: a regression that makes any engine stop
+    *detecting* a violation fails the replay just as loudly as one that
+    breaks a passing clause.
+    """
+    oracle = oracle or DifferentialOracle()
+    cases = []
+    for specification, label, system, args, note in _faulty_systems():
+        for clause in specification.clauses:
+            formula = clause.interpreted_formula()
+            text = to_ascii(formula)
+            if parse_formula(text) != formula:  # pragma: no cover - guards new clauses
+                raise ValueError(
+                    f"clause {specification.name}/{clause.name} does not "
+                    "round-trip through the corpus text format"
+                )
+            case = Case(
+                kind="trace",
+                formula=text,
+                id=f"faulty/{label}/{clause.name}",
+                trace=TraceSpec(system=system, args=dict(args)),
+                note=note,
+            )
+            cases.append(oracle.record_expectations(case))
+    return cases
+
+
 def seed_builtin_corpora(
     directory: str = DEFAULT_CORPUS_DIR, oracle: Optional[DifferentialOracle] = None
 ) -> List[str]:
@@ -132,6 +215,7 @@ def seed_builtin_corpora(
     for name, cases in (
         ("catalogue.jsonl", build_catalogue_corpus(oracle)),
         ("specs.jsonl", build_spec_corpus(oracle)),
+        ("faulty_traces.jsonl", build_faulty_corpus(oracle)),
     ):
         path = os.path.join(directory, name)
         save_corpus(path, cases)

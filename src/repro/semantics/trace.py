@@ -186,6 +186,39 @@ class Trace:
             return True
         return int(position) > self._length or int(position) >= self._loop_start
 
+    # -- endpoint-index hooks ----------------------------------------------------
+
+    def change_positions(self, truth: Sequence[Any]) -> Tuple[List[int], List[int]]:
+        """Change positions (False→True) of a per-state truth profile.
+
+        ``truth[c]`` gives a predicate's value in concrete state ``c + 1``.
+        Returns ``(stem, cycle)``: ``stem`` holds the virtual positions
+        ``k`` in ``[2, length]`` whose adjacent pair ``<k-1, k>`` is a
+        change; ``cycle`` the change positions in
+        ``[length+1, length+period]`` — the first virtual copy of the
+        repeating cycle — so that every change position beyond the concrete
+        states is ``cycle[i] + t * period`` for some ``t >= 0``.  This is
+        the hook behind the compiled engine's interval-endpoint index
+        (:class:`repro.compile.runtime.EventIndex`), which bisects these
+        lists instead of re-scanning the trace per event search.
+        """
+        if len(truth) != self._length:
+            raise TraceError(
+                f"profile has {len(truth)} entries but the trace has "
+                f"{self._length} states"
+            )
+        values = [bool(v) for v in truth]
+        stem = [
+            k for k in range(2, self._length + 1)
+            if values[k - 1] and not values[k - 2]
+        ]
+        cycle = [
+            k
+            for k in range(self._length + 1, self._length + self.period + 1)
+            if values[self.canonical(k) - 1] and not values[self.canonical(k - 1) - 1]
+        ]
+        return stem, cycle
+
     # -- value universe ---------------------------------------------------------
 
     def value_universe(self) -> Tuple[Any, ...]:
