@@ -144,6 +144,62 @@ def test_monitor_step_latency_vs_prefix_length(benchmark):
     assert sum(new) < sum(old), (sum(new), sum(old))
 
 
+def test_comparison_atom_index_speedup(benchmark):
+    """Comparison atoms (``x == c``) bisect a shared value column.
+
+    Many constants compared against the same state variable derive their
+    truth profiles from one :class:`~repro.compile.runtime.ValueColumn`,
+    and every ``[x == c]`` event search bisects precomputed change
+    positions — the compiled path must beat interpreting the raw AST with
+    a fresh evaluator per call by the same >= 2x bar as the boolean events.
+    """
+    from repro.compile import ComparisonIndex, compile_formula
+
+    trace = Trace([State({"x": i % 7, "p": True}) for i in range(120)])
+    formulas = [parse_formula(f"[] ([x == {c}] (p \\/ x != {c}))")
+                for c in range(7)]
+
+    def sweep():
+        interp_s = 0.0
+        interp_verdicts = []
+        for formula in formulas:
+            Evaluator(trace).satisfies(formula)  # warmup outside the window
+            started = time.perf_counter()
+            for _ in range(30):
+                interp_verdicts.append(Evaluator(trace).satisfies(formula))
+            interp_s += time.perf_counter() - started
+        compiled_s = 0.0
+        compiled_verdicts = []
+        states = []
+        for formula in formulas:
+            started = time.perf_counter()
+            state = compile_formula(formula).evaluator(trace)
+            for _ in range(30):
+                compiled_verdicts.append(state.satisfies())
+            compiled_s += time.perf_counter() - started
+            states.append(state)
+        assert compiled_verdicts == interp_verdicts
+        # The indexes actually in play: shared column, comparison indexes.
+        assert all(len(state._columns) == 1 for state in states)
+        assert all(
+            any(isinstance(ix, ComparisonIndex)
+                for ix in state._shared_indexes.values())
+            for state in states
+        )
+        return {
+            "constants": len(formulas),
+            "interpret_ms": interp_s * 1000.0,
+            "compiled_ms": compiled_s * 1000.0,
+            "speedup": interp_s / compiled_s,
+        }
+
+    row = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["row"] = row
+    print()
+    print({k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()})
+    assert row["speedup"] >= 2.0, row
+
+
 def test_specification_monitoring_end_to_end(benchmark):
     """A real spec on a real simulator stream through the new monitor."""
     spec = request_ack_spec()

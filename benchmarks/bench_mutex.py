@@ -50,3 +50,20 @@ def test_mutex_spec_check_cost(benchmark):
     trace = mutex_trace(3, entries=4, seed=1)
     result = benchmark(spec.check, trace)
     assert result.holds
+
+
+def test_mutex_spec_check_cost_compiled(benchmark):
+    """The same question through the default façade path: one multi-root
+    SpecPlan per spec, all clauses over shared memo tables and indexes."""
+    from repro.api import Session
+
+    spec = mutex_spec(3)
+    trace = mutex_trace(3, entries=4, seed=1)
+    session = Session()
+
+    def run():
+        session.clear_caches()  # a fresh campaign every round: compile + check
+        return session.check_spec(spec, trace)
+
+    result = benchmark(run)
+    assert result.holds

@@ -1,5 +1,11 @@
 """Experiment E2: the Chapter 5 queue specifications (Figure 5-1 and the
-reliable queue / stack axioms) checked against simulated disciplines."""
+reliable queue / stack axioms) checked against simulated disciplines.
+
+``run_conformance`` now answers each (case, seed) trace through one
+multi-root ``SpecPlan`` (the compiled default path), so this benchmark
+doubles as the end-to-end timing of the spec-level pipeline; the
+multi-root-vs-per-clause speedup itself is gated in
+``bench_spec_plans.py``."""
 
 from repro.checking import ConformanceCase, run_conformance
 from repro.specs import reliable_queue_spec, stack_spec, unreliable_queue_spec

@@ -175,9 +175,12 @@ class CompiledEngine(Engine):
     :class:`~repro.compile.cache.PlanCache` shares the plan across
     ``check_many`` batches and across traces, the per-trace
     :class:`~repro.compile.runtime.PlanState` shares memo tables and
-    interval-endpoint indexes across requests, and event searches bisect
-    instead of scanning.  Pick it with ``mode="compiled"``,
-    ``compile=True`` on a request, or ``Session(prefer_compiled=True)``.
+    interval-endpoint indexes across requests, plan nodes dispatch through
+    closures bound at state-binding time, and event searches bisect
+    instead of scanning.  This is the **default** path for trace-backed
+    requests (``Session(prefer_compiled=True)`` is the default); opt out
+    per request with ``compile=False`` or per session with
+    ``Session(prefer_compiled=False)``.
     """
 
     name = "compiled"

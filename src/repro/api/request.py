@@ -65,7 +65,8 @@ class CheckRequest:
         routes to the ``compiled`` engine (normalized, plan-cached
         evaluation — see :mod:`repro.compile`), ``False`` forces the
         interpreting ``trace`` engine, and ``None`` (default) defers to the
-        session's ``prefer_compiled`` setting.
+        session's ``prefer_compiled`` setting — itself ``True`` by default,
+        so unadorned trace-backed requests take the compiled path.
     capture_errors:
         When true, engine exceptions become an error verdict on the
         :class:`~repro.api.result.CheckResult` instead of propagating —

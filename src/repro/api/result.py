@@ -28,6 +28,13 @@ class CheckResult:
         request asked for errors to be captured.
     engine:
         Name of the engine that produced the verdict.
+    engine_reason:
+        Auto-dispatch audit trail: why this engine was selected ("explicit
+        mode", "trace-backed; session prefer_compiled → compiled", "no
+        trace; LTL-fragment interval formula → tableau", ...), including
+        any automatic fallback taken.  Campaigns that care which path
+        answered a non-trace-backed request read it off the result instead
+        of re-deriving the dispatch rules.
     request:
         The request this result answers.
     witness:
@@ -53,6 +60,7 @@ class CheckResult:
     verdict: Optional[bool]
     engine: str
     request: CheckRequest
+    engine_reason: Optional[str] = None
     witness: Any = None
     counterexample: Any = None
     statistics: Dict[str, Any] = field(default_factory=dict)

@@ -10,22 +10,32 @@ Auto-dispatch picks the engine from the formula fragment and the request
 shape::
 
     LLL expression                      -> lll
-    request carries a trace             -> trace (or compiled, when the
-                                           request sets compile=True or the
-                                           session prefers compiled plans)
+    request carries a trace             -> compiled (the default path; the
+                                           interpreting trace engine on
+                                           compile=False requests or
+                                           Session(prefer_compiled=False))
     LTL formula / LTL fragment          -> tableau
     anything else (quantifiers, ops...) -> bounded
 
+Every :class:`~repro.api.result.CheckResult` records *why* its engine was
+selected in ``engine_reason`` — including the automatic fallback from the
+compiled path to the interpreting evaluator should a formula fail to lower.
+
 ``check_many`` batches requests over the shared evaluator memo tables and
-can fan a large campaign out over worker processes in chunks.
+can fan a large campaign out over worker processes in chunks;
+:meth:`Session.check_spec` checks a whole specification through one
+multi-root :class:`~repro.compile.specplan.SpecPlan` so clauses share
+subformula work.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
+from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..compile.dag import CompileError
 from ..lll.syntax import LLLExpression
 from ..ltl.syntax import LTLFormula
 from ..ltl.translation import is_in_ltl_fragment
@@ -71,9 +81,13 @@ class Session:
         in-process).
     prefer_compiled:
         Auto-dispatch trace-carrying requests to the ``compiled`` engine
-        (plan-cached evaluation, :mod:`repro.compile`) instead of the
-        interpreting ``trace`` engine.  Requests override per-call with
-        ``compile=True`` / ``compile=False``.
+        (plan-cached evaluation, :mod:`repro.compile`).  **On by default**:
+        the compiled path is exact-verdict pinned against the interpreting
+        evaluator across the differential corpora, and a formula that fails
+        to lower falls back to the ``trace`` engine automatically (audited
+        on ``CheckResult.engine_reason``).  Pass ``prefer_compiled=False``
+        to keep the interpreting ``trace`` engine the default; requests
+        override per-call with ``compile=True`` / ``compile=False``.
     """
 
     def __init__(
@@ -81,7 +95,7 @@ class Session:
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
         engines: Optional[EngineRegistry] = None,
         processes: Optional[int] = None,
-        prefer_compiled: bool = False,
+        prefer_compiled: bool = True,
     ) -> None:
         self._default_domain = dict(domain) if domain else None
         self._registry = engines if engines is not None else default_registry()
@@ -95,6 +109,18 @@ class Session:
         self._trace_refs: Dict[int, Trace] = {}
         self._plan_cache: Optional[Any] = None
         self._plan_states: Dict[Tuple[str, int, Any], Any] = {}
+        # Spec plans re-resolved by specification identity, skipping the
+        # per-call clause interpretation + digest on repeated check_spec
+        # calls (conformance campaigns check one spec on many traces).
+        # Values are (plan, specification): holding the spec in the entry
+        # keeps its id() valid for exactly as long as the key can match.
+        # Bounded LRU so sessions streaming fresh Specification objects
+        # (the spec-mode fuzzer) stay bounded, and entries drop when the
+        # plan cache evicts their plan.
+        self._spec_plans: "OrderedDict[Tuple[int, int, Any], Tuple[Any, Any]]" = (
+            OrderedDict()
+        )
+        self._spec_plan_failures: set = set()
 
     # -- traces and evaluators -----------------------------------------------------
 
@@ -156,12 +182,18 @@ class Session:
     def clear_caches(self) -> "Session":
         """Release every shared evaluator, memo table, plan and pinned trace.
 
-        Named traces registered with :meth:`add_trace` are kept; call this
-        between campaigns on a long-lived session to bound memory.
+        Both the plans and every bound plan state (single- and multi-root)
+        are dropped, and the plan-cache hit/miss/eviction statistics reset
+        to zero — the counters always describe the current cache
+        generation.  Named traces registered with :meth:`add_trace` are
+        kept; call this between campaigns on a long-lived session to bound
+        memory.
         """
         self._evaluators.clear()
         self._trace_refs.clear()
         self._plan_states.clear()
+        self._spec_plans.clear()
+        self._spec_plan_failures.clear()
         if self._plan_cache is not None:
             self._plan_cache.clear()
         return self
@@ -174,8 +206,26 @@ class Session:
         if self._plan_cache is None:
             from ..compile import PlanCache
 
-            self._plan_cache = PlanCache()
+            self._plan_cache = PlanCache(on_evict=self._drop_plan_states_for)
         return self._plan_cache
+
+    #: Identity-cache capacity: far above any hand-written campaign's spec
+    #: count, small enough that spec-streaming sessions stay bounded.
+    _SPEC_PLAN_IDENTITY_CAPACITY = 64
+
+    def _drop_plan_states_for(self, digest: str) -> None:
+        """Drop plan states bound to an evicted plan (LRU eviction hook).
+
+        The spec identity cache drops its entries for the evicted plan
+        too, so an eviction from the bounded plan cache cannot be served
+        (and kept alive) through the identity shortcut.
+        """
+        for key in [k for k in self._plan_states if k[0] == digest]:
+            del self._plan_states[key]
+        for key in [
+            k for k, (plan, _) in self._spec_plans.items() if plan.digest == digest
+        ]:
+            del self._spec_plans[key]
 
     def plan_state(
         self,
@@ -209,6 +259,59 @@ class Session:
             self._trace_refs[id(trace)] = trace
         return state, from_cache
 
+    def spec_plan_state(
+        self,
+        trace: Trace,
+        specification,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+    ):
+        """The shared multi-root plan state for ``(specification, trace, domain)``.
+
+        The whole specification compiles into one
+        :class:`~repro.compile.specplan.SpecPlan` (cached by spec digest +
+        domain shape in the same LRU as single-formula plans); each
+        ``(plan, trace, domain)`` binding keeps one
+        :class:`~repro.compile.specplan.SpecPlanState` whose memo tables
+        and endpoint indexes are shared across every clause *and* every
+        request.
+
+        Returns ``(spec_plan_state, plan_from_cache)``.
+        """
+        if domain is None:
+            domain = self._default_domain
+        domain_key = _domain_key(domain)
+        plan = None
+        from_cache = True
+        if domain_key is not _UNCACHEABLE:
+            # Clause lists only grow (and clauses are immutable), so
+            # (identity, clause count) safely re-resolves the plan without
+            # re-interpreting and re-digesting every clause per trace.
+            plan_key = (id(specification), len(specification.clauses), domain_key)
+            entry = self._spec_plans.get(plan_key)
+            if entry is not None:
+                self._spec_plans.move_to_end(plan_key)
+                plan = entry[0]
+        if plan is None:
+            items = [
+                (clause.name, clause.interpreted_formula())
+                for clause in specification.clauses
+            ]
+            plan, from_cache = self.plan_cache.get_spec(items, domain)
+            if domain_key is not _UNCACHEABLE:
+                self._spec_plans[plan_key] = (plan, specification)
+                while len(self._spec_plans) > self._SPEC_PLAN_IDENTITY_CAPACITY:
+                    self._spec_plans.popitem(last=False)
+        if domain_key is _UNCACHEABLE:
+            return plan.evaluator(trace, domain), from_cache
+        key = (plan.digest, id(trace), domain_key)
+        state = self._plan_states.get(key)
+        if state is None:
+            state = plan.evaluator(trace, domain)
+            self._plan_states[key] = state
+            # Keep the trace alive so the id() key cannot be recycled.
+            self._trace_refs[id(trace)] = trace
+        return state, from_cache
+
     # -- engines ----------------------------------------------------------------------
 
     @property
@@ -228,26 +331,50 @@ class Session:
         self._registry.register(engine, replace=replace)
         return self
 
-    def _select_engine(self, request: CheckRequest) -> Engine:
+    def _select_engine(self, request: CheckRequest) -> Tuple[Engine, str]:
+        """The engine answering ``request`` plus the audit reason."""
         if request.mode is not None:
-            return self._registry.get(request.mode)
+            return (
+                self._registry.get(request.mode),
+                f"explicit mode={request.mode!r}",
+            )
         formula = request.resolved_formula()
         if isinstance(formula, LLLExpression):
-            return self._registry.get("lll")
+            return self._registry.get("lll"), "LLL expression → lll"
         if request.trace is not None:
-            use_compiled = (
-                request.compile
-                if request.compile is not None
-                else self._prefer_compiled
+            if request.compile is True:
+                if "compiled" in self._registry:
+                    return (
+                        self._registry.get("compiled"),
+                        "trace-backed; request compile=True → compiled",
+                    )
+            elif request.compile is False:
+                return (
+                    self._registry.get("trace"),
+                    "trace-backed; request compile=False → trace",
+                )
+            elif self._prefer_compiled and "compiled" in self._registry:
+                return (
+                    self._registry.get("compiled"),
+                    "trace-backed; session prefer_compiled → compiled",
+                )
+            return (
+                self._registry.get("trace"),
+                "trace-backed → trace"
+                if "compiled" in self._registry
+                else "trace-backed; no 'compiled' engine registered → trace",
             )
-            if use_compiled and "compiled" in self._registry:
-                return self._registry.get("compiled")
-            return self._registry.get("trace")
         if isinstance(formula, LTLFormula):
-            return self._registry.get("tableau")
+            return self._registry.get("tableau"), "no trace; LTL formula → tableau"
         if isinstance(formula, Formula) and is_in_ltl_fragment(formula):
-            return self._registry.get("tableau")
-        return self._registry.get("bounded")
+            return (
+                self._registry.get("tableau"),
+                "no trace; LTL-fragment interval formula → tableau",
+            )
+        return (
+            self._registry.get("bounded"),
+            "no trace; beyond the LTL fragment → bounded",
+        )
 
     # -- checking ---------------------------------------------------------------------
 
@@ -320,30 +447,72 @@ class Session:
             return request.with_options(**changes)
         return request
 
-    def check_specification(
+    def check_spec(
         self,
         specification,
         trace: Any,
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        env: Optional[Mapping[str, Any]] = None,
+        compiled: Optional[bool] = None,
         processes: Optional[int] = None,
     ):
-        """Check every clause of a specification on ``trace``.
+        """Check every clause of a specification on ``trace`` — as one unit.
+
+        The default path compiles the whole specification into a multi-root
+        :class:`~repro.compile.specplan.SpecPlan` and answers every clause
+        through one shared :class:`~repro.compile.specplan.SpecPlanState`:
+        subformulas shared across clauses (the same ``[]``/``<>``
+        skeletons, event atoms, operation predicates) are decided once per
+        position instead of once per clause.  Errors are captured per
+        clause, matching ``Specification.check``.
+
+        ``compiled=False`` opts out to the per-clause engine path (one
+        :class:`CheckRequest` per clause through :meth:`check_many`), which
+        is also used automatically with worker ``processes`` and as the
+        fallback when a clause fails to lower.
 
         Returns the familiar
-        :class:`~repro.core.specification.SpecificationResult`, built from
-        façade verdicts (errors are captured per clause, matching
-        ``Specification.check``).
+        :class:`~repro.core.specification.SpecificationResult`.
         """
         from ..core.specification import ClauseVerdict, SpecificationResult
 
         resolved = self.resolve_trace(trace)
+        use_spec_plan = self._prefer_compiled if compiled is None else compiled
+        # The spec object itself (identity-hashed) keys the negative cache,
+        # pinning it so a recycled id() can never alias a fresh spec.
+        failure_key = (
+            specification,
+            len(specification.clauses),
+            _domain_key(domain if domain is not None else self._default_domain),
+        )
+        if (
+            use_spec_plan
+            and not (processes and processes > 1)
+            and failure_key not in self._spec_plan_failures
+        ):
+            try:
+                state, _ = self.spec_plan_state(resolved, specification, domain)
+            except CompileError:
+                # Negative-cache the identity: a spec that cannot lower
+                # would otherwise pay a full failed compilation per trace.
+                self._spec_plan_failures.add(failure_key)
+            else:
+                verdicts = [
+                    ClauseVerdict(clause, outcome.verdict is True, outcome.error)
+                    for clause, outcome in zip(
+                        specification.clauses, state.check_all(env)
+                    )
+                ]
+                return SpecificationResult(specification, verdicts)
         requests = [
-            # mode=None: auto-dispatch sends these to the trace engine, or
-            # to the compiled engine on a Session(prefer_compiled=True).
+            # mode=None: auto-dispatch applies the session's compile
+            # preference per clause (and its CompileError fallback).
             CheckRequest(
                 formula=clause.interpreted_formula(),
                 trace=resolved,
+                env=env,
                 domain=domain,
+                compile=compiled,
                 capture_errors=True,
                 label=clause.name,
             )
@@ -355,6 +524,18 @@ class Session:
             for clause, result in zip(specification.clauses, results)
         ]
         return SpecificationResult(specification, verdicts)
+
+    def check_specification(
+        self,
+        specification,
+        trace: Any,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        processes: Optional[int] = None,
+    ):
+        """Alias of :meth:`check_spec` (the original façade entry point)."""
+        return self.check_spec(
+            specification, trace, domain=domain, processes=processes
+        )
 
     # -- internals ---------------------------------------------------------------------
 
@@ -369,10 +550,22 @@ class Session:
     def _run(self, request: CheckRequest) -> CheckResult:
         started = time.perf_counter()
         engine_name = request.mode or "?"
+        reason: Optional[str] = None
         try:
-            engine = self._select_engine(request)
+            engine, reason = self._select_engine(request)
             engine_name = engine.name
-            result = engine.run(request, self)
+            try:
+                result = engine.run(request, self)
+            except CompileError as exc:
+                if engine.name != "compiled" or request.mode == "compiled" \
+                        or "trace" not in self._registry:
+                    raise
+                # Automatic fallback: a formula the compile pipeline cannot
+                # lower is still checkable by the interpreting evaluator.
+                fallback = self._registry.get("trace")
+                engine_name = fallback.name
+                reason = f"{reason}; fell back to trace on CompileError: {exc}"
+                result = fallback.run(request, self)
         except Exception as exc:
             if not request.capture_errors:
                 raise
@@ -382,6 +575,7 @@ class Session:
                 request=request,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        result.engine_reason = reason
         result.wall_time_s = time.perf_counter() - started
         return result
 

@@ -13,15 +13,20 @@ happened yet may still happen); the monitor therefore reports, per formula,
 the current verdict and whether it has been *stable* for a configurable
 number of steps, which in practice flags genuine violations early.
 
-Monitors run on **incremental plan states** (:mod:`repro.compile`): each
-formula is compiled once and every appended state is absorbed in amortized
-O(changed work) — tail-independent subformula verdicts are frozen, ``[]``
-and ``<>`` resume from frontier positions, and event searches extend
-endpoint indexes — instead of rebuilding a ``Trace`` and re-evaluating from
-scratch per state, which made online checking quadratic in the prefix
-length.  Verdicts are bit-for-bit those of the Chapter 3 evaluator on every
-prefix; :attr:`Monitor.step_costs` exposes per-step work counters so
-regression tests can assert the cost no longer grows with the prefix.
+Monitors run on **one incremental multi-root plan state**
+(:mod:`repro.compile`): all monitored formulas are interned into a single
+:class:`~repro.compile.specplan.SpecPlan` — subformulas shared across
+formulas (the same ``[]``/``<>`` skeletons, event atoms, operation
+predicates of a specification's clauses) are memoized once per position
+for every formula watching them — and every appended state is absorbed in
+amortized O(changed work): tail-independent subformula verdicts are
+frozen, ``[]`` and ``<>`` resume from frontier positions, and event
+searches extend shared endpoint indexes, instead of rebuilding a ``Trace``
+and re-evaluating from scratch per state, which made online checking
+quadratic in the prefix length.  Verdicts are bit-for-bit those of the
+Chapter 3 evaluator on every prefix; :attr:`Monitor.step_costs` exposes
+per-step work counters so regression tests can assert the cost no longer
+grows with the prefix.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
-from ..compile import GrowingPrefix, PlanState, compile_formula
+from ..compile import GrowingPrefix, SpecPlan, SpecPlanState
 from ..core.specification import Specification
 from ..semantics.state import State
 from ..semantics.trace import Trace
@@ -62,7 +67,13 @@ class MonitorVerdict:
 
 
 class Monitor:
-    """Re-evaluates a set of named formulas on a growing state prefix."""
+    """Re-evaluates a set of named formulas on a growing state prefix.
+
+    All formulas compile into **one** multi-root
+    :class:`~repro.compile.specplan.SpecPlan` bound to one incremental
+    plan state, so formulas watching the same subformulas share memo
+    entries, endpoint indexes and frontier aggregators.
+    """
 
     def __init__(
         self,
@@ -72,13 +83,12 @@ class Monitor:
         self._formulas = dict(formulas)
         self._domain = domain
         self._prefix = GrowingPrefix()
-        self._runners: Dict[str, PlanState] = {
-            name: PlanState(
-                compile_formula(formula), self._prefix, domain=domain,
-                incremental=True,
-            )
-            for name, formula in self._formulas.items()
-        }
+        self._state: SpecPlanState = SpecPlanState(
+            SpecPlan(list(self._formulas.items())),
+            self._prefix,
+            domain=domain,
+            incremental=True,
+        )
         self._verdicts: Dict[str, MonitorVerdict] = {
             name: MonitorVerdict(name, formula)
             for name, formula in self._formulas.items()
@@ -87,16 +97,19 @@ class Monitor:
         #: flat in the prefix length for stabilised formulas.
         self.step_costs: List[int] = []
 
+    @property
+    def plan_state(self) -> SpecPlanState:
+        """The shared multi-root plan state behind this monitor."""
+        return self._state
+
     def observe(self, state: State) -> Dict[str, MonitorVerdict]:
         """Append a state and re-evaluate every formula on the new prefix."""
         self._prefix.append(state)
-        cost = 0
-        for name, runner in self._runners.items():
-            before = runner.stats.dispatch_calls
-            runner.note_append()
-            self._verdicts[name].update(runner.satisfies())
-            cost += runner.stats.dispatch_calls - before
-        self.step_costs.append(cost)
+        before = self._state.stats.dispatch_calls
+        self._state.note_append()
+        for name in self._formulas:
+            self._verdicts[name].update(self._state.satisfies(name))
+        self.step_costs.append(self._state.stats.dispatch_calls - before)
         return dict(self._verdicts)
 
     def observe_trace(self, trace: Trace) -> Dict[str, MonitorVerdict]:

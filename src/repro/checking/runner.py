@@ -107,33 +107,63 @@ def run_conformance(
 ) -> ConformanceReport:
     """Check ``specification`` against every case and seed.
 
-    This is a thin wrapper over the façade: every ``(case, seed, clause)``
-    triple becomes one :class:`~repro.api.request.CheckRequest` and the whole
-    campaign is answered by :meth:`Session.check_many` — batched over shared
-    evaluator memo tables and, with ``processes``, fanned out in chunks over
-    worker processes.  Pass an existing :class:`~repro.api.session.Session`
-    to share its caches with other checks.
+    This is a thin wrapper over the façade: the specification compiles
+    **once** into a multi-root :class:`~repro.compile.specplan.SpecPlan`
+    (cached on the session by spec digest) and every ``(case, seed)`` trace
+    is answered by :meth:`Session.check_spec` through one shared
+    :class:`~repro.compile.specplan.SpecPlanState` — clauses sharing
+    subformulas share memo entries and event indexes per trace, and errors
+    stay captured per clause.  With ``processes`` the campaign falls back
+    to the per-clause :class:`~repro.api.request.CheckRequest` batch fanned
+    out in chunks over worker processes.  Pass an existing
+    :class:`~repro.api.session.Session` to share its plan caches with
+    other checks.
     """
     # Imported here: repro.api's engines are built on this package's
     # siblings, so the import must not run at module-initialization time.
-    from ..api.request import CheckRequest
     from ..api.session import Session
-    from ..core.specification import ClauseVerdict
 
     if session is None:
         session = Session()
-    clauses = specification.clauses
     prepared: List[Tuple[ConformanceCase, List[Trace]]] = []
-    requests: List[CheckRequest] = []
     for case in cases:
-        traces = [case.factory(seed) for seed in case.seeds]
-        prepared.append((case, traces))
+        prepared.append((case, [case.factory(seed) for seed in case.seeds]))
+
+    if processes and processes > 1:
+        return _run_conformance_fanned(
+            specification, prepared, domain, session, processes
+        )
+
+    outcomes: List[ConformanceOutcome] = []
+    for case, traces in prepared:
+        outcome = ConformanceOutcome(case)
+        for trace in traces:
+            outcome.results.append(
+                session.check_spec(specification, trace, domain=domain)
+            )
+        outcomes.append(outcome)
+    return ConformanceReport(specification, outcomes)
+
+
+def _run_conformance_fanned(
+    specification: Specification,
+    prepared: Sequence[Tuple[ConformanceCase, List[Trace]]],
+    domain: Optional[Mapping[str, Iterable[object]]],
+    session,
+    processes: int,
+) -> ConformanceReport:
+    """The worker-process campaign: one request per (case, seed, clause)."""
+    from ..api.request import CheckRequest
+    from ..core.specification import ClauseVerdict
+
+    clauses = specification.clauses
+    requests: List[CheckRequest] = []
+    for case, traces in prepared:
         for trace in traces:
             for clause in clauses:
                 requests.append(
                     CheckRequest(
                         formula=clause.interpreted_formula(),
-                        mode="trace",
                         trace=trace,
                         domain=domain,
                         capture_errors=True,

@@ -19,6 +19,16 @@ stage                     paper anchor
                           the rigid/state variable split of Appendix B
 :mod:`.plan`              :class:`CompiledPlan` — the trace-independent
                           artifact, digest-addressed for caching
+:mod:`.specplan`          :class:`SpecPlan` — a whole specification's
+                          clauses interned into *one* multi-root DAG
+                          (shared memo tables, shared event indexes,
+                          per-clause root verdicts), the unit the
+                          Chapter 5–8 conformance experiments actually
+                          check
+:mod:`.lower`             closure lowering of plan-node dispatch: each DAG
+                          node binds once to a Python closure over its
+                          slots/memo/indexes, replacing the per-call
+                          opcode chain
 :mod:`.runtime`           :class:`PlanState` — the Chapter 3 satisfaction
                           relation over slot-addressed environments, with
                           an interval-endpoint index over state-change
@@ -28,8 +38,9 @@ stage                     paper anchor
                           one appended state in amortized O(changed work)
                           for the finite-computation convention monitors
 :mod:`.cache`             :class:`PlanCache` — the session-level
-                          digest-keyed plan store behind the ``compiled``
-                          engine of :mod:`repro.api.engines`
+                          digest-keyed bounded LRU (single- and multi-root
+                          plans, hit/miss/eviction stats) behind the
+                          ``compiled`` engine of :mod:`repro.api.engines`
 ========================  ==================================================
 
 Typical use::
@@ -50,11 +61,27 @@ The ``compiled`` engine (``Session.check(..., mode="compiled")`` or
 plan cache and the unified :class:`~repro.api.result.CheckResult`.
 """
 
-from .cache import PlanCache
+from .cache import DEFAULT_MAX_PLANS, PlanCache
 from .dag import CompileError, DagBuilder, PlanNode, PlanTerm
+from .lower import bind_dispatch
 from .normalize import normalize, structural_key
 from .plan import CompiledPlan, compile_formula, formula_digest
-from .runtime import UNSET, EventIndex, GrowingPrefix, PlanState, PlanStats
+from .runtime import (
+    UNSET,
+    ComparisonIndex,
+    EventIndex,
+    GrowingPrefix,
+    PlanState,
+    PlanStats,
+    ValueColumn,
+)
+from .specplan import (
+    ClauseOutcome,
+    SpecPlan,
+    SpecPlanState,
+    compile_specification,
+    spec_digest,
+)
 
 __all__ = [
     "normalize",
@@ -66,10 +93,19 @@ __all__ = [
     "CompiledPlan",
     "compile_formula",
     "formula_digest",
+    "SpecPlan",
+    "SpecPlanState",
+    "ClauseOutcome",
+    "compile_specification",
+    "spec_digest",
+    "bind_dispatch",
     "PlanCache",
+    "DEFAULT_MAX_PLANS",
     "PlanState",
     "PlanStats",
     "GrowingPrefix",
     "EventIndex",
+    "ValueColumn",
+    "ComparisonIndex",
     "UNSET",
 ]

@@ -111,6 +111,9 @@ class PlanTerm:
     b: Optional[int] = None
     #: Event-formula node id for event terms.
     event: Optional[int] = None
+    #: Free-variable slot signature (union over the term's event formulas) —
+    #: the runtime's construction memo restricts its keys to these slots.
+    free_slots: Tuple[int, ...] = ()
 
 
 class DagBuilder:
@@ -229,6 +232,13 @@ class DagBuilder:
 
     # -- interval terms ------------------------------------------------------
 
+    def _term_slots(self, *children: Optional[int]) -> Tuple[int, ...]:
+        slots = set()
+        for child in children:
+            if child is not None:
+                slots.update(self.terms[child].free_slots)
+        return tuple(sorted(slots))
+
     def add_term(self, term: IntervalTerm) -> int:
         if isinstance(term, Star):
             raise CompileError(
@@ -237,16 +247,25 @@ class DagBuilder:
             )
         if isinstance(term, EventTerm):
             event = self.add_formula(term.formula)
-            return self._emit_term(("event", event), op=T_EVENT, event=event)
+            return self._emit_term(
+                ("event", event), op=T_EVENT, event=event,
+                free_slots=self.nodes[event].free_slots,
+            )
         if isinstance(term, Begin):
             a = self.add_term(term.term)
-            return self._emit_term(("begin", a), op=T_BEGIN, a=a)
+            return self._emit_term(
+                ("begin", a), op=T_BEGIN, a=a, free_slots=self._term_slots(a)
+            )
         if isinstance(term, End):
             a = self.add_term(term.term)
-            return self._emit_term(("end", a), op=T_END, a=a)
+            return self._emit_term(
+                ("end", a), op=T_END, a=a, free_slots=self._term_slots(a)
+            )
         if isinstance(term, (Forward, Backward)):
             op = T_FORWARD if isinstance(term, Forward) else T_BACKWARD
             a = self.add_term(term.left) if term.left is not None else None
             b = self.add_term(term.right) if term.right is not None else None
-            return self._emit_term((op, a, b), op=op, a=a, b=b)
+            return self._emit_term(
+                (op, a, b), op=op, a=a, b=b, free_slots=self._term_slots(a, b)
+            )
         raise CompileError(f"cannot lower interval term: {term!r}")

@@ -1,0 +1,193 @@
+"""Closure lowering of plan-node dispatch.
+
+The first compiled runtime dispatched every ``_holds`` miss through one big
+``if op == ...`` chain (:meth:`PlanState._dispatch`), re-reading the node's
+fields on every call.  This pass lowers each :class:`~repro.compile.dag.PlanNode`
+**once per plan state** to a plain Python closure: the node's children,
+predicate, term ids and free-slot signature are bound into the closure's
+cells at lowering time, along with the state's slot vector, trace accessors
+and memo wrapper.  ``PlanState._holds`` then jumps straight to
+``self._ops[nid](lo, hi)`` — no opcode test, no field lookups, no
+re-resolution of ``self._trace.state_at`` per atom.
+
+Lowering happens at state-binding time (not plan-compile time) because the
+closures are bound to one computation's mutable runtime — the slot vector,
+the memo tables, the endpoint indexes.  The plan itself stays a pure,
+trace-independent artifact; lowering a plan state is O(nodes) and is paid
+once per (plan, trace) binding.
+
+Memoization stays **outside** the closures: every child evaluation goes
+back through ``PlanState._holds`` so hash-consed sharing, the state-formula
+position memo, and the incremental tail tracking intercede at every node
+exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..semantics.construction import BOTTOM
+from .dag import (
+    CompileError,
+    N_ALWAYS,
+    N_AND,
+    N_ATOM,
+    N_BINDNEXT,
+    N_EVENTUALLY,
+    N_FALSE,
+    N_FORALL,
+    N_IFF,
+    N_IMPLIES,
+    N_INTERVAL,
+    N_NOT,
+    N_OCCURS,
+    N_OR,
+    N_TRUE,
+)
+
+__all__ = ["bind_dispatch"]
+
+
+_EMPTY_ENV: dict = {}
+
+
+def _lower_atom(state, node):
+    predicate_holds = node.predicate.holds
+    state_at = state._trace.state_at
+    if not node.free_slots:
+        def run(lo, hi):
+            return predicate_holds(state_at(lo), _EMPTY_ENV)
+        return run
+    env_view = state._env_view
+
+    def run(lo, hi):
+        return predicate_holds(state_at(lo), env_view(node))
+    return run
+
+
+def _lower_true(state, node):
+    return lambda lo, hi: True
+
+
+def _lower_false(state, node):
+    return lambda lo, hi: False
+
+
+def _lower_not(state, node):
+    holds = state._holds
+    a = node.a
+
+    def run(lo, hi):
+        return not holds(a, lo, hi)
+    return run
+
+
+def _lower_junction(deciding: bool):
+    def lower(state, node):
+        junction = state._junction
+        a, b = node.a, node.b
+
+        def run(lo, hi):
+            return junction(a, b, lo, hi, deciding)
+        return run
+    return lower
+
+
+def _lower_implies(state, node):
+    holds = state._holds
+    a, b = node.a, node.b
+
+    def run(lo, hi):
+        return (not holds(a, lo, hi)) or holds(b, lo, hi)
+    return run
+
+
+def _lower_iff(state, node):
+    holds = state._holds
+    a, b = node.a, node.b
+
+    def run(lo, hi):
+        return holds(a, lo, hi) == holds(b, lo, hi)
+    return run
+
+
+def _lower_suffixes(want: bool):
+    def lower(state, node):
+        suffixes = state._holds_suffixes
+
+        def run(lo, hi):
+            return suffixes(node, lo, hi, want)
+        return run
+    return lower
+
+
+def _lower_interval(state, node):
+    construct = state._construct_interval
+    holds = state._holds
+    term, body = node.term, node.a
+
+    def run(lo, hi):
+        found = construct(term, lo, hi)
+        if found is BOTTOM:
+            return True
+        return holds(body, found.lo, found.hi)
+    return run
+
+
+def _lower_occurs(state, node):
+    construct = state._construct_interval
+    term = node.term
+
+    def run(lo, hi):
+        return construct(term, lo, hi) is not BOTTOM
+    return run
+
+
+def _lower_forall(state, node):
+    holds_forall = state._holds_forall
+
+    def run(lo, hi):
+        return holds_forall(node, lo, hi)
+    return run
+
+
+def _lower_bindnext(state, node):
+    holds_bindnext = state._holds_bindnext
+
+    def run(lo, hi):
+        return holds_bindnext(node, lo, hi)
+    return run
+
+
+_FACTORIES = {
+    N_ATOM: _lower_atom,
+    N_TRUE: _lower_true,
+    N_FALSE: _lower_false,
+    N_NOT: _lower_not,
+    N_AND: _lower_junction(deciding=False),
+    N_OR: _lower_junction(deciding=True),
+    N_IMPLIES: _lower_implies,
+    N_IFF: _lower_iff,
+    N_ALWAYS: _lower_suffixes(want=False),
+    N_EVENTUALLY: _lower_suffixes(want=True),
+    N_INTERVAL: _lower_interval,
+    N_OCCURS: _lower_occurs,
+    N_FORALL: _lower_forall,
+    N_BINDNEXT: _lower_bindnext,
+}
+
+
+def bind_dispatch(state) -> Tuple[Callable[[int, object], bool], ...]:
+    """Lower every node of ``state``'s plan to a bound closure.
+
+    Returns the node-id-indexed dispatch table ``PlanState._holds`` jumps
+    through.  An unknown opcode fails here, at binding time, instead of at
+    the first evaluation that reaches the node.
+    """
+    ops: List[Callable] = []
+    for node in state._plan.nodes:
+        factory = _FACTORIES.get(node.op)
+        if factory is None:
+            raise CompileError(f"cannot lower plan node: {node!r}")
+        ops.append(factory(state, node))
+    return tuple(ops)

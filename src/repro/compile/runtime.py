@@ -44,14 +44,11 @@ from ..errors import EvaluationError, TraceError
 from ..semantics.construction import BOTTOM, Direction, Interval
 from ..semantics.state import State
 from ..semantics.trace import INFINITY
+from ..syntax.terms import Cmp, Const, LogicalVar, OpAfter, OpAt, OpIn, Var
 from .dag import (
-    N_ALWAYS,
     N_AND,
     N_ATOM,
-    N_BINDNEXT,
-    N_EVENTUALLY,
     N_FALSE,
-    N_FORALL,
     N_IFF,
     N_IMPLIES,
     N_INTERVAL,
@@ -65,7 +62,15 @@ from .dag import (
     T_FORWARD,
 )
 
-__all__ = ["UNSET", "GrowingPrefix", "EventIndex", "PlanStats", "PlanState"]
+__all__ = [
+    "UNSET",
+    "GrowingPrefix",
+    "EventIndex",
+    "ValueColumn",
+    "ComparisonIndex",
+    "PlanStats",
+    "PlanState",
+]
 
 
 Position = Union[int, float]
@@ -194,6 +199,10 @@ class EventIndex:
         self.built_to = 0
         self.unusable = False
 
+    def _truth_range(self, trace, start: int, stop: int) -> List[bool]:
+        """The event's truth in concrete states ``start..stop`` (1-based)."""
+        return [bool(self._eval(trace.state_at(pos))) for pos in range(start, stop + 1)]
+
     def ensure(self, trace, growing: bool) -> bool:
         """Extend the profile to the trace's current length.
 
@@ -208,8 +217,7 @@ class EventIndex:
         if self.built_to >= n:
             return True
         try:
-            for pos in range(self.built_to + 1, n + 1):
-                self.profile.append(bool(self._eval(trace.state_at(pos))))
+            self.profile.extend(self._truth_range(trace, self.built_to + 1, n))
         except Exception:
             self.unusable = True
             return False
@@ -266,6 +274,64 @@ class EventIndex:
         return None
 
 
+class ValueColumn:
+    """Per-position values of one state variable, shared by comparison atoms.
+
+    Every ``x == c`` / ``x != c`` event over the same variable ``x`` derives
+    its truth profile from one column of ``x``'s values, so a specification
+    comparing ``x`` against many constants reads each state exactly once
+    instead of once per constant.  The column extends incrementally with the
+    trace, like the indexes built on top of it.
+    """
+
+    __slots__ = ("name", "values", "built_to")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[Any] = []
+        self.built_to = 0
+
+    def ensure(self, trace) -> None:
+        """Extend the column to the trace's length (exceptions propagate:
+        the owning index turns them into its permanent scan fallback).
+
+        ``built_to`` advances one position at a time so a raising state
+        leaves the column consistent for the other indexes sharing it.
+        """
+        n = trace.length
+        name = self.name
+        while self.built_to < n:
+            value = trace.state_at(self.built_to + 1)[name]
+            self.values.append(value)
+            self.built_to += 1
+
+
+class ComparisonIndex(EventIndex):
+    """An endpoint index for ``x == c`` / ``x != c`` comparison atoms.
+
+    Same bisectable stem/cycle change lists as :class:`EventIndex`, but the
+    truth profile is derived from a shared :class:`ValueColumn` instead of
+    re-evaluating the comparison predicate (state lookup, expression
+    evaluation, operator dispatch) per state per constant.
+    """
+
+    __slots__ = ("_column", "_cmp_op", "_constant")
+
+    def __init__(self, column: ValueColumn, cmp_op: str, constant: Any) -> None:
+        super().__init__(state_eval=None)
+        self._column = column
+        self._cmp_op = cmp_op
+        self._constant = constant
+
+    def _truth_range(self, trace, start: int, stop: int) -> List[bool]:
+        self._column.ensure(trace)
+        values = self._column.values
+        constant = self._constant
+        if self._cmp_op == "==":
+            return [bool(values[pos - 1] == constant) for pos in range(start, stop + 1)]
+        return [bool(values[pos - 1] != constant) for pos in range(start, stop + 1)]
+
+
 class PlanStats:
     """Work counters of one plan state (the monitor regression hooks)."""
 
@@ -317,8 +383,24 @@ class PlanState:
         self._volatile: Dict[Any, bool] = {}
         self._agg: Dict[Any, int] = {}
         self._indexes: Dict[Any, EventIndex] = {}
+        self._shared_indexes: Dict[Any, EventIndex] = {}
+        self._columns: Dict[str, ValueColumn] = {}
+        #: Event-search memo (static traces only): clauses of a multi-root
+        #: plan that share an interval term — the mutex A1 family all
+        #: searching the same ``x(i) <= cs(i)`` events — resolve each
+        #: (event, context, direction) search once.
+        self._event_memo: Dict[Any, Any] = {}
+        #: Whole-term construction memo (static traces only), keyed on the
+        #: term's free-slot signature: ``[I]α`` and ``[I]β`` nodes sharing
+        #: ``I`` construct each context once between them.
+        self._construct_memo: Dict[Any, Any] = {}
         self._tail: List[bool] = [False]
         self.stats = PlanStats()
+        # Closure-lowered dispatch: one bound closure per plan node, built
+        # once per state (see repro.compile.lower).
+        from .lower import bind_dispatch
+
+        self._ops = bind_dispatch(self)
 
     # -- public API ----------------------------------------------------------
 
@@ -336,7 +418,8 @@ class PlanState:
 
     @property
     def index_count(self) -> int:
-        return len(self._indexes)
+        """Distinct endpoint indexes built (aliased atoms share one)."""
+        return len(self._shared_indexes)
 
     def satisfies(self, env: Optional[Mapping[str, Any]] = None) -> bool:
         """``s |= α`` over the whole computation ``<1, ∞>``."""
@@ -346,6 +429,17 @@ class PlanState:
         self, lo: Position, hi: Position, env: Optional[Mapping[str, Any]] = None
     ) -> bool:
         """``<lo, hi> |= α`` under ``env`` (names outside the plan ignored)."""
+        return self.holds_node(self._plan.root, lo, hi, env)
+
+    def holds_node(
+        self,
+        nid: int,
+        lo: Position,
+        hi: Position,
+        env: Optional[Mapping[str, Any]] = None,
+    ) -> bool:
+        """``<lo, hi> |= node`` for any DAG node — multi-root plans evaluate
+        each clause through its own root id over the shared memo tables."""
         if self._trace.length == 0:
             raise TraceError(
                 "the plan state has no observed states yet; append at least "
@@ -358,7 +452,7 @@ class PlanState:
             if slot is not None:
                 self._slots[slot] = value
         try:
-            return self._holds(self._plan.root, int(lo), hi)
+            return self._holds(nid, int(lo), hi)
         finally:
             self._slots[:] = saved
 
@@ -438,13 +532,13 @@ class PlanState:
         except TypeError:
             key = None
         if not incremental:
-            value = self._dispatch(node, lo, hi)
+            value = self._ops[nid](lo, hi)
             if key is not None:
                 self._stable[key] = value
             return value
         self._tail.append(False)
         try:
-            value = self._dispatch(node, lo, hi)
+            value = self._ops[nid](lo, hi)
         finally:
             tail = self._tail.pop()
             if tail:
@@ -453,7 +547,7 @@ class PlanState:
             (self._volatile if tail else self._stable)[key] = value
         return value
 
-    def _junction(self, node, lo: int, hi: Position, deciding: bool) -> bool:
+    def _junction(self, a: int, b: int, lo: int, hi: Position, deciding: bool) -> bool:
         """``∧`` / ``∨`` with order-insensitive error behaviour.
 
         Normalization sorts commutative operands canonically, which can
@@ -466,7 +560,7 @@ class PlanState:
         evaluator-error cases can become more defined.
         """
         error: Optional[Exception] = None
-        for child in (node.a, node.b):
+        for child in (a, b):
             try:
                 if self._holds(child, lo, hi) is deciding:
                     return deciding
@@ -487,42 +581,6 @@ class PlanState:
             if tail:
                 self._tail[-1] = True
         return value, tail
-
-    def _dispatch(self, node, lo: int, hi: Position) -> bool:
-        op = node.op
-        if op == N_ATOM:
-            return node.predicate.holds(self._trace.state_at(lo), self._env_view(node))
-        if op == N_TRUE:
-            return True
-        if op == N_FALSE:
-            return False
-        if op == N_NOT:
-            return not self._holds(node.a, lo, hi)
-        if op == N_AND:
-            return self._junction(node, lo, hi, deciding=False)
-        if op == N_OR:
-            return self._junction(node, lo, hi, deciding=True)
-        if op == N_IMPLIES:
-            return (not self._holds(node.a, lo, hi)) or self._holds(node.b, lo, hi)
-        if op == N_IFF:
-            return self._holds(node.a, lo, hi) == self._holds(node.b, lo, hi)
-        if op == N_EVENTUALLY:
-            return self._holds_suffixes(node, lo, hi, want=True)
-        if op == N_ALWAYS:
-            return self._holds_suffixes(node, lo, hi, want=False)
-        if op == N_INTERVAL:
-            found = self._construct(node.term, Interval(lo, hi), Direction.FORWARD)
-            if found is BOTTOM:
-                return True
-            return self._holds(node.a, found.lo, found.hi)
-        if op == N_OCCURS:
-            found = self._construct(node.term, Interval(lo, hi), Direction.FORWARD)
-            return found is not BOTTOM
-        if op == N_FORALL:
-            return self._holds_forall(node, lo, hi)
-        if op == N_BINDNEXT:
-            return self._holds_bindnext(node, lo, hi)
-        raise EvaluationError(f"unknown plan node: {node!r}")
 
     # -- [] / <> -------------------------------------------------------------
 
@@ -642,6 +700,34 @@ class PlanState:
 
     # -- the construction function F ----------------------------------------
 
+    def _construct_interval(self, tid: int, lo: int, hi: Position):
+        """``F(term, <lo, hi>)`` with whole-term memoization (static traces).
+
+        This is the entry the ``[I]α`` / ``*I`` closures call: the result
+        is a pure function of the term, its free-slot bindings and the
+        context, so interval-formula nodes that share a term — different
+        clause bodies over the same skeleton — construct each context once.
+        Incremental prefixes bypass the memo (results there carry
+        tail-dependence).
+        """
+        if self._incremental:
+            return self._construct(tid, Interval(lo, hi), Direction.FORWARD)
+        term = self._terms[tid]
+        key: Optional[Tuple[Any, ...]] = None
+        try:
+            envkey = tuple(self._slots[s] for s in term.free_slots)
+            key = (tid, lo, hi, envkey)
+        except TypeError:
+            key = None
+        if key is not None:
+            hit = self._construct_memo.get(key, _MISS)
+            if hit is not _MISS:
+                return hit
+        found = self._construct(tid, Interval(lo, hi), Direction.FORWARD)
+        if key is not None:
+            self._construct_memo[key] = found
+        return found
+
     def _construct(self, tid: int, context: Optional[Interval], direction: str):
         if context is BOTTOM:
             return BOTTOM
@@ -760,19 +846,96 @@ class PlanState:
             raise error
         return not deciding
 
+    def _comparison_parts(self, node) -> Optional[Tuple[str, str, Any]]:
+        """``(variable, op, constant)`` for an indexable comparison atom.
+
+        Recognizes ``x == c`` / ``x != c`` (either orientation) where one
+        side is a state variable and the other a literal constant or a
+        *bound* logical variable; anything else falls back to the generic
+        event index.
+        """
+        if node.op != N_ATOM:
+            return None
+        predicate = node.predicate
+        if not isinstance(predicate, Cmp) or predicate.op not in ("==", "!="):
+            return None
+        left, right = predicate.left, predicate.right
+        if isinstance(left, Var):
+            variable, other = left, right
+        elif isinstance(right, Var):
+            variable, other = right, left
+        else:
+            return None
+        if isinstance(other, Const):
+            return variable.name, predicate.op, other.value
+        if isinstance(other, LogicalVar):
+            slot = self._plan.slot_of.get(other.name)
+            if slot is not None:
+                value = self._slots[slot]
+                if value is not UNSET:
+                    return variable.name, predicate.op, value
+        return None
+
+    def _index_key(self, node, envkey: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """The event-index cache key — *semantic* where cheaply possible.
+
+        Distinct atom nodes that ground to the same predicate under the
+        current bindings share one index: ``at Enq(?a)`` with ``a = v`` and
+        ``at Enq(?b)`` with ``b = v`` profile identically, as do ``x == ?a``
+        and ``x == ?b`` — the pattern of every quantified specification
+        clause family.  Non-atom events fall back to structural identity
+        (hash-consing already unifies those).
+        """
+        if node.op == N_ATOM:
+            parts = self._comparison_parts(node)
+            if parts is not None:
+                return ("cmp",) + parts
+            predicate = node.predicate
+            if (
+                isinstance(predicate, (OpAt, OpIn, OpAfter))
+                and predicate.args
+                and not any(arg.state_vars() for arg in predicate.args)
+            ):
+                env = self._env_view(node)
+                try:
+                    values = tuple(arg.evaluate({}, env) for arg in predicate.args)
+                except Exception:
+                    return (node.id, envkey)
+                return ("op", predicate.PHASES, predicate.operation, values)
+        return (node.id, envkey)
+
     def _index_for(self, event_nid: int, node) -> Optional[EventIndex]:
+        # Fast path: structural (node, bindings) key, hit on every search
+        # after the first.  On a miss the semantic key decides whether an
+        # equivalent index already exists before building a new one.
         try:
             envkey = tuple(self._slots[s] for s in node.free_slots)
-            key = (event_nid, envkey)
-            index = self._indexes.get(key)
+            fast_key = (event_nid, envkey)
+            index = self._indexes.get(fast_key)
         except TypeError:
             return None
         if index is None:
-            env = self._env_view(node)
-            index = EventIndex(
-                lambda state: self._state_truth(event_nid, state, env)
-            )
-            self._indexes[key] = index
+            try:
+                shared_key = self._index_key(node, envkey)
+                index = self._shared_indexes.get(shared_key)
+            except TypeError:
+                return None
+            if index is None:
+                parts = self._comparison_parts(node)
+                if parts is not None:
+                    variable, cmp_op, constant = parts
+                    column = self._columns.get(variable)
+                    if column is None:
+                        column = ValueColumn(variable)
+                        self._columns[variable] = column
+                    index = ComparisonIndex(column, cmp_op, constant)
+                else:
+                    env = self._env_view(node)
+                    index = EventIndex(
+                        lambda state: self._state_truth(event_nid, state, env)
+                    )
+                self._shared_indexes[shared_key] = index
+            self._indexes[fast_key] = index
         if not index.ensure(self._trace, self._incremental):
             return None
         return index
@@ -780,18 +943,43 @@ class PlanState:
     def _find_event(
         self, event_nid: int, context: Optional[Interval], direction: str
     ):
-        """The changeset search of Chapter 3 (first/last False→True event)."""
+        """The changeset search of Chapter 3 (first/last False→True event).
+
+        On a static trace the search result is a pure function of the event
+        node, its free-slot bindings, the context and the direction, so it
+        memoizes — sharing searches across the clauses of a multi-root plan
+        and across repeated constructions of a shared interval term.
+        (Incremental prefixes skip the memo: results there carry
+        tail-dependence the memo cannot represent.)
+        """
         if context is BOTTOM:
             return BOTTOM
         i, j = context.lo, context.hi
+        node = self._nodes[event_nid]
+        key: Optional[Tuple[Any, ...]] = None
+        if not self._incremental:
+            try:
+                envkey = tuple(self._slots[s] for s in node.free_slots)
+                key = (event_nid, i, j, direction, envkey)
+            except TypeError:
+                key = None
+            if key is not None:
+                hit = self._event_memo.get(key, _MISS)
+                if hit is not _MISS:
+                    return hit
         trace = self._trace
         bound = trace.scan_bound(i, j)
-        node = self._nodes[event_nid]
         if node.is_state:
             index = self._index_for(event_nid, node)
             if index is not None:
-                return self._find_event_indexed(index, i, j, bound, direction)
-        return self._find_event_scan(event_nid, i, j, bound, direction)
+                found = self._find_event_indexed(index, i, j, bound, direction)
+                if key is not None:
+                    self._event_memo[key] = found
+                return found
+        found = self._find_event_scan(event_nid, i, j, bound, direction)
+        if key is not None:
+            self._event_memo[key] = found
+        return found
 
     def _find_event_indexed(
         self, index: EventIndex, i: int, j: Position, bound: int, direction: str

@@ -116,6 +116,7 @@ class Specification:
         self.operations = OperationSet(operations or [])
         self._clauses: List[Clause] = []
         self._names: Dict[str, int] = {}
+        self._digest: Optional[str] = None
         if include_lifecycle_axioms:
             for op in self.operations:
                 for index, axiom in enumerate(op.axioms(), start=1):
@@ -130,6 +131,7 @@ class Specification:
             )
         self._names[clause.name] = len(self._clauses)
         self._clauses.append(clause)
+        self._digest = None  # the cached content digest is now stale
 
     def add_init(self, name: str, formula: Formula, comment: str = "") -> "Specification":
         """Add an Init clause (interpreted as ``start ⊃ formula``)."""
@@ -164,6 +166,26 @@ class Specification:
     def formulas(self) -> List[Formula]:
         """The interpreted formulas of every clause, in declaration order."""
         return [c.interpreted_formula() for c in self._clauses]
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the interpreted clauses (cached until a clause
+        is added).
+
+        Two specifications with the same clause names and (structurally)
+        the same interpreted formulas share a digest.  The hashing is the
+        same :func:`~repro.compile.specplan.spec_digest` the compile layer
+        applies to multi-root plans (minus the per-request domain shape the
+        plan cache appends), so external tooling can use it as a stable
+        spec identity that lines up with compiled-plan digests.
+        """
+        if self._digest is None:
+            from ..compile.specplan import spec_digest
+
+            self._digest = spec_digest(
+                [(c.name, c.interpreted_formula()) for c in self._clauses]
+            )
+        return self._digest
 
     def __len__(self) -> int:
         return len(self._clauses)

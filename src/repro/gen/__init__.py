@@ -30,11 +30,12 @@ from .corpus import (
     build_catalogue_corpus,
     build_faulty_corpus,
     build_spec_corpus,
+    build_spec_plan_corpus,
     load_corpus_dir,
     replay_corpus,
     seed_builtin_corpora,
 )
-from .fuzz import FuzzConfig, fuzz, gen_case, gen_cases
+from .fuzz import FuzzConfig, fuzz, gen_case, gen_cases, gen_spec_case
 from .generators import (
     RandomSystem,
     ScenarioProfile,
@@ -62,6 +63,7 @@ __all__ = [
     "build_catalogue_corpus",
     "build_faulty_corpus",
     "build_spec_corpus",
+    "build_spec_plan_corpus",
     "load_corpus_dir",
     "replay_corpus",
     "seed_builtin_corpora",
@@ -69,6 +71,7 @@ __all__ = [
     "fuzz",
     "gen_case",
     "gen_cases",
+    "gen_spec_case",
     "RandomSystem",
     "ScenarioProfile",
     "gen_expr",

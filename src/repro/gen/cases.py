@@ -16,7 +16,13 @@ Case kinds mirror the façade's questions:
     is the formula valid? (bounded engine; tableau when the formula is in
     the LTL fragment);
 ``"satisfiability"``
-    is the formula satisfiable? (bounded + tableau + lll).
+    is the formula satisfiable? (bounded + tableau + lll);
+``"spec"``
+    a multi-clause specification on one computation: every clause is
+    checked per-clause by the trace and compiled engines *and* as one
+    multi-root :class:`~repro.compile.specplan.SpecPlan`, and the three
+    per-clause verdict vectors must agree (``clauses`` holds the clause
+    formulas; ``formula`` is unused).
 
 Traces are stored either inline (``rows`` / ``operations`` / ``loop_start``
 — exactly the arguments of :func:`repro.semantics.trace.make_trace`) or as
@@ -43,7 +49,7 @@ from ..syntax.pretty import to_ascii
 __all__ = ["CASE_KINDS", "Case", "TraceSpec", "SYSTEM_FACTORIES", "load_corpus", "save_corpus"]
 
 
-CASE_KINDS = ("trace", "validity", "satisfiability")
+CASE_KINDS = ("trace", "validity", "satisfiability", "spec")
 
 
 def _system_factories() -> Dict[str, Any]:
@@ -192,6 +198,8 @@ class Case:
     max_length: int = 3
     include_lassos: bool = True
     variables: Optional[List[str]] = None
+    #: Clause formulas of a ``"spec"`` case (concrete syntax, in order).
+    clauses: Optional[List[str]] = None
     expect: Optional[Dict[str, Optional[bool]]] = None
     note: str = ""
 
@@ -200,9 +208,19 @@ class Case:
             raise ValueError(f"kind must be one of {CASE_KINDS}, got {self.kind!r}")
         if isinstance(self.formula, Formula):
             self.formula = to_ascii(self.formula)
+        if self.clauses is not None:
+            self.clauses = [
+                to_ascii(clause) if isinstance(clause, Formula) else clause
+                for clause in self.clauses
+            ]
+        if self.kind == "spec" and not self.clauses:
+            raise ValueError("spec cases need a non-empty clauses list")
 
     def parsed_formula(self) -> Formula:
         return parse_formula(self.formula)
+
+    def parsed_clauses(self) -> List[Formula]:
+        return [parse_formula(clause) for clause in self.clauses or []]
 
     def built_trace(self) -> Optional[Trace]:
         return self.trace.build() if self.trace is not None else None
@@ -220,7 +238,9 @@ class Case:
             payload["trace"] = self.trace.to_json()
         if self.domain is not None:
             payload["domain"] = self.domain
-        if self.kind != "trace":
+        if self.clauses is not None:
+            payload["clauses"] = self.clauses
+        if self.kind not in ("trace", "spec"):
             payload["max_length"] = self.max_length
             payload["include_lassos"] = self.include_lassos
             if self.variables is not None:
@@ -236,13 +256,14 @@ class Case:
         trace = payload.get("trace")
         return Case(
             kind=payload["kind"],
-            formula=payload["formula"],
+            formula=payload.get("formula", ""),
             id=payload.get("id", ""),
             trace=TraceSpec.from_json(trace) if trace is not None else None,
             domain=payload.get("domain"),
             max_length=payload.get("max_length", 3),
             include_lassos=payload.get("include_lassos", True),
             variables=payload.get("variables"),
+            clauses=payload.get("clauses"),
             expect=payload.get("expect"),
             note=payload.get("note", ""),
         )

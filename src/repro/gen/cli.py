@@ -3,7 +3,7 @@
 Three subcommands::
 
     python -m repro.gen fuzz --seed 7 --cases 500 [--processes N]
-        [--save-failures PATH]
+        [--specs] [--save-failures PATH]
     python -m repro.gen replay [PATH ...]        # files or directories
     python -m repro.gen corpus [--list] [--seed-builtin] [--dir DIR]
 
@@ -52,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="length bound handed to the decision engines "
                                "(nightly sweeps raise it; the boolean "
                                "enumeration is exponential in it)")
+    fuzz_cmd.add_argument("--specs", action="store_true",
+                          help="generate multi-clause specification cases and "
+                               "pit the multi-root SpecPlan path against the "
+                               "per-clause trace/compiled engines")
     fuzz_cmd.add_argument("--no-shrink", action="store_true",
                           help="report disagreements without minimizing them")
     fuzz_cmd.add_argument("--save-failures", metavar="PATH", default=None,
@@ -86,6 +90,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_trace_states=args.max_states,
         max_formula_size=args.formula_size,
         max_length=args.max_length,
+        specs=args.specs,
     )
     oracle = DifferentialOracle(shrink=not args.no_shrink)
     report = fuzz(config, oracle=oracle, processes=args.processes)

@@ -12,7 +12,12 @@ under ``tests/corpus/``:
 * ``faulty_traces.jsonl`` — the same specifications on fault-injected runs
   of the four case-study simulators (queues, arbiter / request-ack
   handshake, AB protocol, mutex), pinning the ``False`` verdicts so every
-  engine keeps *detecting* the violations.
+  engine keeps *detecting* the violations;
+* ``spec_plans.jsonl`` — whole specifications as multi-clause ``"spec"``
+  cases: every replay re-checks that the multi-root
+  :class:`~repro.compile.specplan.SpecPlan` path agrees clause-for-clause
+  with the per-clause trace and compiled engines.  Nightly ``fuzz --specs``
+  sweeps append any new disagreement here.
 
 Seeding records each engine's verdict in the case's ``expect`` mapping via
 :meth:`~repro.gen.oracle.DifferentialOracle.record_expectations`, so a
@@ -36,6 +41,7 @@ __all__ = [
     "build_catalogue_corpus",
     "build_spec_corpus",
     "build_faulty_corpus",
+    "build_spec_plan_corpus",
     "seed_builtin_corpora",
     "corpus_files",
     "load_corpus_dir",
@@ -205,6 +211,41 @@ def build_faulty_corpus(oracle: Optional[DifferentialOracle] = None) -> List[Cas
     return cases
 
 
+def build_spec_plan_corpus(oracle: Optional[DifferentialOracle] = None) -> List[Case]:
+    """Whole specifications as multi-clause spec cases with pinned verdicts.
+
+    One ``"spec"`` case per (specification, simulated system): all clauses
+    ride in the case's ``clauses`` list, so every replay evaluates them
+    through one multi-root :class:`~repro.compile.specplan.SpecPlan` *and*
+    per clause through the trace/compiled engines, pinning the per-clause
+    verdict vector of each path.  This family is where nightly
+    ``fuzz --specs`` sweeps archive new disagreements.
+    """
+    oracle = oracle or DifferentialOracle()
+    cases = []
+    for specification, system, args in _spec_systems():
+        clause_texts = []
+        for clause in specification.clauses:
+            formula = clause.interpreted_formula()
+            text = to_ascii(formula)
+            if parse_formula(text) != formula:  # pragma: no cover - guards new clauses
+                raise ValueError(
+                    f"clause {specification.name}/{clause.name} does not "
+                    "round-trip through the corpus text format"
+                )
+            clause_texts.append(text)
+        case = Case(
+            kind="spec",
+            formula="",
+            id=f"specplan/{specification.name}",
+            clauses=clause_texts,
+            trace=TraceSpec(system=system, args=dict(args)),
+            note=f"all {len(clause_texts)} clauses as one multi-root plan",
+        )
+        cases.append(oracle.record_expectations(case))
+    return cases
+
+
 def seed_builtin_corpora(
     directory: str = DEFAULT_CORPUS_DIR, oracle: Optional[DifferentialOracle] = None
 ) -> List[str]:
@@ -216,6 +257,7 @@ def seed_builtin_corpora(
         ("catalogue.jsonl", build_catalogue_corpus(oracle)),
         ("specs.jsonl", build_spec_corpus(oracle)),
         ("faulty_traces.jsonl", build_faulty_corpus(oracle)),
+        ("spec_plans.jsonl", build_spec_plan_corpus(oracle)),
     ):
         path = os.path.join(directory, name)
         save_corpus(path, cases)

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..syntax.builder import always, eventually, implies, land, lnot, lor
 from ..syntax.pretty import to_ascii
 from .cases import Case, TraceSpec
 from .generators import (
@@ -26,7 +27,7 @@ from .generators import (
 )
 from .oracle import DifferentialOracle, OracleReport
 
-__all__ = ["FuzzConfig", "gen_case", "gen_cases", "fuzz"]
+__all__ = ["FuzzConfig", "gen_case", "gen_cases", "gen_spec_case", "fuzz"]
 
 
 @dataclass
@@ -54,14 +55,80 @@ class FuzzConfig:
     #: interval logic is non-elementary in that nesting, so validity /
     #: satisfiability campaigns keep it shallow (trace cases nest freely).
     decision_interval_depth: int = 2
+    #: ``--specs`` mode: generate multi-clause specification cases pitting
+    #: the multi-root SpecPlan path against the per-clause engines.
+    specs: bool = False
+    #: Clause count bounds for generated spec cases.
+    min_spec_clauses: int = 2
+    max_spec_clauses: int = 4
     profile: ScenarioProfile = field(default_factory=ScenarioProfile)
     decision_profile: ScenarioProfile = field(
         default_factory=lambda: ScenarioProfile.propositional(("p", "q"))
     )
 
 
+def gen_spec_case(rng: random.Random, config: FuzzConfig, index: int = 0) -> Case:
+    """One random multi-clause specification case.
+
+    Clauses are combined from a small shared pool of generated formulas, so
+    subformulas deliberately recur across clauses — exactly the sharing the
+    multi-root :class:`~repro.compile.specplan.SpecPlan` exploits and the
+    oracle must prove harmless.
+    """
+    profile = config.profile
+    pool = [
+        gen_formula(
+            rng, profile,
+            size=rng.randint(2, max(2, config.max_formula_size // 2)),
+            fragment="rich",
+        )
+        for _ in range(rng.randint(2, 3))
+    ]
+
+    def combine():
+        a, b = rng.choice(pool), rng.choice(pool)
+        shape = rng.randrange(6)
+        if shape == 0:
+            return always(implies(a, b))
+        if shape == 1:
+            return eventually(land(a, b))
+        if shape == 2:
+            return implies(a, b)
+        if shape == 3:
+            return lor(a, lnot(b))
+        if shape == 4:
+            return always(a)
+        return a
+
+    clauses = [combine() for _ in range(
+        rng.randint(config.min_spec_clauses, config.max_spec_clauses)
+    )]
+    if rng.random() < config.system_trace_fraction:
+        trace = gen_system_trace(
+            rng, profile,
+            max_steps=config.max_trace_states + 3,
+            lasso_probability=config.lasso_probability,
+        )
+    else:
+        trace = gen_trace(
+            rng, profile,
+            max_states=config.max_trace_states,
+            lasso_probability=config.lasso_probability,
+        )
+    return Case(
+        kind="spec",
+        formula="",
+        id=f"fuzz-spec-{config.seed}-{index}",
+        clauses=[to_ascii(clause) for clause in clauses],
+        trace=TraceSpec.from_trace(trace),
+        domain=profile.domain() or None,
+    )
+
+
 def gen_case(rng: random.Random, config: FuzzConfig, index: int = 0) -> Case:
     """One random case (kind chosen by the configured weights)."""
+    if config.specs:
+        return gen_spec_case(rng, config, index)
     kinds = (
         ["trace"] * config.trace_weight
         + ["validity"] * config.validity_weight

@@ -23,7 +23,14 @@ soundness guarantees:
   :func:`~repro.ltl.translation.interval_to_ltl` translation;
 * **recorded verdicts reproduce** — a case carrying an ``expect`` mapping
   (the corpus regression format) must reproduce every recorded verdict
-  exactly.
+  exactly;
+* **spec plans agree clause-for-clause** — a ``"spec"`` case checks every
+  clause of a multi-clause specification three ways: per clause through
+  the ``trace`` engine, per clause through the ``compiled`` engine, and
+  all clauses at once through one multi-root
+  :class:`~repro.compile.specplan.SpecPlan` (the shared-subformula path
+  conformance campaigns run on); the three per-clause verdict vectors
+  must be identical.
 
 Disagreements are shrunk with :mod:`repro.gen.shrink` to a minimal
 replayable case.
@@ -225,6 +232,25 @@ class DifferentialOracle:
         prepared: List[Tuple[Case, Formula, Optional[Trace], List[CheckRequest]]] = []
         flat: List[CheckRequest] = []
         for case in cases:
+            if case.kind == "spec":
+                # Spec cases run in-process: the multi-root plan path is a
+                # session-level evaluation, not a single shippable request.
+                try:
+                    per_engine = self._spec_results(case)
+                except Exception as exc:
+                    report.disagreements.append(Disagreement(
+                        case=case,
+                        verdicts=[],
+                        reason=f"malformed case: {type(exc).__name__}: {exc}",
+                    ))
+                    continue
+                report.engine_runs += len(per_engine)
+                reason = self._judge_spec(case, per_engine)
+                if reason is not None:
+                    report.disagreements.append(
+                        self._disagreement(case, per_engine, reason)
+                    )
+                continue
             try:
                 formula = case.parsed_formula()
                 trace = case.built_trace()
@@ -243,7 +269,7 @@ class DifferentialOracle:
             prepared.append((case, formula, trace, requests))
             flat.extend(requests)
         results = self.session.check_many(flat, processes=processes, chunk_size=chunk_size)
-        report.engine_runs = len(results)
+        report.engine_runs += len(results)
         cursor = 0
         for case, formula, trace, requests in prepared:
             per_engine = {
@@ -260,12 +286,76 @@ class DifferentialOracle:
 
     def check_case(self, case: Case) -> Tuple[Optional[str], Dict[str, CheckResult]]:
         """Judge one case in-process; returns (disagreement reason, verdicts)."""
+        if case.kind == "spec":
+            per_engine = self._spec_results(case)
+            return self._judge_spec(case, per_engine), per_engine
         formula = case.parsed_formula()
         trace = case.built_trace()
         requests = self.requests_for(case, formula, trace)
         results = self.session.check_many(requests)
         per_engine = {r.label: result for r, result in zip(requests, results)}
         return self.judge(case, formula, trace, per_engine), per_engine
+
+    # -- spec cases ---------------------------------------------------------------
+
+    def _spec_results(self, case: Case) -> Dict[str, CheckResult]:
+        """Per-clause results under keys ``trace[i]`` / ``compiled[i]`` /
+        ``specplan[i]`` — the three paths a specification clause can take."""
+        from ..core.specification import Specification
+
+        clauses = case.clauses or []
+        trace = case.built_trace()
+        if trace is None:
+            raise ValueError("spec cases need a trace")
+        per_engine: Dict[str, CheckResult] = {}
+        for engine in ("trace", "compiled"):
+            for index, text in enumerate(clauses):
+                label = f"{engine}[{index}]"
+                per_engine[label] = self.session.check(
+                    text, mode=engine, trace=trace, domain=case.domain,
+                    capture_errors=True, label=label,
+                )
+        specification = Specification(case.id or "fuzz-spec")
+        for index, formula in enumerate(case.parsed_clauses()):
+            specification.add_axiom(f"c{index}", formula)
+        result = self.session.check_spec(
+            specification, trace, domain=case.domain, compiled=True
+        )
+        for index, verdict in enumerate(result.verdicts):
+            label = f"specplan[{index}]"
+            per_engine[label] = CheckResult(
+                verdict=None if verdict.error else verdict.holds,
+                engine="specplan",
+                request=CheckRequest(
+                    formula=clauses[index], trace=case.trace, label=label
+                ),
+                error=verdict.error,
+            )
+        return per_engine
+
+    def _judge_spec(
+        self, case: Case, per_engine: Dict[str, CheckResult]
+    ) -> Optional[str]:
+        """The disagreement reason for a multi-clause spec case."""
+        errors = {name: r.error for name, r in per_engine.items() if r.error}
+        if errors:
+            return f"engine error(s): {errors}"
+        if case.expect:
+            for engine, expected in case.expect.items():
+                result = per_engine.get(engine)
+                if result is not None and result.verdict is not expected:
+                    return (
+                        f"{engine} verdict {result.verdict} differs from the "
+                        f"recorded {expected}"
+                    )
+        for index in range(len(case.clauses or [])):
+            verdicts = {
+                path: per_engine[f"{path}[{index}]"].verdict
+                for path in ("trace", "compiled", "specplan")
+            }
+            if len(set(verdicts.values())) > 1:
+                return f"clause {index} verdicts disagree: {verdicts}"
+        return None
 
     def record_expectations(self, case: Case) -> Case:
         """The case with every engine's current verdict recorded as ``expect``.
@@ -435,7 +525,9 @@ class DifferentialOracle:
             for name, result in sorted(per_engine.items())
         ]
         shrunk = None
-        if self.shrink:
+        # Spec cases are judged as a whole (the shrinker's formula/trace
+        # moves are per-formula), so they are reported unshrunk.
+        if self.shrink and case.kind != "spec":
             from .shrink import shrink_case
 
             # A candidate must preserve the failure *class*: a shrink step

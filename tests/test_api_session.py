@@ -72,12 +72,28 @@ class TestCoercion:
 
 
 class TestDispatch:
-    def test_trace_engine_when_a_trace_is_given(self):
+    def test_compiled_engine_when_a_trace_is_given(self):
         result = Session().check("<> x == 2", trace=ROWS)
         assert isinstance(result, CheckResult)
-        assert result.engine == "trace"
+        assert result.engine == "compiled"  # the default trace-backed path
         assert result.verdict is True
         assert result.wall_time_s >= 0.0
+        assert result.engine_reason == \
+            "trace-backed; session prefer_compiled → compiled"
+
+    def test_trace_engine_on_opt_out(self):
+        result = Session().check("<> x == 2", trace=ROWS, compile=False)
+        assert result.engine == "trace"
+        assert result.verdict is True
+        assert result.engine_reason == \
+            "trace-backed; request compile=False → trace"
+
+    def test_engine_reason_on_non_trace_requests(self):
+        tableau = Session().check("[] (p -> <> q) /\\ <> p -> <> q")
+        assert tableau.engine_reason == \
+            "no trace; LTL-fragment interval formula → tableau"
+        explicit = Session().check("<> p -> <> p", mode="bounded", max_length=2)
+        assert explicit.engine_reason == "explicit mode='bounded'"
 
     def test_ltl_fragment_goes_to_the_tableau(self):
         result = Session().check("[] (p -> <> q) /\\ <> p -> <> q")
@@ -227,11 +243,39 @@ class TestBatching:
     def test_clear_caches_releases_shared_evaluators(self):
         session = Session()
         trace = make_trace(ROWS)
-        session.check("<> x == 2", trace=trace)
+        session.check("<> x == 2", trace=trace, compile=False)
         assert session._evaluators
         session.clear_caches()
         assert not session._evaluators and not session._trace_refs
         assert session.check("<> x == 2", trace=trace).verdict is True
+
+    def test_clear_caches_drops_plan_states_and_resets_statistics(self):
+        """Regression: plan-state caches must actually drop on clear and the
+        plan-cache counters must reset — statistics always describe the
+        current cache generation."""
+        from repro.specs import mutex_spec
+        from repro.systems import mutex_trace
+
+        session = Session()
+        trace = make_trace(ROWS)
+        session.check("<> x == 2", trace=trace)          # compiled by default
+        session.check("<> x == 2", trace=trace)          # a cache hit
+        session.check_spec(mutex_spec(2), mutex_trace(2, entries=2, seed=0))
+        assert session._plan_states and session._spec_plans
+        before = session.plan_cache.statistics()
+        assert before["plan_cache_hits"] > 0 and before["plan_cache_misses"] > 0
+        session.clear_caches()
+        assert not session._plan_states
+        assert not session._spec_plans and not session._spec_plan_failures
+        stats = session.plan_cache.statistics()
+        assert stats["plan_cache_size"] == 0
+        assert stats["plan_cache_hits"] == 0
+        assert stats["plan_cache_misses"] == 0
+        assert stats["plan_cache_evictions"] == 0
+        assert stats["plan_compile_time_s"] == 0.0
+        # The session still answers (and repopulates) after clearing.
+        assert session.check("<> x == 2", trace=trace).verdict is True
+        assert session.plan_cache.statistics()["plan_cache_misses"] == 1
 
     def test_bad_chunk_size_raises_instead_of_degrading(self):
         with pytest.raises(CheckRequestError):

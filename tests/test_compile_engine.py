@@ -40,19 +40,21 @@ class TestCompiledEngine:
         assert result.statistics["plan_nodes"] > 0
         assert result.statistics["plan_from_cache"] is False
 
-    def test_auto_dispatch_default_stays_on_trace(self):
-        assert Session().check("<> x == 2", trace=ROWS).engine == "trace"
+    def test_auto_dispatch_defaults_to_compiled(self):
+        result = Session().check("<> x == 2", trace=ROWS)
+        assert result.engine == "compiled"
+        assert "prefer_compiled" in (result.engine_reason or "")
 
     def test_request_compile_option_routes_to_compiled(self):
         session = Session()
         assert session.check("<> x == 2", trace=ROWS, compile=True).engine == "compiled"
         assert session.check("<> x == 2", trace=ROWS, compile=False).engine == "trace"
 
-    def test_session_prefer_compiled(self):
-        session = Session(prefer_compiled=True)
-        assert session.check("<> x == 2", trace=ROWS).engine == "compiled"
-        # A request-level compile=False still wins.
-        assert session.check("<> x == 2", trace=ROWS, compile=False).engine == "trace"
+    def test_session_prefer_compiled_opt_out(self):
+        session = Session(prefer_compiled=False)
+        assert session.check("<> x == 2", trace=ROWS).engine == "trace"
+        # A request-level compile=True still wins.
+        assert session.check("<> x == 2", trace=ROWS, compile=True).engine == "compiled"
         # Explicit modes are untouched.
         assert session.check("<> x == 2", trace=ROWS, mode="monitor").engine == "monitor"
 
