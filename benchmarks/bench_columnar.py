@@ -1,0 +1,115 @@
+"""Trajectory gate: vectorized columnar checking on a 100k-state trace.
+
+The columnar refactor's whole point is that state formulas over a long
+trace answer as whole-column bitset operations instead of per-position
+dispatch.  This benchmark builds a >= 100k-state trace, checks a family of
+state/temporal formulas through the same compiled plan twice — once with
+the :class:`~repro.compile.vector.BitsetKernel` (the default binding) and
+once with ``vectorize=False`` (the per-position memo path) — asserts
+verdict parity per formula, gates on an aggregate >= 3x speedup, and
+records the point in ``BENCH_columnar.json`` at the repo root: the first
+series of the ROADMAP's benchmark-trajectory convention, one committed
+entry per PR that moves the number.
+"""
+
+import json
+import os
+import time
+
+from repro.compile import compile_formula
+from repro.semantics.state import State
+from repro.semantics.trace import Trace
+from repro.syntax.parser import parse_formula
+
+#: >= 100k concrete states, with a small loop so the cycle machinery is in
+#: the measured path too (stem 99,990 + cycle 12).
+STEM_STATES = 99_990
+CYCLE_STATES = 12
+
+#: Pure state/temporal formulas the kernel vectorizes end to end.  The mix
+#: covers boolean columns, comparisons both satisfied and refuted,
+#: ``[]``/``<>`` directly over state formulas, and connective combinations.
+FORMULAS = [
+    "[] (p -> (q \\/ x != 3))",
+    "<> (x == 7 /\\ p)",
+    "[] (x >= 0)",
+    "<> (x == 11)",
+    "[] ((p /\\ q) -> x < 9)",
+    "[] (~p \\/ ~q \\/ x == 0 \\/ x == 2 \\/ x == 4 \\/ x == 6 \\/ x == 8)",
+]
+
+SERIES_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_columnar.json")
+SERIES_LABEL = "columnar-v1"
+
+
+def build_trace():
+    """A deterministic >=100k-state lasso over two booleans and one int."""
+    states = [
+        State({"p": i % 2 == 0, "q": i % 3 == 0, "x": (i * 7 + i // 13) % 10})
+        for i in range(STEM_STATES + CYCLE_STATES)
+    ]
+    return Trace(states, loop_start=STEM_STATES + 1)
+
+
+def record_point(row):
+    """Append/refresh this gate's entry in the committed trajectory series."""
+    series = []
+    if os.path.exists(SERIES_PATH):
+        with open(SERIES_PATH) as handle:
+            series = json.load(handle)
+    entry = {"label": SERIES_LABEL, **row}
+    for index, existing in enumerate(series):
+        if existing.get("label") == SERIES_LABEL:
+            series[index] = entry
+            break
+    else:
+        series.append(entry)
+    with open(SERIES_PATH, "w") as handle:
+        json.dump(series, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_vectorized_speedup_on_100k_states(benchmark):
+    """Vectorized >= 3x vs per-position compiled on a >=100k-state trace."""
+    trace = build_trace()
+    assert trace.length >= 100_000
+    plans = [compile_formula(parse_formula(text)) for text in FORMULAS]
+
+    def sweep():
+        vectorized_s = per_position_s = 0.0
+        rows = []
+        for text, plan in zip(FORMULAS, plans):
+            started = time.perf_counter()
+            # Binding is inside the window: the kernel pass over the
+            # columns is part of the vectorized path's real cost.
+            vectorized = plan.evaluator(trace).satisfies()
+            vec_elapsed = time.perf_counter() - started
+
+            started = time.perf_counter()
+            per_position = plan.evaluator(trace, vectorize=False).satisfies()
+            per_elapsed = time.perf_counter() - started
+
+            assert vectorized is per_position, text  # verdict parity, in-gate
+            vectorized_s += vec_elapsed
+            per_position_s += per_elapsed
+            rows.append({
+                "formula": text,
+                "verdict": vectorized,
+                "vectorized_ms": round(vec_elapsed * 1000.0, 3),
+                "per_position_ms": round(per_elapsed * 1000.0, 3),
+            })
+        return {
+            "states": trace.length,
+            "formulas": len(FORMULAS),
+            "vectorized_ms": round(vectorized_s * 1000.0, 3),
+            "per_position_ms": round(per_position_s * 1000.0, 3),
+            "speedup": round(per_position_s / vectorized_s, 2),
+            "per_formula": rows,
+        }
+
+    row = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["row"] = row
+    print()
+    print({k: v for k, v in row.items() if k != "per_formula"})
+    assert row["speedup"] >= 3.0, row
+    record_point({k: v for k, v in row.items() if k != "per_formula"})

@@ -173,7 +173,10 @@ def test_comparison_atom_index_speedup(benchmark):
         states = []
         for formula in formulas:
             started = time.perf_counter()
-            state = compile_formula(formula).evaluator(trace)
+            # vectorize=False pins the shared-ValueColumn machinery this
+            # benchmark is about; the default kernel path has its own
+            # benchmark in bench_columnar.py.
+            state = compile_formula(formula).evaluator(trace, vectorize=False)
             for _ in range(30):
                 compiled_verdicts.append(state.satisfies())
             compiled_s += time.perf_counter() - started

@@ -1,12 +1,13 @@
 """The pluggable checking engines behind the façade.
 
-Six engines wrap the underlying subsystems, one per decision style:
+Seven engines wrap the underlying subsystems, one per decision style:
 
 ========  =====================================================  ==========
 name      wraps                                                  question
 ========  =====================================================  ==========
 trace     :mod:`repro.semantics.evaluator`                       s ⊨ α on one trace
-compiled  :mod:`repro.compile`                                   s ⊨ α via a cached evaluation plan
+compiled  :mod:`repro.compile`                                   s ⊨ α via a cached evaluation plan (vectorized)
+stepwise  :mod:`repro.compile`                                   the same plan with the bitset kernel disabled
 bounded   :mod:`repro.core.bounded_checker`                      small-scope validity
 tableau   :mod:`repro.ltl.decision` + :mod:`repro.ltl.translation`  exact LTL-fragment validity
 lll       :mod:`repro.lll`                                       Appendix C bounded satisfiability
@@ -45,6 +46,7 @@ __all__ = [
     "EngineRegistry",
     "TraceEngine",
     "CompiledEngine",
+    "StepwiseEngine",
     "BoundedEngine",
     "TableauEngine",
     "LLLEngine",
@@ -185,11 +187,17 @@ class CompiledEngine(Engine):
 
     name = "compiled"
     capabilities = EngineCapabilities(needs_trace=True, exact=True)
+    #: Bind plan states in the vectorized (bitset-kernel) mode.  The
+    #: ``stepwise`` subclass flips this off, giving the differential
+    #: oracle a per-position compiled run to judge against.
+    vectorize = True
 
     def run(self, request: CheckRequest, session) -> CheckResult:
         formula = self._interval_formula(request)
         trace = session.resolve_trace(request.trace)
-        state, from_cache = session.plan_state(trace, formula, request.domain)
+        state, from_cache = session.plan_state(
+            trace, formula, request.domain, vectorize=self.vectorize
+        )
         plan = state.plan
         memo_before = state.memo_size
         dispatch_before = state.stats.dispatch_calls
@@ -210,6 +218,7 @@ class CompiledEngine(Engine):
             "memo_new_entries": state.memo_size - memo_before,
             "dispatch_calls": state.stats.dispatch_calls - dispatch_before,
             "event_indexes": state.index_count,
+            "vector_nodes": state.vector_node_count,
         }
         statistics.update(session.plan_cache.statistics())
         return CheckResult(
@@ -220,6 +229,21 @@ class CompiledEngine(Engine):
             statistics=statistics,
             details=plan,
         )
+
+
+class StepwiseEngine(CompiledEngine):
+    """The compiled runtime with the vectorized binding mode disabled.
+
+    Same plan cache, same closure-lowered dispatch, but every node runs
+    the per-position memo path — no bitset kernel, no whole-column
+    profiles.  Exists so the differential fuzzing oracle can judge the
+    vectorized runtime against an independent compiled execution (and so
+    callers can pin the per-position behaviour when benchmarking it).
+    """
+
+    name = "stepwise"
+    capabilities = EngineCapabilities(needs_trace=True, exact=True)
+    vectorize = False
 
 
 class BoundedEngine(Engine):
@@ -445,11 +469,12 @@ class EngineRegistry:
 
 
 def default_registry() -> EngineRegistry:
-    """A fresh registry holding the six standard engines."""
+    """A fresh registry holding the seven standard engines."""
     return EngineRegistry(
         [
             TraceEngine(),
             CompiledEngine(),
+            StepwiseEngine(),
             BoundedEngine(),
             TableauEngine(),
             LLLEngine(),

@@ -14,10 +14,28 @@ from __future__ import annotations
 import multiprocessing
 from typing import List, Optional, Sequence
 
+from ..semantics.trace import Trace
 from .request import CheckRequest
 from .result import CheckResult
 
 __all__ = ["run_chunked", "split_chunks"]
+
+
+def _prepare_columns(requests: Sequence[CheckRequest]) -> None:
+    """Build each distinct trace's column store once before pickling.
+
+    Traces pickle as their dictionary-encoded columns (never as
+    materialized ``State`` rows), so forcing the build here means every
+    chunk that shares a trace ships the same already-encoded payload and
+    no worker pays the encoding pass again — the columns are the wire
+    format, handed to workers as-is.
+    """
+    seen = set()
+    for request in requests:
+        trace = request.trace
+        if isinstance(trace, Trace) and id(trace) not in seen:
+            seen.add(id(trace))
+            trace.columns  # noqa: B018 — property builds and caches the store
 
 
 def split_chunks(
@@ -54,6 +72,7 @@ def run_chunked(
     chunks = split_chunks(requests, processes, chunk_size)
     if len(chunks) <= 1:
         return _run_chunk(list(requests))
+    _prepare_columns(requests)
     context = multiprocessing.get_context()
     with context.Pool(processes=min(processes, len(chunks))) as pool:
         chunk_results = pool.map(_run_chunk, chunks)

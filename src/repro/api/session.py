@@ -232,6 +232,7 @@ class Session:
         trace: Trace,
         formula: Any,
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        vectorize: bool = True,
     ):
         """The shared compiled plan state for ``(formula, trace, domain)``.
 
@@ -249,11 +250,11 @@ class Session:
         plan, from_cache = self.plan_cache.get(formula, domain)
         domain_key = _domain_key(domain)
         if domain_key is _UNCACHEABLE:
-            return plan.evaluator(trace, domain), from_cache
-        key = (plan.digest, id(trace), domain_key)
+            return plan.evaluator(trace, domain, vectorize=vectorize), from_cache
+        key = (plan.digest, id(trace), domain_key, bool(vectorize))
         state = self._plan_states.get(key)
         if state is None:
-            state = plan.evaluator(trace, domain)
+            state = plan.evaluator(trace, domain, vectorize=vectorize)
             self._plan_states[key] = state
             # Keep the trace alive so the id() key cannot be recycled.
             self._trace_refs[id(trace)] = trace
@@ -264,6 +265,7 @@ class Session:
         trace: Trace,
         specification,
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        vectorize: bool = True,
     ):
         """The shared multi-root plan state for ``(specification, trace, domain)``.
 
@@ -302,11 +304,11 @@ class Session:
                 while len(self._spec_plans) > self._SPEC_PLAN_IDENTITY_CAPACITY:
                     self._spec_plans.popitem(last=False)
         if domain_key is _UNCACHEABLE:
-            return plan.evaluator(trace, domain), from_cache
-        key = (plan.digest, id(trace), domain_key)
+            return plan.evaluator(trace, domain, vectorize=vectorize), from_cache
+        key = (plan.digest, id(trace), domain_key, bool(vectorize))
         state = self._plan_states.get(key)
         if state is None:
-            state = plan.evaluator(trace, domain)
+            state = plan.evaluator(trace, domain, vectorize=vectorize)
             self._plan_states[key] = state
             # Keep the trace alive so the id() key cannot be recycled.
             self._trace_refs[id(trace)] = trace

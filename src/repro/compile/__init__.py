@@ -29,6 +29,11 @@ stage                     paper anchor
                           node binds once to a Python closure over its
                           slots/memo/indexes, replacing the per-call
                           opcode chain
+:mod:`.vector`            :class:`BitsetKernel` — the vectorized binding
+                          mode over column-major traces: state formulas
+                          (and ``[]/<>`` directly over them) evaluate as
+                          whole-column packed-int bitset operations, and
+                          event change positions derive from bitset shifts
 :mod:`.runtime`           :class:`PlanState` — the Chapter 3 satisfaction
                           relation over slot-addressed environments, with
                           an interval-endpoint index over state-change
@@ -82,6 +87,7 @@ from .specplan import (
     compile_specification,
     spec_digest,
 )
+from .vector import BitsetKernel, bit_positions, changes_from_bits
 
 __all__ = [
     "normalize",
@@ -108,4 +114,7 @@ __all__ = [
     "ValueColumn",
     "ComparisonIndex",
     "UNSET",
+    "BitsetKernel",
+    "bit_positions",
+    "changes_from_bits",
 ]

@@ -177,17 +177,65 @@ _FACTORIES = {
 }
 
 
-def bind_dispatch(state) -> Tuple[Callable[[int, object], bool], ...]:
+def _vectorized(state, kernel, node, fallback):
+    """The vectorized binding of ``node``, or ``None`` to keep ``fallback``.
+
+    Two shapes bind to the kernel: a state formula itself (one cached-
+    profile bit test per call) and ``[] / <>`` directly over a state
+    formula (one mask test over the whole context per call).  The kernel
+    answers ``None`` whenever it cannot reproduce the per-position
+    semantics — an unbound logical variable, a variable missing somewhere,
+    an erroring comparison — and the closure then runs ``fallback``, the
+    node's ordinary per-position closure, preserving verdicts *and* error
+    behaviour exactly.
+    """
+    if node.is_state:
+        if not kernel.supports(node.id):
+            return None
+        holds_at = kernel.holds_at
+
+        def run(lo, hi):
+            verdict = holds_at(node, lo)
+            if verdict is None:
+                return fallback(lo, hi)
+            return verdict
+        return run
+    if node.op in (N_ALWAYS, N_EVENTUALLY):
+        child = state._nodes[node.a]
+        if not (child.is_state and kernel.supports(child.id)):
+            return None
+        query = kernel.always if node.op == N_ALWAYS else kernel.eventually
+
+        def run(lo, hi):
+            verdict = query(child, lo, hi)
+            if verdict is None:
+                return fallback(lo, hi)
+            return verdict
+        return run
+    return None
+
+
+def bind_dispatch(state) -> Tuple[Tuple[Callable[[int, object], bool], ...], frozenset]:
     """Lower every node of ``state``'s plan to a bound closure.
 
     Returns the node-id-indexed dispatch table ``PlanState._holds`` jumps
-    through.  An unknown opcode fails here, at binding time, instead of at
-    the first evaluation that reaches the node.
+    through, plus the frozenset of node ids bound to the vectorized
+    (bitset-kernel) mode — those ids take the memo-free fast path in
+    ``_holds``.  An unknown opcode fails here, at binding time, instead of
+    at the first evaluation that reaches the node.
     """
+    kernel = state._kernel
     ops: List[Callable] = []
+    vector_ids: List[int] = []
     for node in state._plan.nodes:
         factory = _FACTORIES.get(node.op)
         if factory is None:
             raise CompileError(f"cannot lower plan node: {node!r}")
-        ops.append(factory(state, node))
-    return tuple(ops)
+        closure = factory(state, node)
+        if kernel is not None:
+            vectorized = _vectorized(state, kernel, node, closure)
+            if vectorized is not None:
+                closure = vectorized
+                vector_ids.append(node.id)
+        ops.append(closure)
+    return tuple(ops), frozenset(vector_ids)

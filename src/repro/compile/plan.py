@@ -74,11 +74,21 @@ class CompiledPlan:
 
     # -- binding -------------------------------------------------------------
 
-    def evaluator(self, trace, domain: Optional[Mapping[str, Iterable[Any]]] = None):
-        """A :class:`PlanState` bound to a fixed (possibly lasso) trace."""
+    def evaluator(
+        self,
+        trace,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        vectorize: bool = True,
+    ):
+        """A :class:`PlanState` bound to a fixed (possibly lasso) trace.
+
+        ``vectorize=False`` disables the bitset kernel and forces the
+        per-position memo path for every node (the ``stepwise`` engine's
+        mode; verdicts are identical either way).
+        """
         from .runtime import PlanState
 
-        return PlanState(self, trace, domain=domain)
+        return PlanState(self, trace, domain=domain, vectorize=vectorize)
 
     def monitor(self, domain: Optional[Mapping[str, Iterable[Any]]] = None):
         """An incremental :class:`PlanState` over a growing state prefix."""

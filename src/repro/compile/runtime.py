@@ -43,8 +43,9 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 from ..errors import EvaluationError, TraceError
 from ..semantics.construction import BOTTOM, Direction, Interval
 from ..semantics.state import State
-from ..semantics.trace import INFINITY
+from ..semantics.trace import INFINITY, Trace
 from ..syntax.terms import Cmp, Const, LogicalVar, OpAfter, OpAt, OpIn, Var
+from .vector import BitsetKernel, changes_from_bits
 from .dag import (
     N_AND,
     N_ATOM,
@@ -333,16 +334,26 @@ class ComparisonIndex(EventIndex):
 
 
 class PlanStats:
-    """Work counters of one plan state (the monitor regression hooks)."""
+    """Work counters of one plan state (the monitor regression hooks).
 
-    __slots__ = ("dispatch_calls", "steps")
+    ``event_searches`` counts *actual* event searches — memo hits (stable
+    or volatile) don't increment it, so a monitor whose appends only redo
+    tail-dependent work shows a flat per-step search count.
+    """
+
+    __slots__ = ("dispatch_calls", "steps", "event_searches")
 
     def __init__(self) -> None:
         self.dispatch_calls = 0
         self.steps = 0
+        self.event_searches = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {"dispatch_calls": self.dispatch_calls, "steps": self.steps}
+        return {
+            "dispatch_calls": self.dispatch_calls,
+            "steps": self.steps,
+            "event_searches": self.event_searches,
+        }
 
 
 class PlanState:
@@ -362,6 +373,16 @@ class PlanState:
     incremental:
         Enable tail-dependence tracking and frontier aggregators for
         monitoring a growing prefix.
+    vectorize:
+        Enable the vectorized binding mode: pure state formulas (and
+        ``[] / <>`` directly over them) evaluate as whole-column bitset
+        operations through a :class:`~repro.compile.vector.BitsetKernel`,
+        and state-formula event indexes derive their change positions from
+        bitset shifts.  Only takes effect on a static
+        :class:`~repro.semantics.trace.Trace`; incremental prefixes always
+        use the per-position path.  Verdicts and error behaviour are
+        identical either way — the kernel falls back per node whenever it
+        cannot reproduce the per-position semantics bit-for-bit.
     """
 
     def __init__(
@@ -370,6 +391,7 @@ class PlanState:
         trace,
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
         incremental: bool = False,
+        vectorize: bool = True,
     ) -> None:
         self._plan = plan
         self._nodes = plan.nodes
@@ -390,17 +412,26 @@ class PlanState:
         #: searching the same ``x(i) <= cs(i)`` events — resolve each
         #: (event, context, direction) search once.
         self._event_memo: Dict[Any, Any] = {}
-        #: Whole-term construction memo (static traces only), keyed on the
-        #: term's free-slot signature: ``[I]α`` and ``[I]β`` nodes sharing
-        #: ``I`` construct each context once between them.
+        #: Whole-term construction memo, keyed on the term's free-slot
+        #: signature: ``[I]α`` and ``[I]β`` nodes sharing ``I`` construct
+        #: each context once between them.  On a growing prefix this holds
+        #: only tail-*independent* results (frozen forever); tail-dependent
+        #: ones go to the volatile twin below, cleared per append.
         self._construct_memo: Dict[Any, Any] = {}
+        self._volatile_events: Dict[Any, Any] = {}
+        self._volatile_constructs: Dict[Any, Any] = {}
         self._tail: List[bool] = [False]
         self.stats = PlanStats()
+        # The bitset kernel evaluates state formulas columnwise; profiles
+        # are whole-trace facts, so only a static Trace qualifies.
+        self._kernel: Optional[BitsetKernel] = None
+        if vectorize and not incremental and isinstance(trace, Trace):
+            self._kernel = BitsetKernel(self, trace)
         # Closure-lowered dispatch: one bound closure per plan node, built
         # once per state (see repro.compile.lower).
         from .lower import bind_dispatch
 
-        self._ops = bind_dispatch(self)
+        self._ops, self._vector_nids = bind_dispatch(self)
 
     # -- public API ----------------------------------------------------------
 
@@ -420,6 +451,11 @@ class PlanState:
     def index_count(self) -> int:
         """Distinct endpoint indexes built (aliased atoms share one)."""
         return len(self._shared_indexes)
+
+    @property
+    def vector_node_count(self) -> int:
+        """Plan nodes bound to the vectorized (bitset) evaluation mode."""
+        return len(self._vector_nids)
 
     def satisfies(self, env: Optional[Mapping[str, Any]] = None) -> bool:
         """``s |= α`` over the whole computation ``<1, ∞>``."""
@@ -475,6 +511,8 @@ class PlanState:
     def note_append(self) -> None:
         """Absorb one appended state: drop only tail-dependent verdicts."""
         self._volatile.clear()
+        self._volatile_events.clear()
+        self._volatile_constructs.clear()
         self._default_domain = None
         self.stats.steps += 1
 
@@ -505,6 +543,12 @@ class PlanState:
 
     def _holds(self, nid: int, lo: int, hi: Position) -> bool:
         self.stats.dispatch_calls += 1
+        if nid in self._vector_nids:
+            # Vectorized nodes answer from cached whole-trace profiles:
+            # no context normalization (canonical positions and coverage
+            # are invariant under whole-period shifts) and no memo table
+            # (the profile *is* the memo).  Never active incrementally.
+            return self._ops[nid](lo, hi)
         incremental = self._incremental
         if incremental and lo > self._trace.length:
             self._tail[-1] = True
@@ -701,17 +745,19 @@ class PlanState:
     # -- the construction function F ----------------------------------------
 
     def _construct_interval(self, tid: int, lo: int, hi: Position):
-        """``F(term, <lo, hi>)`` with whole-term memoization (static traces).
+        """``F(term, <lo, hi>)`` with whole-term memoization.
 
         This is the entry the ``[I]α`` / ``*I`` closures call: the result
         is a pure function of the term, its free-slot bindings and the
         context, so interval-formula nodes that share a term — different
         clause bodies over the same skeleton — construct each context once.
-        Incremental prefixes bypass the memo (results there carry
-        tail-dependence).
+
+        On a growing prefix the memo is *tail-aware*: a construction whose
+        event searches never looked past the last concrete state is frozen
+        in the stable memo forever; one that did goes to a volatile memo
+        cleared per append, so each appended state redoes only the pending
+        tail-dependent constructions.
         """
-        if self._incremental:
-            return self._construct(tid, Interval(lo, hi), Direction.FORWARD)
         term = self._terms[tid]
         key: Optional[Tuple[Any, ...]] = None
         try:
@@ -719,13 +765,30 @@ class PlanState:
             key = (tid, lo, hi, envkey)
         except TypeError:
             key = None
+        incremental = self._incremental
         if key is not None:
             hit = self._construct_memo.get(key, _MISS)
             if hit is not _MISS:
                 return hit
-        found = self._construct(tid, Interval(lo, hi), Direction.FORWARD)
+            if incremental:
+                hit = self._volatile_constructs.get(key, _MISS)
+                if hit is not _MISS:
+                    self._tail[-1] = True
+                    return hit
+        if not incremental:
+            found = self._construct(tid, Interval(lo, hi), Direction.FORWARD)
+            if key is not None:
+                self._construct_memo[key] = found
+            return found
+        self._tail.append(False)
+        try:
+            found = self._construct(tid, Interval(lo, hi), Direction.FORWARD)
+        finally:
+            tail = self._tail.pop()
+            if tail:
+                self._tail[-1] = True
         if key is not None:
-            self._construct_memo[key] = found
+            (self._volatile_constructs if tail else self._construct_memo)[key] = found
         return found
 
     def _construct(self, tid: int, context: Optional[Interval], direction: str):
@@ -904,6 +967,23 @@ class PlanState:
                 return ("op", predicate.PHASES, predicate.operation, values)
         return (node.id, envkey)
 
+    def _kernel_index(self, event_nid: int, node) -> Optional[EventIndex]:
+        """An endpoint index whose change positions come from the bitset
+        kernel: one profile computation and one shift-and-mask instead of a
+        per-state truth scan.  ``None`` when the kernel is absent (per-
+        position mode, growing prefix) or declines the event formula."""
+        kernel = self._kernel
+        if kernel is None or not kernel.supports(event_nid):
+            return None
+        bits = kernel.profile(node)
+        if bits is None:
+            return None
+        index = EventIndex(state_eval=None)
+        index.stem, index.cycle = changes_from_bits(bits, self._trace)
+        # Fully built for the static trace: ensure() is a no-op from here.
+        index.built_to = self._trace.length
+        return index
+
     def _index_for(self, event_nid: int, node) -> Optional[EventIndex]:
         # Fast path: structural (node, bindings) key, hit on every search
         # after the first.  On a miss the semantic key decides whether an
@@ -921,6 +1001,8 @@ class PlanState:
             except TypeError:
                 return None
             if index is None:
+                index = self._kernel_index(event_nid, node)
+            if index is None:
                 parts = self._comparison_parts(node)
                 if parts is not None:
                     variable, cmp_op, constant = parts
@@ -934,7 +1016,7 @@ class PlanState:
                     index = EventIndex(
                         lambda state: self._state_truth(event_nid, state, env)
                     )
-                self._shared_indexes[shared_key] = index
+            self._shared_indexes[shared_key] = index
             self._indexes[fast_key] = index
         if not index.ensure(self._trace, self._incremental):
             return None
@@ -949,37 +1031,63 @@ class PlanState:
         node, its free-slot bindings, the context and the direction, so it
         memoizes — sharing searches across the clauses of a multi-root plan
         and across repeated constructions of a shared interval term.
-        (Incremental prefixes skip the memo: results there carry
-        tail-dependence the memo cannot represent.)
+
+        On a growing prefix the memo splits by tail-dependence: a search
+        decided entirely within the concrete states (a forward event found
+        at a concrete change, a finite window that closed) freezes in the
+        stable memo, while a search that looked past the last state — an
+        event not found *yet*, any backward search over the infinite
+        context — parks in a volatile memo cleared per append.  Re-checking
+        a monitored property after one appended state then redoes only the
+        searches the new state could change.
         """
         if context is BOTTOM:
             return BOTTOM
         i, j = context.lo, context.hi
         node = self._nodes[event_nid]
         key: Optional[Tuple[Any, ...]] = None
-        if not self._incremental:
-            try:
-                envkey = tuple(self._slots[s] for s in node.free_slots)
-                key = (event_nid, i, j, direction, envkey)
-            except TypeError:
-                key = None
-            if key is not None:
-                hit = self._event_memo.get(key, _MISS)
+        try:
+            envkey = tuple(self._slots[s] for s in node.free_slots)
+            key = (event_nid, i, j, direction, envkey)
+        except TypeError:
+            key = None
+        incremental = self._incremental
+        if key is not None:
+            hit = self._event_memo.get(key, _MISS)
+            if hit is not _MISS:
+                return hit
+            if incremental:
+                hit = self._volatile_events.get(key, _MISS)
                 if hit is not _MISS:
+                    self._tail[-1] = True
                     return hit
+        if not incremental:
+            found = self._find_event_uncached(event_nid, node, i, j, direction)
+            if key is not None:
+                self._event_memo[key] = found
+            return found
+        self._tail.append(False)
+        try:
+            found = self._find_event_uncached(event_nid, node, i, j, direction)
+        finally:
+            tail = self._tail.pop()
+            if tail:
+                self._tail[-1] = True
+        if key is not None:
+            (self._volatile_events if tail else self._event_memo)[key] = found
+        return found
+
+    def _find_event_uncached(
+        self, event_nid: int, node, i: int, j: Position, direction: str
+    ):
+        self.stats.event_searches += 1
         trace = self._trace
         bound = trace.scan_bound(i, j)
         if node.is_state:
             index = self._index_for(event_nid, node)
             if index is not None:
-                found = self._find_event_indexed(index, i, j, bound, direction)
-                if key is not None:
-                    self._event_memo[key] = found
-                return found
-        found = self._find_event_scan(event_nid, i, j, bound, direction)
-        if key is not None:
-            self._event_memo[key] = found
-        return found
+                return self._find_event_indexed(index, i, j, bound, direction)
+        return self._find_event_scan(event_nid, i, j, bound, direction)
 
     def _find_event_indexed(
         self, index: EventIndex, i: int, j: Position, bound: int, direction: str

@@ -126,9 +126,14 @@ class SpecPlan:
 
     # -- binding -------------------------------------------------------------
 
-    def evaluator(self, trace, domain: Optional[Mapping[str, Iterable[Any]]] = None):
+    def evaluator(
+        self,
+        trace,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        vectorize: bool = True,
+    ):
         """A :class:`SpecPlanState` bound to a fixed (possibly lasso) trace."""
-        return SpecPlanState(self, trace, domain=domain)
+        return SpecPlanState(self, trace, domain=domain, vectorize=vectorize)
 
     def monitor(self, domain: Optional[Mapping[str, Iterable[Any]]] = None):
         """An incremental :class:`SpecPlanState` over a growing state prefix."""
@@ -166,11 +171,14 @@ class SpecPlanState:
         trace,
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
         incremental: bool = False,
+        vectorize: bool = True,
     ) -> None:
         from .runtime import PlanState
 
         self._plan = plan
-        self._state = PlanState(plan, trace, domain=domain, incremental=incremental)
+        self._state = PlanState(
+            plan, trace, domain=domain, incremental=incremental, vectorize=vectorize
+        )
 
     # -- shared-state introspection ------------------------------------------
 

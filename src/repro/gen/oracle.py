@@ -25,12 +25,13 @@ soundness guarantees:
   (the corpus regression format) must reproduce every recorded verdict
   exactly;
 * **spec plans agree clause-for-clause** — a ``"spec"`` case checks every
-  clause of a multi-clause specification three ways: per clause through
-  the ``trace`` engine, per clause through the ``compiled`` engine, and
-  all clauses at once through one multi-root
-  :class:`~repro.compile.specplan.SpecPlan` (the shared-subformula path
-  conformance campaigns run on); the three per-clause verdict vectors
-  must be identical.
+  clause of a multi-clause specification four ways: per clause through
+  the ``trace`` engine, per clause through the ``compiled`` engine
+  (vectorized bitset kernel), per clause through the ``stepwise`` engine
+  (the same plan with the kernel disabled), and all clauses at once
+  through one multi-root :class:`~repro.compile.specplan.SpecPlan` (the
+  shared-subformula path conformance campaigns run on); the four
+  per-clause verdict vectors must be identical.
 
 Disagreements are shrunk with :mod:`repro.gen.shrink` to a minimal
 replayable case.
@@ -300,7 +301,9 @@ class DifferentialOracle:
 
     def _spec_results(self, case: Case) -> Dict[str, CheckResult]:
         """Per-clause results under keys ``trace[i]`` / ``compiled[i]`` /
-        ``specplan[i]`` — the three paths a specification clause can take."""
+        ``stepwise[i]`` / ``specplan[i]`` — the four paths a specification
+        clause can take (``stepwise`` being the compiled plan with the
+        vectorized bitset kernel disabled)."""
         from ..core.specification import Specification
 
         clauses = case.clauses or []
@@ -308,7 +311,7 @@ class DifferentialOracle:
         if trace is None:
             raise ValueError("spec cases need a trace")
         per_engine: Dict[str, CheckResult] = {}
-        for engine in ("trace", "compiled"):
+        for engine in ("trace", "compiled", "stepwise"):
             for index, text in enumerate(clauses):
                 label = f"{engine}[{index}]"
                 per_engine[label] = self.session.check(
@@ -351,7 +354,7 @@ class DifferentialOracle:
         for index in range(len(case.clauses or [])):
             verdicts = {
                 path: per_engine[f"{path}[{index}]"].verdict
-                for path in ("trace", "compiled", "specplan")
+                for path in ("trace", "compiled", "stepwise", "specplan")
             }
             if len(set(verdicts.values())) > 1:
                 return f"clause {index} verdicts disagree: {verdicts}"

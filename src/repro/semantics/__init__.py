@@ -4,6 +4,7 @@ States, traces, the interval construction function ``F``, the satisfaction
 relation, and the Appendix A reduction of the ``*`` interval-term modifier.
 """
 
+from .columns import Column, ColumnStore, OperationColumn
 from .construction import BOTTOM, Direction, Interval, IntervalConstructor
 from .evaluator import Evaluator, holds_on_context, satisfies
 from .reduction import (
@@ -17,6 +18,9 @@ from .state import OperationRecord, State
 from .trace import INFINITY, Trace, boolean_trace, make_trace
 
 __all__ = [
+    "Column",
+    "ColumnStore",
+    "OperationColumn",
     "BOTTOM",
     "Direction",
     "Interval",

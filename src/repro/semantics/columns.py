@@ -1,0 +1,386 @@
+"""Column-major trace storage: dictionary-encoded per-variable columns.
+
+The paper's satisfaction relation sweeps a state sequence, and almost every
+question the compiled runtime asks of that sequence is *per variable*, not
+per state: "where does ``x == c`` hold", "where is operation ``O`` at its
+entry point", "which non-boolean values were ever observed".  Storing the
+trace row-major — one dict-backed :class:`~repro.semantics.state.State` per
+position — makes each of those questions an O(n) Python-object walk.
+
+A :class:`ColumnStore` turns the same data column-major, built in **one**
+pass over the source states:
+
+* one :class:`Column` per state variable — a stdlib ``array`` of small
+  integer codes into a per-column interned value list (dictionary
+  encoding), so booleans, enums and repeated non-scalar values all store as
+  machine integers;
+* one :class:`OperationColumn` per operation name, dictionary-encoding the
+  (phase, args, results) records the same way;
+* the ``__start__`` marking of the Init-clause ``start`` predicate done
+  columnwise (one code write) instead of rebuilding the first state;
+* the trace's observed value universe, deduplicated through a set during
+  the same pass (replacing the quadratic ``value not in seen`` list scan).
+
+Columns expose packed-int **bitsets** (bit ``c`` = concrete position
+``c + 1``): per-code membership, truthiness, comparisons against a
+constant, and operation phase/argument matches all answer as one big
+integer, which is what :mod:`repro.compile.vector` evaluates whole state
+formulas on.  Bitset construction goes through per-code ``bytearray``
+buffers so cost stays O(n + codes·n/8) rather than O(n²/wordsize) of
+repeated big-int shifting.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .state import OperationRecord, State
+
+__all__ = ["ABSENT", "Column", "OperationColumn", "ColumnStore"]
+
+
+#: Code marking "this state does not bind the column's variable / operation".
+ABSENT = -1
+
+#: Columns with more distinct values than this skip per-code bitsets: the
+#: memory (codes · n/8 bytes) stops paying for itself, and a comparison
+#: against a high-cardinality column is better served by the per-position
+#: endpoint indexes.  Kernels treat a ``None`` bitset table as "fall back".
+_MAX_BITSET_CODES = 1024
+_MAX_BITSET_BYTES = 8_000_000
+
+
+def _intern(
+    value: Any,
+    values: List[Any],
+    code_of: Dict[Any, int],
+    unhashable: List[int],
+) -> int:
+    """The dictionary-encoding intern: one code per distinct value.
+
+    Distinctness follows ``dict`` key semantics (``1``, ``1.0`` and ``True``
+    share a code — consistent with ``==`` everywhere the codes are compared);
+    unhashable values fall back to a linear scan over their own codes, the
+    same convention :class:`repro.compile.runtime.GrowingPrefix` uses for
+    its value universe.
+    """
+    try:
+        code = code_of.get(value)
+    except TypeError:
+        for known in unhashable:
+            if values[known] == value:
+                return known
+        code = len(values)
+        values.append(value)
+        unhashable.append(code)
+        return code
+    if code is None:
+        code = len(values)
+        values.append(value)
+        code_of[value] = code
+    return code
+
+
+def _codes_to_bitsets(codes: "array", count: int) -> Optional[List[int]]:
+    """One bitset per code: bit ``i`` set in ``out[c]`` iff ``codes[i] == c``."""
+    n = len(codes)
+    nbytes = (n + 7) >> 3
+    if count > _MAX_BITSET_CODES or count * nbytes > _MAX_BITSET_BYTES:
+        return None
+    buffers = [bytearray(nbytes) for _ in range(count)]
+    for i, code in enumerate(codes):
+        if code >= 0:
+            buffers[code][i >> 3] |= 1 << (i & 7)
+    return [int.from_bytes(buffer, "little") for buffer in buffers]
+
+
+class _ColumnBase:
+    """Shared dictionary-encoded storage of one column."""
+
+    __slots__ = ("name", "codes", "values", "missing", "_bitsets", "_present")
+
+    def __init__(self, name: str, prefix_length: int = 0) -> None:
+        self.name = name
+        self.codes: "array" = array("l", [ABSENT]) * prefix_length
+        self.values: List[Any] = []
+        self.missing = prefix_length > 0
+        self._bitsets: Optional[List[int]] = None
+        self._present: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def value_at(self, index: int) -> Tuple[bool, Any]:
+        """``(present, value)`` at 0-based concrete index."""
+        code = self.codes[index]
+        if code < 0:
+            return False, None
+        return True, self.values[code]
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << len(self.codes)) - 1
+
+    def code_bitsets(self) -> Optional[List[int]]:
+        """Per-code position bitsets, or ``None`` above the cardinality cap."""
+        if self._bitsets is None:
+            self._bitsets = _codes_to_bitsets(self.codes, len(self.values))
+        return self._bitsets
+
+    def present_bits(self) -> int:
+        """Bitset of positions where the column binds a value."""
+        if self._present is None:
+            if not self.missing:
+                self._present = self.full_mask
+            else:
+                buffer = bytearray((len(self.codes) + 7) >> 3)
+                for i, code in enumerate(self.codes):
+                    if code >= 0:
+                        buffer[i >> 3] |= 1 << (i & 7)
+                self._present = int.from_bytes(buffer, "little")
+        return self._present
+
+    def pad(self) -> None:
+        """Mark the next position as not binding this column."""
+        self.codes.append(ABSENT)
+        self.missing = True
+
+    def select_bits(self, test: Callable[[Any], bool]) -> Optional[int]:
+        """Bitset of positions whose *value* satisfies ``test``.
+
+        ``test`` runs once per **distinct** value (the entire point of the
+        dictionary encoding); its exceptions propagate so callers can fall
+        back to per-position evaluation with identical error behaviour.
+        Returns ``None`` above the per-code bitset cardinality cap.
+        """
+        bitsets = self.code_bitsets()
+        if bitsets is None:
+            return None
+        out = 0
+        for code, value in enumerate(self.values):
+            if test(value):
+                out |= bitsets[code]
+        return out
+
+
+class Column(_ColumnBase):
+    """Dictionary-encoded values of one state variable across a trace."""
+
+    __slots__ = ()
+
+    def append(self, value: Any, code_of: Dict[Any, int], unhashable: List[int]) -> None:
+        self.codes.append(_intern(value, self.values, code_of, unhashable))
+
+
+class OperationColumn(_ColumnBase):
+    """Dictionary-encoded :class:`OperationRecord` s of one operation name.
+
+    ``ABSENT`` means the operation is idle in that state (a ``State`` with
+    an ``operations`` mapping treats a missing record as idle).
+    """
+
+    __slots__ = ()
+
+    def phase_bits(self, phases: Sequence[str]) -> Optional[int]:
+        return self.select_bits(lambda record: record.phase in phases)
+
+    def call_bits(self, phases: Sequence[str], arg_values: Sequence[Any]) -> Optional[int]:
+        """Positions whose record matches both the phase set and the
+        evaluated argument tuple, with the elementwise ``!=`` convention of
+        :func:`repro.syntax.terms._args_match`."""
+
+        def test(record: OperationRecord) -> bool:
+            if record.phase not in phases:
+                return False
+            actual = record.args
+            if len(arg_values) != len(actual):
+                return False
+            return not any(expected != value for expected, value in zip(arg_values, actual))
+
+        return self.select_bits(test)
+
+
+class ColumnStore:
+    """The column-major form of one trace, built lazily in a single pass.
+
+    Parameters
+    ----------
+    source_states:
+        The trace's concrete states, **without** ``__start__`` injection —
+        marking happens columnwise here.
+    mark_start:
+        Mirror of ``Trace(mark_start=...)``: when true, position 1 gets
+        ``__start__ = True`` (overriding any source value, as the eager
+        marking did) and every other position missing it gets ``False``.
+    """
+
+    __slots__ = ("length", "_source", "_mark_start", "_columns", "_op_columns", "_universe")
+
+    def __init__(self, source_states: Sequence[State], mark_start: bool) -> None:
+        self.length = len(source_states)
+        self._source: Optional[Sequence[State]] = source_states
+        self._mark_start = mark_start
+        self._columns: Optional[Dict[str, Column]] = None
+        self._op_columns: Optional[Dict[str, OperationColumn]] = None
+        self._universe: Optional[Tuple[Any, ...]] = None
+
+    # -- the single build pass ----------------------------------------------
+
+    def _build(self) -> None:
+        columns: Dict[str, Column] = {}
+        interns: Dict[str, Tuple[Dict[Any, int], List[int]]] = {}
+        op_columns: Dict[str, OperationColumn] = {}
+        op_interns: Dict[str, Tuple[Dict[Any, int], List[int]]] = {}
+        universe: List[Any] = []
+        seen: set = set()
+        unhashable_seen: List[Any] = []
+        for index, state in enumerate(self._source or ()):
+            for name, value in state.raw_values.items():
+                column = columns.get(name)
+                if column is None:
+                    column = columns[name] = Column(name, prefix_length=index)
+                    interns[name] = ({}, [])
+                code_of, unhashable = interns[name]
+                column.append(value, code_of, unhashable)
+            for name, record in state.raw_operations.items():
+                op_column = op_columns.get(name)
+                if op_column is None:
+                    op_column = op_columns[name] = OperationColumn(name, prefix_length=index)
+                    op_interns[name] = ({}, [])
+                code_of, unhashable = op_interns[name]
+                op_column.codes.append(_intern(record, op_column.values, code_of, unhashable))
+            filled = index + 1
+            for column in columns.values():
+                if len(column.codes) < filled:
+                    column.pad()
+            for op_column in op_columns.values():
+                if len(op_column.codes) < filled:
+                    op_column.pad()
+            for value in state.observed_values():
+                try:
+                    if value in seen:
+                        continue
+                    seen.add(value)
+                except TypeError:
+                    if value in unhashable_seen:  # unhashable: linear fallback
+                        continue
+                    unhashable_seen.append(value)
+                universe.append(value)
+        if self._mark_start and self.length:
+            start = columns.get("__start__")
+            if start is None:
+                start = columns["__start__"] = Column("__start__", prefix_length=self.length)
+                interns["__start__"] = ({}, [])
+            code_of, unhashable = interns["__start__"]
+            # Position 1 is always True (the eager marking overrode the
+            # source value there too); other positions default to False.
+            start.codes[0] = _intern(True, start.values, code_of, unhashable)
+            false_code: Optional[int] = None
+            for i in range(1, self.length):
+                if start.codes[i] == ABSENT:
+                    if false_code is None:
+                        false_code = _intern(False, start.values, code_of, unhashable)
+                    start.codes[i] = false_code
+            start.missing = any(code == ABSENT for code in start.codes)
+        self._columns = columns
+        self._op_columns = op_columns
+        self._universe = tuple(universe)
+        self._source = None  # the states are no longer needed here
+
+    def _ensure(self) -> None:
+        if self._columns is None:
+            self._build()
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def columns(self) -> Dict[str, Column]:
+        self._ensure()
+        return self._columns  # type: ignore[return-value]
+
+    @property
+    def op_columns(self) -> Dict[str, OperationColumn]:
+        self._ensure()
+        return self._op_columns  # type: ignore[return-value]
+
+    def column(self, name: str) -> Optional[Column]:
+        self._ensure()
+        return self._columns.get(name)  # type: ignore[union-attr]
+
+    def op_column(self, name: str) -> Optional[OperationColumn]:
+        self._ensure()
+        return self._op_columns.get(name)  # type: ignore[union-attr]
+
+    def value_universe(self) -> Tuple[Any, ...]:
+        """Distinct observed non-boolean values, in first-observation order."""
+        self._ensure()
+        return self._universe  # type: ignore[return-value]
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.length) - 1
+
+    # -- row reconstruction (the lazy State view) ----------------------------
+
+    def state_values(self, index: int) -> Dict[str, Any]:
+        """The variable assignment of concrete state ``index`` (0-based)."""
+        self._ensure()
+        out: Dict[str, Any] = {}
+        for name, column in self._columns.items():  # type: ignore[union-attr]
+            present, value = column.value_at(index)
+            if present:
+                out[name] = value
+        return out
+
+    def state_operations(self, index: int) -> Dict[str, OperationRecord]:
+        self._ensure()
+        out: Dict[str, OperationRecord] = {}
+        for name, column in self._op_columns.items():  # type: ignore[union-attr]
+            present, record = column.value_at(index)
+            if present:
+                out[name] = record
+        return out
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Ship the built columns (compact arrays + interned values), never
+        # the source State objects: this is the zero-copy worker handoff.
+        self._ensure()
+        return {
+            "length": self.length,
+            "columns": [
+                (c.name, c.codes.tobytes(), c.values, c.missing)
+                for c in self._columns.values()  # type: ignore[union-attr]
+            ],
+            "op_columns": [
+                (c.name, c.codes.tobytes(), c.values, c.missing)
+                for c in self._op_columns.values()  # type: ignore[union-attr]
+            ],
+            "universe": self._universe,
+        }
+
+    def __setstate__(self, payload: Dict[str, Any]) -> None:
+        self.length = payload["length"]
+        self._source = None
+        self._mark_start = False  # marking is already in the columns
+        self._universe = payload["universe"]
+        columns: Dict[str, Column] = {}
+        for name, raw, values, missing in payload["columns"]:
+            column = Column(name)
+            column.codes = array("l")
+            column.codes.frombytes(raw)
+            column.values = values
+            column.missing = missing
+            columns[name] = column
+        self._columns = columns
+        op_columns: Dict[str, OperationColumn] = {}
+        for name, raw, values, missing in payload["op_columns"]:
+            column = OperationColumn(name)
+            column.codes = array("l")
+            column.codes.frombytes(raw)
+            column.values = values
+            column.missing = missing
+            op_columns[name] = column
+        self._op_columns = op_columns

@@ -144,6 +144,21 @@ class State(Mapping[str, Any]):
         """Operation records keyed by operation name."""
         return dict(self._operations)
 
+    @property
+    def raw_values(self) -> Mapping[str, Any]:
+        """The internal value mapping, uncopied — treat as read-only.
+
+        The columnar trace build (:mod:`repro.semantics.columns`) walks
+        every state once; the defensive copies of :attr:`values_map` /
+        :attr:`operations` would double that pass's allocation for nothing.
+        """
+        return self._values
+
+    @property
+    def raw_operations(self) -> Mapping[str, OperationRecord]:
+        """The internal operation-record mapping, uncopied — read-only."""
+        return self._operations
+
     def operation(self, name: str) -> OperationRecord:
         """The record for operation ``name`` (idle if never mentioned)."""
         return self._operations.get(name, _IDLE_RECORD)

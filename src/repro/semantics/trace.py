@@ -22,6 +22,7 @@ import math
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import TraceError
+from .columns import ColumnStore
 from .state import State
 
 __all__ = ["INFINITY", "Trace", "make_trace", "boolean_trace"]
@@ -46,9 +47,21 @@ class Trace:
         boolean state variable ``__start__`` so that the distinguished
         ``start`` predicate of the Init-clause interpretation holds exactly
         there.
+
+    The native representation is **column-major**: a
+    :class:`~repro.semantics.columns.ColumnStore` with one dictionary-
+    encoded column per state variable (and per operation name), built in a
+    single pass, with the ``__start__`` marking done columnwise.  The
+    row-major ``State`` API — :meth:`states`, :meth:`state_at`, iteration —
+    is a lazy view: source states are handed back untouched where possible
+    and materialized (with ``__start__`` injected) only on first access, so
+    constructing a trace no longer copies every state, and a compiled check
+    that answers through column bitsets never touches most rows at all.
+    Pickling ships the columns, not the per-state dicts — the compact
+    worker handoff ``check_many`` fan-out relies on.
     """
 
-    __slots__ = ("_states", "_loop_start", "_length")
+    __slots__ = ("_source", "_store", "_materialized", "_mark_start", "_loop_start", "_length")
 
     def __init__(
         self,
@@ -64,17 +77,6 @@ class Trace:
                 raise TraceError(
                     f"trace element {index} is not a State: {type(state).__name__}"
                 )
-        if mark_start:
-            first = state_list[0]
-            marked = dict(first.values_map)
-            marked["__start__"] = True
-            state_list[0] = State(marked, first.operations)
-            for i in range(1, len(state_list)):
-                other = state_list[i]
-                if "__start__" not in other:
-                    values = dict(other.values_map)
-                    values["__start__"] = False
-                    state_list[i] = State(values, other.operations)
         n = len(state_list)
         if loop_start is None:
             loop_start = n
@@ -82,9 +84,63 @@ class Trace:
             raise TraceError(
                 f"loop_start must be between 1 and {n}, got {loop_start}"
             )
-        self._states: List[State] = state_list
+        self._source: Optional[List[State]] = state_list
+        self._store: Optional[ColumnStore] = None
+        self._materialized: List[Optional[State]] = [None] * n
+        self._mark_start = mark_start
         self._loop_start = loop_start
         self._length = n
+
+    # -- the column-major representation --------------------------------------
+
+    @property
+    def columns(self) -> ColumnStore:
+        """The trace's :class:`~repro.semantics.columns.ColumnStore` (lazy,
+        built once)."""
+        if self._store is None:
+            self._store = ColumnStore(self._source or [], self._mark_start)
+        return self._store
+
+    def _materialize(self, index: int) -> State:
+        """The row view of concrete state ``index`` (0-based), cached."""
+        source = self._source
+        if source is not None:
+            state = source[index]
+            if self._mark_start:
+                if index == 0:
+                    if state.raw_values.get("__start__") is not True:
+                        values = dict(state.raw_values)
+                        values["__start__"] = True
+                        state = State(values, state.raw_operations)
+                elif "__start__" not in state.raw_values:
+                    values = dict(state.raw_values)
+                    values["__start__"] = False
+                    state = State(values, state.raw_operations)
+        else:
+            store = self.columns
+            state = State(store.state_values(index), store.state_operations(index))
+        self._materialized[index] = state
+        return state
+
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Columns are the wire format: one codes array + interned value list
+        # per variable instead of n per-state dicts.  The receiving side
+        # rebuilds State rows lazily from the columns.
+        return {
+            "store": self.columns,
+            "loop_start": self._loop_start,
+            "length": self._length,
+        }
+
+    def __setstate__(self, payload: dict) -> None:
+        self._source = None
+        self._store = payload["store"]
+        self._length = payload["length"]
+        self._materialized = [None] * self._length
+        self._mark_start = False  # marking already lives in the columns
+        self._loop_start = payload["loop_start"]
 
     # -- basic structure ------------------------------------------------------
 
@@ -109,14 +165,18 @@ class Trace:
         return self._loop_start == self._length
 
     def states(self) -> Tuple[State, ...]:
-        """The concrete states ``s_1 ... s_n``."""
-        return tuple(self._states)
+        """The concrete states ``s_1 ... s_n`` (materializing the lazy view)."""
+        materialized = self._materialized
+        return tuple(
+            state if state is not None else self._materialize(index)
+            for index, state in enumerate(materialized)
+        )
 
     def __len__(self) -> int:
         return self._length
 
     def __iter__(self) -> Iterator[State]:
-        return iter(self._states)
+        return iter(self.states())
 
     def __repr__(self) -> str:
         kind = "stutter" if self.is_stutter_extended else f"loop@{self._loop_start}"
@@ -138,7 +198,11 @@ class Trace:
 
     def state_at(self, position: Union[int, float]) -> State:
         """The state at a virtual 1-based position (wrapping into the cycle)."""
-        return self._states[self.canonical(position) - 1]
+        index = self.canonical(position) - 1
+        state = self._materialized[index]
+        if state is None:
+            state = self._materialize(index)
+        return state
 
     def positions(self) -> Iterable[int]:
         """The concrete 1-based positions ``1 .. n``."""
@@ -226,14 +290,12 @@ class Trace:
 
         Used as the default quantification domain for ``Forall`` formulas when
         checking specification conformance of a trace (the values a queue was
-        asked to carry, the sequence numbers a protocol used, ...).
+        asked to carry, the sequence numbers a protocol used, ...).  The
+        deduplication runs through the column store's set-backed pass
+        (first-observation order preserved) instead of the quadratic
+        ``value not in seen`` list scan this method started as.
         """
-        seen: List[Any] = []
-        for state in self._states:
-            for value in state.observed_values():
-                if value not in seen:
-                    seen.append(value)
-        return tuple(seen)
+        return self.columns.value_universe()
 
 
 def make_trace(

@@ -118,11 +118,23 @@ class TestPlanCache:
     def test_memo_tables_shared_per_trace(self):
         session = Session()
         trace = make_trace(ROWS)
-        first = session.check("<> x == 2", trace=trace, mode="compiled")
-        again = session.check("<> x == 2", trace=trace, mode="compiled")
+        # stepwise pins the per-position memo machinery this test is about;
+        # the default vectorized path answers from bitset profiles instead.
+        first = session.check("<> x == 2", trace=trace, mode="stepwise")
+        again = session.check("<> x == 2", trace=trace, mode="stepwise")
         assert first.statistics["memo_new_entries"] > 0
         assert again.statistics["memo_new_entries"] == 0
         assert again.statistics["dispatch_calls"] == 1  # one root memo hit
+
+    def test_vectorized_and_stepwise_states_are_cached_separately(self):
+        session = Session()
+        trace = make_trace(ROWS)
+        vec = session.check("<> x == 2", trace=trace, mode="compiled")
+        step = session.check("<> x == 2", trace=trace, mode="stepwise")
+        assert vec.verdict is step.verdict is True
+        assert vec.statistics["vector_nodes"] > 0
+        assert step.statistics["vector_nodes"] == 0
+        assert len(session._plan_states) == 2
 
     def test_clear_caches_releases_plans_and_states(self):
         session = Session()

@@ -176,11 +176,11 @@ class TestDifferentialOracle:
         formula = trace_case.parsed_formula()
         trace = trace_case.built_trace()
         assert set(oracle.applicable_engines(trace_case, formula, trace)) == \
-            {"trace", "compiled", "monitor"}
+            {"trace", "compiled", "stepwise", "monitor"}
         lasso = TraceSpec(rows=[{"p": False}, {"p": True}], loop_start=1).build()
         # The monitor cannot see a lasso's cycle: capability-filtered out.
         assert set(oracle.applicable_engines(trace_case, formula, lasso)) == \
-            {"trace", "compiled"}
+            {"trace", "compiled", "stepwise"}
         validity = Case(kind="validity", formula="<> p -> <> p")
         assert set(oracle.applicable_engines(validity, validity.parsed_formula(), None)) == \
             {"bounded", "tableau"}
@@ -259,7 +259,9 @@ class TestDifferentialOracle:
         case = oracle.record_expectations(
             Case(kind="trace", formula="<> p", trace=TraceSpec(rows=[{"p": True}]))
         )
-        assert case.expect == {"trace": True, "compiled": True, "monitor": True}
+        assert case.expect == {
+            "trace": True, "compiled": True, "stepwise": True, "monitor": True,
+        }
         reason, _ = oracle.check_case(case)
         assert reason is None
 
@@ -327,9 +329,9 @@ class TestCorpus:
         bad_system = Case(kind="trace", formula="p",
                           trace=TraceSpec(system="warp_drive"), id="bad-system")
         report = DifferentialOracle().run([bad_formula, good, bad_system])
-        # The good case still ran (trace + compiled + monitor); both
-        # malformed ones are reported by id.
-        assert report.cases == 3 and report.engine_runs == 3
+        # The good case still ran (trace + compiled + stepwise + monitor);
+        # both malformed ones are reported by id.
+        assert report.cases == 3 and report.engine_runs == 4
         reasons = {d.case.id: d.reason for d in report.disagreements}
         assert set(reasons) == {"bad-formula", "bad-system"}
         assert all(r.startswith("malformed case") for r in reasons.values())
@@ -371,7 +373,7 @@ class TestEngineCapabilities:
     def test_default_session_capability_map(self):
         capabilities = Session().capabilities()
         assert set(capabilities) == \
-            {"trace", "compiled", "monitor", "bounded", "tableau", "lll"}
+            {"trace", "compiled", "stepwise", "monitor", "bounded", "tableau", "lll"}
         assert capabilities["trace"].needs_trace and capabilities["trace"].exact
         assert capabilities["compiled"].needs_trace and capabilities["compiled"].exact
         assert capabilities["monitor"].stutter_only and capabilities["monitor"].incremental

@@ -316,10 +316,13 @@ class TestLRUPlanCache:
 
 class TestComparisonIndex:
     def test_constant_comparisons_share_a_value_column(self):
+        # vectorize=False pins the per-position machinery this test is
+        # about; the default path derives these indexes from the bitset
+        # kernel and never builds a ValueColumn.
         rows = [{"x": i % 5, "p": True} for i in range(40)]
         trace = make_trace(rows)
         items = [(f"c{c}", parse_formula(f"[] ([x == {c}] p)")) for c in range(5)]
-        state = SpecPlan(items).evaluator(trace)
+        state = SpecPlan(items).evaluator(trace, vectorize=False)
         evaluator = Evaluator(trace)
         for (name, formula) in items:
             assert state.satisfies(name) == evaluator.satisfies(formula), name
@@ -328,6 +331,22 @@ class TestComparisonIndex:
         assert inner._columns["x"].built_to == trace.length
         assert any(isinstance(ix, ComparisonIndex)
                    for ix in inner._shared_indexes.values())
+
+    def test_vectorized_comparisons_skip_the_value_column(self):
+        # The same spec through the default (vectorized) binding answers
+        # identically but feeds its indexes from column bitsets.
+        rows = [{"x": i % 5, "p": True} for i in range(40)]
+        trace = make_trace(rows)
+        items = [(f"c{c}", parse_formula(f"[] ([x == {c}] p)")) for c in range(5)]
+        state = SpecPlan(items).evaluator(trace)
+        evaluator = Evaluator(trace)
+        for (name, formula) in items:
+            assert state.satisfies(name) == evaluator.satisfies(formula), name
+        inner = state._state
+        assert not inner._columns
+        assert inner._shared_indexes and not any(
+            isinstance(ix, ComparisonIndex) for ix in inner._shared_indexes.values()
+        )
 
     def test_inequality_and_flipped_orientation(self):
         trace = make_trace([{"x": i % 3} for i in range(12)])
@@ -340,7 +359,7 @@ class TestComparisonIndex:
     def test_bound_logical_variable_comparisons(self):
         trace = make_trace([{"x": i % 4} for i in range(16)])
         formula = parse_formula("forall a . <> ([x == ?a] true)")
-        state = compile_formula(formula).evaluator(trace)
+        state = compile_formula(formula).evaluator(trace, vectorize=False)
         assert state.satisfies() == Evaluator(trace).satisfies(formula)
         # One column, one comparison index per binding.
         assert len(state._columns) == 1
@@ -400,7 +419,7 @@ class TestSpecFuzzCases:
         reason, per_engine = oracle.check_case(case)
         assert reason is None
         assert {name.split("[")[0] for name in per_engine} == \
-               {"trace", "compiled", "specplan"}
+               {"trace", "compiled", "stepwise", "specplan"}
         pinned = oracle.record_expectations(case)
         assert pinned.expect and all(
             isinstance(v, bool) for v in pinned.expect.values()
