@@ -88,6 +88,13 @@ class Session:
         on ``CheckResult.engine_reason``).  Pass ``prefer_compiled=False``
         to keep the interpreting ``trace`` engine the default; requests
         override per-call with ``compile=True`` / ``compile=False``.
+    plan_cache_dir:
+        Directory of the digest-addressed **persistent** plan store
+        (:class:`~repro.compile.cache.DiskPlanStore`).  Defaults to the
+        ``REPRO_PLAN_CACHE`` environment variable when set — which worker
+        processes inherit, so ``check_many(processes=...)`` fan-outs and
+        :mod:`repro.serve` shard workers reload plans compiled by any
+        earlier process instead of recompiling per worker.
     """
 
     def __init__(
@@ -96,6 +103,7 @@ class Session:
         engines: Optional[EngineRegistry] = None,
         processes: Optional[int] = None,
         prefer_compiled: bool = True,
+        plan_cache_dir: Optional[str] = None,
     ) -> None:
         self._default_domain = dict(domain) if domain else None
         self._registry = engines if engines is not None else default_registry()
@@ -104,6 +112,7 @@ class Session:
         self._registry_is_default = engines is None
         self._processes = processes
         self._prefer_compiled = prefer_compiled
+        self._plan_cache_dir = plan_cache_dir
         self._traces: Dict[str, Trace] = {}
         self._evaluators: Dict[Tuple[int, Any], Evaluator] = {}
         self._trace_refs: Dict[int, Trace] = {}
@@ -206,8 +215,56 @@ class Session:
         if self._plan_cache is None:
             from ..compile import PlanCache
 
-            self._plan_cache = PlanCache(on_evict=self._drop_plan_states_for)
+            self._plan_cache = PlanCache(
+                on_evict=self._drop_plan_states_for,
+                disk_path=self._plan_cache_dir,
+            )
         return self._plan_cache
+
+    def cache_statistics(self) -> Dict[str, Any]:
+        """One snapshot of every cache this session holds.
+
+        Plan-cache hit/miss/eviction (and disk hit/write) counters plus the
+        bound plan-state, evaluator and spec-identity entry counts — the
+        numbers :mod:`repro.serve` surfaces per worker in service
+        snapshots.
+        """
+        stats: Dict[str, Any] = dict(self.plan_cache.statistics())
+        stats["plan_states"] = len(self._plan_states)
+        stats["evaluators"] = len(self._evaluators)
+        stats["spec_plan_entries"] = len(self._spec_plans)
+        return stats
+
+    def monitor(
+        self,
+        formulas: Mapping[str, Any],
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        **options: Any,
+    ):
+        """An incremental :class:`~repro.checking.monitor.Monitor` whose
+        multi-root plan comes from this session's (warm) plan cache.
+
+        Opening thousands of monitored streams over the same specification
+        compiles it once per process — and, with a persistent
+        ``plan_cache_dir``, once per *fleet*.  ``options`` pass through to
+        the monitor (``on_change``, ``capture_errors``, ``stat_window``).
+        The monitor records whether its plan was served from cache on
+        ``plan_from_cache``.
+        """
+        from ..checking.monitor import Monitor
+
+        from ..syntax.parser import parse_formula
+
+        if domain is None:
+            domain = self._default_domain
+        items = [
+            (name, parse_formula(f) if isinstance(f, str) else f)
+            for name, f in formulas.items()
+        ]
+        plan, from_cache = self.plan_cache.get_spec(items, domain)
+        monitor = Monitor(dict(items), domain, plan=plan, **options)
+        monitor.plan_from_cache = from_cache
+        return monitor
 
     #: Identity-cache capacity: far above any hand-written campaign's spec
     #: count, small enough that spec-streaming sessions stay bounded.

@@ -27,12 +27,33 @@ quadratic in the prefix length.  Verdicts are bit-for-bit those of the
 Chapter 3 evaluator on every prefix; :attr:`Monitor.step_costs` exposes
 per-step work counters so regression tests can assert the cost no longer
 grows with the prefix.
+
+Long-lived monitors (the :mod:`repro.serve` streams) need three things a
+one-shot monitor does not:
+
+* **bounded statistics** — ``step_costs`` and each verdict's ``history``
+  are :class:`StatWindow` ring buffers (default window 4096): totals keep
+  accumulating, but the per-step detail rolls over so a stream observed
+  for days does not grow without bound, and :meth:`Monitor.reset_stats`
+  starts a fresh window without disturbing verdict state;
+* **verdict-change callbacks** — ``on_change`` fires whenever a formula's
+  verdict flips (or is first decided), which is how the serve layer turns
+  monitoring into alert events without polling;
+* **batched absorption** — :meth:`Monitor.observe_batch` appends a whole
+  chunk of states and re-evaluates once at the batch boundary (the
+  volatile memo split makes this sound: stable entries are
+  tail-independent by construction), trading per-state verdict
+  granularity for a large ingestion speedup on high-rate streams.
+
+A monitor compiles its own plan by default; pass a prebuilt multi-root
+``plan`` (``Session.monitor`` does, from the session's warm plan cache) to
+skip recompilation when thousands of streams watch the same specification.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from ..compile import GrowingPrefix, SpecPlan, SpecPlanState
 from ..core.specification import Specification
@@ -40,7 +61,92 @@ from ..semantics.state import State
 from ..semantics.trace import Trace
 from ..syntax.formulas import Formula
 
-__all__ = ["MonitorVerdict", "Monitor", "SpecificationMonitor"]
+__all__ = ["StatWindow", "MonitorVerdict", "Monitor", "SpecificationMonitor"]
+
+
+#: Default ring-buffer capacity for per-step statistics.  Large enough that
+#: every interactive session and test sees exact full histories; small
+#: enough that a stream observed for days stays bounded.
+DEFAULT_STAT_WINDOW = 4096
+
+
+class StatWindow:
+    """A bounded, list-like ring buffer of per-step samples.
+
+    Behaves like the plain list it replaces for every read the codebase
+    performs — ``len``, indexing, slicing, iteration, ``sum``/``max``,
+    equality against lists — but keeps only the most recent ``maxlen``
+    samples.  Totals (:attr:`total_count`, :attr:`total`) accumulate over
+    *every* sample ever appended, so throughput accounting survives the
+    rollover that bounds memory.
+    """
+
+    __slots__ = ("_items", "_maxlen", "dropped", "total")
+
+    def __init__(self, maxlen: Optional[int] = DEFAULT_STAT_WINDOW) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be at least 1, got {maxlen}")
+        self._items: List[Any] = []
+        self._maxlen = maxlen
+        #: Samples discarded by the rollover.
+        self.dropped = 0
+        #: Sum of every numeric sample ever appended (booleans count 1/0).
+        self.total = 0
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        return self._maxlen
+
+    @property
+    def total_count(self) -> int:
+        """Samples ever appended, including those rolled out of the window."""
+        return self.dropped + len(self._items)
+
+    def append(self, value: Any) -> None:
+        self._items.append(value)
+        if value is not None:
+            self.total += value
+        if self._maxlen is not None and len(self._items) > self._maxlen:
+            # Compact in chunks so append stays amortized O(1).
+            if len(self._items) > 2 * self._maxlen:
+                excess = len(self._items) - self._maxlen
+            else:
+                excess = 1
+            del self._items[:excess]
+            self.dropped += excess
+
+    def reset(self) -> None:
+        """Drop every sample and zero the totals."""
+        self._items.clear()
+        self.dropped = 0
+        self.total = 0
+
+    def to_list(self) -> List[Any]:
+        return list(self._items)
+
+    # -- the list-like read surface ----------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StatWindow):
+            return self._items == other._items
+        if isinstance(other, (list, tuple)):
+            return self._items == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"StatWindow({self._items!r}, maxlen={self._maxlen}, "
+            f"dropped={self.dropped})"
+        )
 
 
 @dataclass
@@ -51,15 +157,30 @@ class MonitorVerdict:
     formula: Formula
     holds: Optional[bool] = None
     stable_for: int = 0
-    history: List[bool] = field(default_factory=list)
+    history: Any = field(default_factory=StatWindow)
+    #: Set when the formula's evaluation raised under ``capture_errors``.
+    error: Optional[str] = None
 
-    def update(self, value: bool) -> None:
-        if self.holds is not None and value == self.holds:
+    def update(self, value: bool) -> bool:
+        """Record a fresh verdict; True when it changed (or first appeared)."""
+        changed = self.holds is None or value != self.holds
+        if not changed:
             self.stable_for += 1
         else:
             self.stable_for = 0
         self.holds = value
+        self.error = None
         self.history.append(value)
+        return changed
+
+    def update_error(self, message: str) -> bool:
+        """Record an evaluation error; True when the classification changed."""
+        changed = self.error is None
+        self.holds = None
+        self.stable_for = 0 if changed else self.stable_for + 1
+        self.error = message
+        self.history.append(None)
+        return changed
 
     def __str__(self) -> str:
         verdict = "?" if self.holds is None else ("PASS" if self.holds else "FAIL")
@@ -73,42 +194,136 @@ class Monitor:
     :class:`~repro.compile.specplan.SpecPlan` bound to one incremental
     plan state, so formulas watching the same subformulas share memo
     entries, endpoint indexes and frontier aggregators.
+
+    Parameters
+    ----------
+    formulas:
+        Name → interval-logic formula, all watched on every observed state.
+    domain:
+        ``Forall`` quantification domains.
+    plan:
+        A prebuilt multi-root plan whose roots are exactly the formula
+        names — :meth:`repro.api.session.Session.monitor` passes one from
+        the session's warm plan cache, so opening thousands of streams on
+        the same specification compiles it once.
+    on_change:
+        Called as ``on_change(name, verdict)`` whenever a formula's verdict
+        flips (or is first decided) — the serve layer's alert hook.
+    capture_errors:
+        Capture per-formula evaluation errors on the verdict
+        (``holds=None`` + ``error``) instead of propagating, mirroring
+        ``SpecPlanState.check_all``'s per-clause contract.
+    stat_window:
+        Ring-buffer capacity for ``step_costs`` and verdict histories
+        (``None`` = unbounded, the pre-serve behaviour).
     """
 
     def __init__(
         self,
         formulas: Mapping[str, Formula],
         domain: Optional[Mapping[str, Iterable[object]]] = None,
+        *,
+        plan: Optional[SpecPlan] = None,
+        on_change: Optional[Callable[[str, MonitorVerdict], None]] = None,
+        capture_errors: bool = False,
+        stat_window: Optional[int] = DEFAULT_STAT_WINDOW,
     ) -> None:
         self._formulas = dict(formulas)
         self._domain = domain
+        if plan is None:
+            plan = SpecPlan(list(self._formulas.items()))
+        elif set(plan.roots) != set(self._formulas):
+            raise ValueError(
+                "prebuilt plan roots do not match the monitored formulas: "
+                f"plan has {sorted(plan.roots)}, formulas are "
+                f"{sorted(self._formulas)}"
+            )
+        self._plan = plan
         self._prefix = GrowingPrefix()
         self._state: SpecPlanState = SpecPlanState(
-            SpecPlan(list(self._formulas.items())),
+            plan,
             self._prefix,
             domain=domain,
             incremental=True,
         )
+        self._on_change = on_change
+        self._capture_errors = capture_errors
+        self._stat_window = stat_window
         self._verdicts: Dict[str, MonitorVerdict] = {
-            name: MonitorVerdict(name, formula)
+            name: MonitorVerdict(name, formula, history=StatWindow(stat_window))
             for name, formula in self._formulas.items()
         }
-        #: Evaluation work (plan dispatch calls) spent per observed state —
-        #: flat in the prefix length for stabilised formulas.
-        self.step_costs: List[int] = []
+        #: Evaluation work (plan dispatch calls) spent per observed batch —
+        #: flat in the prefix length for stabilised formulas.  A bounded
+        #: :class:`StatWindow`: totals accumulate forever, detail rolls.
+        self.step_costs: StatWindow = StatWindow(stat_window)
+
+    @property
+    def plan(self) -> SpecPlan:
+        """The multi-root plan every watched formula compiled into."""
+        return self._plan
+
+    @property
+    def on_change(self) -> Optional[Callable[[str, MonitorVerdict], None]]:
+        """The verdict-change callback (assignable after construction)."""
+        return self._on_change
+
+    @on_change.setter
+    def on_change(self, callback: Optional[Callable[[str, MonitorVerdict], None]]) -> None:
+        self._on_change = callback
 
     @property
     def plan_state(self) -> SpecPlanState:
         """The shared multi-root plan state behind this monitor."""
         return self._state
 
-    def observe(self, state: State) -> Dict[str, MonitorVerdict]:
-        """Append a state and re-evaluate every formula on the new prefix."""
+    def _refresh_verdicts(self) -> None:
+        for name in self._formulas:
+            verdict = self._verdicts[name]
+            if self._capture_errors:
+                try:
+                    changed = verdict.update(self._state.satisfies(name))
+                except Exception as exc:  # per-formula capture, like check_all
+                    changed = verdict.update_error(f"{type(exc).__name__}: {exc}")
+            else:
+                changed = verdict.update(self._state.satisfies(name))
+            if changed and self._on_change is not None:
+                self._on_change(name, verdict)
+
+    def observe(self, state) -> Dict[str, MonitorVerdict]:
+        """Append a state and re-evaluate every formula on the new prefix.
+
+        Plain mappings are accepted the way the rest of the façade
+        accepts them — ``{"p": True}`` becomes a :class:`State`.
+        """
+        if not isinstance(state, State):
+            state = State(state)
         self._prefix.append(state)
         before = self._state.stats.dispatch_calls
         self._state.note_append()
-        for name in self._formulas:
-            self._verdicts[name].update(self._state.satisfies(name))
+        self._refresh_verdicts()
+        self.step_costs.append(self._state.stats.dispatch_calls - before)
+        return dict(self._verdicts)
+
+    def observe_batch(self, states: Sequence[State]) -> Dict[str, MonitorVerdict]:
+        """Absorb a chunk of states, re-evaluating once at the boundary.
+
+        Sound because the incremental memo split is tail-aware: stable
+        entries are tail-independent, so appending any number of states
+        before the single re-evaluation invalidates exactly the volatile
+        entries that :meth:`~repro.compile.specplan.SpecPlanState.note_append`
+        clears.  Verdict histories and ``on_change`` callbacks see one
+        entry per *batch* — send batches of one for per-state granularity.
+        """
+        if not states:
+            return dict(self._verdicts)
+        for state in states:
+            if not isinstance(state, State):
+                state = State(state)
+            self._prefix.append(state)
+        before = self._state.stats.dispatch_calls
+        self._state.note_append()
+        self._refresh_verdicts()
         self.step_costs.append(self._state.stats.dispatch_calls - before)
         return dict(self._verdicts)
 
@@ -130,7 +345,20 @@ class Monitor:
     @property
     def last_step_cost(self) -> int:
         """Dispatch work of the most recent :meth:`observe` (0 before any)."""
-        return self.step_costs[-1] if self.step_costs else 0
+        return self.step_costs[-1] if len(self.step_costs) else 0
+
+    def reset_stats(self) -> "Monitor":
+        """Start a fresh statistics window; verdict state is untouched.
+
+        Long-lived streams call this at rollover points (the serve layer
+        does on demand) so per-step detail describes the current epoch
+        while the windows' ``total``/``total_count`` keep the lifetime
+        accounting.
+        """
+        self.step_costs.reset()
+        for verdict in self._verdicts.values():
+            verdict.history.reset()
+        return self
 
     def failing(self) -> List[str]:
         """Names of formulas currently evaluating to False."""
@@ -144,10 +372,11 @@ class SpecificationMonitor(Monitor):
         self,
         specification: Specification,
         domain: Optional[Mapping[str, Iterable[object]]] = None,
+        **options: Any,
     ) -> None:
         formulas = {
             clause.name: clause.interpreted_formula()
             for clause in specification.clauses
         }
-        super().__init__(formulas, domain)
+        super().__init__(formulas, domain, **options)
         self.specification = specification

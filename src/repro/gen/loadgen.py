@@ -1,0 +1,97 @@
+"""Parameterized stream workloads for the monitoring service.
+
+The :mod:`repro.serve` load generator needs a *fleet* of realistic
+streams, not one trace: thousands of named devices, each running one of
+the paper's simulated systems against its specification, a configurable
+fraction of them fault-injected.  This module is the seeded, replayable
+source of that fleet — built on :data:`~repro.gen.cases.SYSTEM_FACTORIES`
+so every simulator (and every fault mode the differential corpus pins)
+doubles as service load.
+
+A :class:`StreamScript` is one stream's whole life: its id, the spec the
+service should monitor (:data:`~repro.serve.streams.SPEC_FACTORIES` name),
+the simulator reference that produces its states, and whether it was
+fault-injected — so a load run knows which streams *should* end failing.
+Scripts are deterministic in (seed, index): two load generators with the
+same parameters produce byte-identical workloads on any machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cases import SYSTEM_FACTORIES
+
+__all__ = ["StreamScript", "LOAD_FAMILIES", "generate_stream_scripts"]
+
+
+#: (spec, correct system, faulty system, per-stream args) — each family
+#: pairs a Chapter 5-8 specification with its simulator and a
+#: fault-injected variant whose violations the spec's clauses detect.
+LOAD_FAMILIES: Tuple[Tuple[str, str, str, Dict[str, Any]], ...] = (
+    ("mutex", "mutex", "mutex_faulty", {"processes": 2}),
+    ("reliable_queue", "reliable_queue", "reordering_queue", {"num_values": 4}),
+    ("arbiter", "arbiter", "arbiter_faulty", {}),
+    ("request_ack", "request_ack", "request_ack_faulty", {"cycles": 2}),
+)
+
+
+@dataclass
+class StreamScript:
+    """One stream of a load campaign: identity, spec, and state source."""
+
+    stream: str
+    spec: str
+    system: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    faulty: bool = False
+
+    def build_trace(self):
+        """The stream's full state sequence, via the simulator registry."""
+        factories = SYSTEM_FACTORIES()
+        return factories[self.system](**self.args)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The trace as wire rows (lazy import keeps gen serve-free)."""
+        from ..serve.protocol import trace_to_rows
+
+        return trace_to_rows(self.build_trace())
+
+
+def generate_stream_scripts(
+    streams: int,
+    seed: int = 0,
+    fault_rate: float = 0.2,
+    families: Optional[Sequence[Tuple[str, str, str, Dict[str, Any]]]] = None,
+) -> List[StreamScript]:
+    """A deterministic fleet of ``streams`` scripts.
+
+    Families rotate round-robin; each stream draws its own simulator seed
+    and — with probability ``fault_rate`` — swaps in the family's
+    fault-injected variant.  Stream ids encode family and index
+    (``mutex-0007``) so shard assignments and failures read at a glance.
+    """
+    if streams < 1:
+        raise ValueError(f"streams must be at least 1, got {streams}")
+    if not 0.0 <= fault_rate <= 1.0:
+        raise ValueError(f"fault_rate must be within [0, 1], got {fault_rate}")
+    chosen = list(families if families is not None else LOAD_FAMILIES)
+    rng = random.Random(seed)
+    scripts: List[StreamScript] = []
+    for index in range(streams):
+        spec, correct, faulty_system, base_args = chosen[index % len(chosen)]
+        faulty = rng.random() < fault_rate
+        args = dict(base_args)
+        args["seed"] = rng.randrange(1 << 30)
+        scripts.append(
+            StreamScript(
+                stream=f"{spec}-{index:04d}",
+                spec=spec,
+                system=faulty_system if faulty else correct,
+                args=args,
+                faulty=faulty,
+            )
+        )
+    return scripts

@@ -1,0 +1,167 @@
+"""The ``python -m repro.serve`` command line.
+
+Three subcommands::
+
+    python -m repro.serve serve [--host H] [--port P] [--shards N]
+        [--plan-cache DIR] [--stat-window N]
+    python -m repro.serve loadgen [--host H] [--port P | --self-host [--shards N]]
+        [--streams N] [--rate STATES_PER_SEC] [--fault-rate F]
+        [--batch B] [--seed S] [--connections C] [--plan-cache DIR]
+    python -m repro.serve replay [PATH ...] [--batch B]
+
+``serve`` runs the monitoring service until interrupted.  ``loadgen``
+drives a seeded fleet of simulated-system streams against a service —
+its own ephemeral one under ``--self-host`` — and exits non-zero if any
+*correct* stream ends failing or any fault-injected stream goes
+undetected.  ``replay`` pushes the regression corpus through the wire
+codec and exits non-zero on any divergence from the one-shot engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from ..gen.corpus import DEFAULT_CORPUS_DIR
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="A sharded monitoring service for concurrent incremental streams.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve_cmd = commands.add_parser("serve", help="run the monitoring service")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=9178)
+    serve_cmd.add_argument("--shards", type=int, default=0,
+                           help="shard streams over N worker processes "
+                                "(0/1: one in-process registry)")
+    serve_cmd.add_argument("--plan-cache", default=None, metavar="DIR",
+                           help="persistent digest-addressed plan cache "
+                                "(defaults to $REPRO_PLAN_CACHE)")
+    serve_cmd.add_argument("--stat-window", type=int, default=256,
+                           help="per-stream bounded stats window")
+
+    load_cmd = commands.add_parser("loadgen", help="drive a generated stream fleet")
+    load_cmd.add_argument("--host", default="127.0.0.1")
+    load_cmd.add_argument("--port", type=int, default=9178)
+    load_cmd.add_argument("--self-host", action="store_true",
+                          help="spin up an ephemeral service in this process")
+    load_cmd.add_argument("--shards", type=int, default=0,
+                          help="shards for --self-host")
+    load_cmd.add_argument("--streams", type=int, default=100)
+    load_cmd.add_argument("--rate", type=float, default=0.0, metavar="STATES_PER_SEC",
+                          help="aggregate pacing target (0: unpaced)")
+    load_cmd.add_argument("--fault-rate", type=float, default=0.2)
+    load_cmd.add_argument("--batch", type=int, default=16,
+                          help="states per append frame")
+    load_cmd.add_argument("--seed", type=int, default=0)
+    load_cmd.add_argument("--connections", type=int, default=4)
+    load_cmd.add_argument("--plan-cache", default=None, metavar="DIR",
+                          help="plan cache for --self-host")
+
+    replay_cmd = commands.add_parser(
+        "replay", help="replay the corpus through the wire protocol"
+    )
+    replay_cmd.add_argument("paths", nargs="*", default=None,
+                            help=f"corpus files or directories "
+                                 f"(default: {DEFAULT_CORPUS_DIR})")
+    replay_cmd.add_argument("--batch", type=int, default=16,
+                            help="states per append frame")
+    return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import MonitorService
+
+    service = MonitorService(
+        shards=args.shards,
+        plan_cache_dir=args.plan_cache,
+        stat_window=args.stat_window,
+    )
+    try:
+        asyncio.run(service.serve_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .client import run_load
+    from .service import MonitorService
+
+    async def _run():
+        service = None
+        host, port = args.host, args.port
+        try:
+            if args.self_host:
+                service = MonitorService(
+                    shards=args.shards, plan_cache_dir=args.plan_cache
+                )
+                host, port = await service.start(args.host, 0)
+                backend = (
+                    f"{args.shards} shards" if args.shards > 1
+                    else "in-process registry"
+                )
+                print(f"self-hosting on {host}:{port} ({backend})")
+            report = await run_load(
+                host,
+                port,
+                streams=args.streams,
+                states_per_second=args.rate,
+                fault_rate=args.fault_rate,
+                batch=args.batch,
+                seed=args.seed,
+                connections=args.connections,
+            )
+        finally:
+            if service is not None:
+                await service.stop()
+                service.close()
+        return report
+
+    report = asyncio.run(_run())
+    print(report.summary())
+    missed = sorted(set(report.expected_failing) - set(report.failing_streams))
+    spurious = sorted(set(report.failing_streams) - set(report.expected_failing))
+    if missed:
+        # Informational: an injected fault is a *chance* to violate the
+        # spec; some seeds reorder into an order that happens to be legal.
+        print(f"fault injected but not manifested: {', '.join(missed)}")
+    if spurious:
+        # Hard failure: the correct simulators satisfy their specs by
+        # construction, so a failing correct stream is a monitoring bug.
+        print(f"SPURIOUS failures on correct streams: {', '.join(spurious)}")
+        return 1
+    print("no spurious failures; "
+          f"{len(report.expected_failing) - len(missed)} manifested fault(s) detected")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .replay import replay_corpus
+
+    report = replay_corpus(paths=args.paths or None, batch=args.batch)
+    print(f"serve replay: {report.summary()}")
+    for disagreement in report.disagreements:
+        print(f"DISAGREEMENT {disagreement.describe()}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
+    return _cmd_replay(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,351 @@
+"""The newline-framed JSONL wire protocol of the monitoring service.
+
+Every frame is one JSON object on one ``\\n``-terminated line, UTF-8.
+Requests carry an ``op`` discriminator; responses carry exactly one of
+``ok`` (acknowledgement), ``event`` (an unsolicited per-stream alert
+emitted *before* the acknowledgement of the frame that caused it) or
+``error``.  Frames are small and self-describing so any language's JSON +
+line reader is a complete client.
+
+Request frames::
+
+    {"op": "open", "stream": "dev-7", "spec": "mutex"}
+    {"op": "open", "stream": "dev-8",
+     "formulas": {"safety": "[] (p -> <> q)"}, "domain": {...}}
+    {"op": "append", "stream": "dev-7", "states": [ROW, ...], "ack": true}
+    {"op": "snapshot", "stream": "dev-7"}      # omit "stream": service-wide
+    {"op": "close", "stream": "dev-7"}
+    {"op": "ping"}
+
+A state ROW is ``{"values": {name: value, ...}}`` plus an optional
+``"ops"`` mapping of operation records ``{name: [phase, args, results]}``
+— exactly the shape :func:`state_to_row`/:func:`row_to_state` round-trip.
+``append`` frames are **batched**: all rows are absorbed as one unit and
+verdicts re-evaluate once at the batch boundary (send one row per frame
+for per-state alert granularity).  ``"ack": false`` suppresses the
+``appended`` acknowledgement (alerts still fire) for fire-and-forget
+ingestion.
+
+Response frames::
+
+    {"ok": "opened", "stream": ..., "clauses": [...], "plan_from_cache": ...}
+    {"event": "alert", "stream": ..., "clause": ..., "verdict": ...,
+     "at": prefix_length, "error": ...?}
+    {"ok": "appended", "stream": ..., "count": n, "length": L,
+     "version": V, "verdicts": {...}}
+    {"ok": "snapshot", ...}                    # version-stamped, see streams
+    {"ok": "closed", "stream": ..., "length": L, "verdicts": {...}}
+    {"ok": "pong"}
+    {"error": CODE, "message": ..., "stream": ...?}
+
+Malformed input never kills a connection: undecodable bytes, oversized
+lines, non-object JSON, unknown ops and missing/ill-typed fields each
+produce an explicit ``error`` frame (codes in :data:`ERROR_CODES`) and the
+session continues with the next line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..semantics.state import OperationRecord, State
+
+__all__ = [
+    "ProtocolError",
+    "FrameDecoder",
+    "encode_frame",
+    "decode_frame",
+    "validate_request",
+    "state_to_row",
+    "row_to_state",
+    "rows_to_states",
+    "trace_to_rows",
+    "MAX_LINE_BYTES",
+    "REQUEST_OPS",
+    "ERROR_CODES",
+]
+
+
+#: Guard against unframed garbage (or a binary protocol pointed at the
+#: service): a line longer than this is rejected before being buffered.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+REQUEST_OPS = ("open", "append", "snapshot", "close", "ping")
+
+ERROR_CODES = (
+    "bad-json",        # line is not valid JSON
+    "bad-frame",       # JSON but not an object, or ill-typed fields
+    "unknown-op",      # "op" not one of REQUEST_OPS
+    "missing-field",   # a required field is absent
+    "line-too-long",   # framing guard tripped
+    "unknown-stream",  # append/snapshot/close on a stream never opened
+    "duplicate-stream",  # open on a name already serving
+    "unknown-spec",    # open names a spec outside the registry
+    "bad-formula",     # open carries unparseable concrete syntax
+    "bad-state",       # append carries a row that does not build a State
+    "internal",        # unexpected server-side failure, stream unharmed
+)
+
+
+class ProtocolError(Exception):
+    """A wire-level failure that maps onto one ``error`` response frame."""
+
+    def __init__(self, code: str, message: str, stream: Optional[str] = None):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code: {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.stream = stream
+
+    def to_frame(self) -> Dict[str, Any]:
+        frame: Dict[str, Any] = {"error": self.code, "message": self.message}
+        if self.stream is not None:
+            frame["stream"] = self.stream
+        return frame
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """One frame → one newline-terminated JSON line."""
+    return (json.dumps(frame, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_frame(line: Any) -> Dict[str, Any]:
+    """One line (bytes or str) → a frame dict, or :class:`ProtocolError`."""
+    if isinstance(line, (bytes, bytearray)):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("bad-json", f"undecodable bytes: {exc}") from None
+    try:
+        frame = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("bad-json", f"not a JSON frame: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "bad-frame", f"a frame is a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def _require(frame: Dict[str, Any], field: str, types: tuple, op: str) -> Any:
+    try:
+        value = frame[field]
+    except KeyError:
+        raise ProtocolError(
+            "missing-field",
+            f"{op!r} frame requires the field {field!r}",
+            stream=frame.get("stream") if isinstance(frame.get("stream"), str) else None,
+        ) from None
+    if not isinstance(value, types):
+        names = "/".join(t.__name__ for t in types)
+        raise ProtocolError(
+            "bad-frame",
+            f"{op!r} frame field {field!r} must be {names}, "
+            f"got {type(value).__name__}",
+            stream=frame.get("stream") if isinstance(frame.get("stream"), str) else None,
+        )
+    return value
+
+
+def validate_request(frame: Dict[str, Any]) -> str:
+    """Check a request frame's shape; returns its ``op``.
+
+    Field *presence and JSON types* are enforced here so registries and
+    workers downstream can index frames without defensive code; semantic
+    errors (unknown streams, unparseable formulas) surface from them.
+    """
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-frame", "request frames require a string 'op'")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(
+            "unknown-op", f"unknown op {op!r}; expected one of {', '.join(REQUEST_OPS)}"
+        )
+    if op == "ping":
+        return op
+    if op == "snapshot":
+        if "stream" in frame:
+            _require(frame, "stream", (str,), op)
+        return op
+    stream = _require(frame, "stream", (str,), op)
+    if op == "open":
+        has_spec = "spec" in frame
+        has_formulas = "formulas" in frame
+        if has_spec == has_formulas:
+            raise ProtocolError(
+                "bad-frame",
+                "'open' takes exactly one of 'spec' (a registered specification "
+                "name) or 'formulas' (clause name -> concrete syntax)",
+                stream=stream,
+            )
+        if has_spec:
+            _require(frame, "spec", (str,), op)
+        else:
+            formulas = _require(frame, "formulas", (dict,), op)
+            if not formulas:
+                raise ProtocolError(
+                    "bad-frame", "'formulas' must be non-empty", stream=stream
+                )
+            for name, text in formulas.items():
+                if not isinstance(text, str):
+                    raise ProtocolError(
+                        "bad-frame",
+                        f"formula {name!r} must be concrete syntax (a string)",
+                        stream=stream,
+                    )
+        if "domain" in frame and not isinstance(frame["domain"], dict):
+            raise ProtocolError(
+                "bad-frame", "'domain' must be an object", stream=stream
+            )
+    elif op == "append":
+        states = _require(frame, "states", (list,), op)
+        if not states:
+            raise ProtocolError(
+                "bad-frame", "'states' must be a non-empty list", stream=stream
+            )
+        if "ack" in frame and not isinstance(frame["ack"], bool):
+            raise ProtocolError("bad-frame", "'ack' must be a boolean", stream=stream)
+    return op
+
+
+class FrameDecoder:
+    """Incremental newline framing over an arbitrary byte stream.
+
+    ``feed`` accepts whatever chunk the transport produced — half a line, a
+    hundred lines, a line split mid-UTF-8-sequence — buffers the partial
+    tail and returns the *complete* raw lines.  Decoding those lines (and
+    answering per-line errors) is the caller's business, so one bad line
+    never poisons its neighbours in the same chunk.
+    """
+
+    __slots__ = ("_buffer", "_max_line", "_poisoned")
+
+    def __init__(self, max_line: int = MAX_LINE_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_line = max_line
+        self._poisoned = False
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered waiting for their newline."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb a chunk; returns every newly completed line (sans ``\\n``)."""
+        if self._poisoned:
+            # After an oversized line, resynchronize at the next newline.
+            cut = data.find(b"\n")
+            if cut < 0:
+                return []
+            data = data[cut + 1:]
+            self._poisoned = False
+            self._buffer.clear()
+        self._buffer.extend(data)
+        if b"\n" not in self._buffer:
+            if len(self._buffer) > self._max_line:
+                self._poisoned = True
+                self._buffer.clear()
+                raise ProtocolError(
+                    "line-too-long",
+                    f"frame exceeds {self._max_line} bytes before its newline",
+                )
+            return []
+        *complete, tail = self._buffer.split(b"\n")
+        self._buffer = bytearray(tail)
+        lines = [line.rstrip(b"\r") for line in complete if line.strip()]
+        if len(self._buffer) > self._max_line:
+            self._poisoned = True
+            self._buffer.clear()
+            raise ProtocolError(
+                "line-too-long",
+                f"frame exceeds {self._max_line} bytes before its newline",
+            )
+        for line in lines:
+            if len(line) > self._max_line:
+                raise ProtocolError(
+                    "line-too-long", f"frame exceeds {self._max_line} bytes"
+                )
+        return lines
+
+
+# -- state rows -------------------------------------------------------------
+
+
+def state_to_row(state: State) -> Dict[str, Any]:
+    """A JSON-safe row for one :class:`State` (``__start__`` is framing,
+    re-derived by the receiving monitor, so it never travels)."""
+    row: Dict[str, Any] = {
+        "values": {
+            name: value
+            for name, value in state.values_map.items()
+            if name != "__start__"
+        }
+    }
+    if state.operations:
+        row["ops"] = {
+            name: [record.phase, list(record.args), list(record.results)]
+            for name, record in state.operations.items()
+        }
+    return row
+
+
+def row_to_state(row: Any, stream: Optional[str] = None) -> State:
+    """One wire row → a :class:`State`; :class:`ProtocolError` on bad shape."""
+    if not isinstance(row, dict):
+        raise ProtocolError(
+            "bad-state", f"a state row is an object, got {type(row).__name__}",
+            stream=stream,
+        )
+    values = row.get("values")
+    if not isinstance(values, dict):
+        raise ProtocolError(
+            "bad-state", "a state row requires an object field 'values'",
+            stream=stream,
+        )
+    operations = None
+    if "ops" in row:
+        raw_ops = row["ops"]
+        if not isinstance(raw_ops, dict):
+            raise ProtocolError(
+                "bad-state", "'ops' must map operation names to records",
+                stream=stream,
+            )
+        operations = {}
+        for name, record in raw_ops.items():
+            if (
+                not isinstance(record, (list, tuple))
+                or len(record) != 3
+                or not isinstance(record[0], str)
+                or not isinstance(record[1], list)
+                or not isinstance(record[2], list)
+            ):
+                raise ProtocolError(
+                    "bad-state",
+                    f"operation {name!r} record must be [phase, args, results]",
+                    stream=stream,
+                )
+            try:
+                operations[name] = OperationRecord(
+                    record[0], tuple(record[1]), tuple(record[2])
+                )
+            except Exception as exc:
+                raise ProtocolError(
+                    "bad-state", f"operation {name!r}: {exc}", stream=stream
+                ) from None
+    try:
+        return State(values, operations)
+    except Exception as exc:
+        raise ProtocolError("bad-state", str(exc), stream=stream) from None
+
+
+def rows_to_states(rows: Iterable[Any], stream: Optional[str] = None) -> List[State]:
+    return [row_to_state(row, stream) for row in rows]
+
+
+def trace_to_rows(trace) -> List[Dict[str, Any]]:
+    """Every state of a trace as wire rows (load generators, replay)."""
+    return [state_to_row(state) for state in trace.states()]

@@ -1,0 +1,185 @@
+"""The asyncio monitoring service: sockets in front, registry or shards behind.
+
+A :class:`MonitorService` multiplexes any number of client connections over
+one backend:
+
+* ``shards=0`` (default) — a single in-process
+  :class:`~repro.serve.streams.StreamRegistry`.  Frame handling is
+  synchronous and cheap (amortized O(changed work) per appended state), so
+  the event loop itself is the scheduler: thousands of concurrent client
+  connections interleave at frame granularity.
+* ``shards=n`` — a :class:`~repro.serve.worker.ShardPool`: streams are
+  consistent-hashed across ``n`` worker processes and frame batches are
+  shipped over pipes from a thread (``asyncio.to_thread``), so the event
+  loop keeps accepting and parsing input while workers grind.
+
+Each connection is its own protocol session: frames answer in order, a
+malformed line answers with an ``error`` frame and the connection lives
+on, and EOF is a clean goodbye (streams stay open — they belong to the
+service, not the connection, so a monitoring fleet can hand a stream from
+one connection to another).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence
+
+from .protocol import FrameDecoder, ProtocolError, decode_frame, encode_frame
+from .streams import StreamRegistry
+from .worker import ShardPool
+
+__all__ = ["MonitorService"]
+
+
+class MonitorService:
+    """The long-lived monitoring process behind ``python -m repro.serve``."""
+
+    def __init__(
+        self,
+        shards: int = 0,
+        plan_cache_dir: Optional[str] = None,
+        stat_window: int = 256,
+        session=None,
+    ) -> None:
+        self._pool: Optional[ShardPool] = None
+        self._registry: Optional[StreamRegistry] = None
+        if shards and shards > 1:
+            self._pool = ShardPool(
+                shards, plan_cache_dir=plan_cache_dir, stat_window=stat_window
+            )
+        else:
+            if session is None:
+                from ..api.session import Session
+
+                session = Session(plan_cache_dir=plan_cache_dir)
+            self._registry = StreamRegistry(
+                session=session, stat_window=stat_window
+            )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections_served = 0
+        self.frames_served = 0
+
+    @property
+    def sharded(self) -> bool:
+        return self._pool is not None
+
+    @property
+    def registry(self) -> Optional[StreamRegistry]:
+        """The in-process registry (``None`` when sharded)."""
+        return self._registry
+
+    @property
+    def pool(self) -> Optional[ShardPool]:
+        return self._pool
+
+    # -- frame handling --------------------------------------------------------
+
+    def handle_frame(self, frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Synchronous dispatch — the replay harness and tests use this."""
+        self.frames_served += 1
+        if self._pool is not None:
+            return self._pool.handle(frame)
+        return self._registry.handle(frame)
+
+    def handle_batch(self, frames: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        self.frames_served += len(frames)
+        if self._pool is not None:
+            return self._pool.handle_batch(frames)
+        responses: List[Dict[str, Any]] = []
+        for frame in frames:
+            responses.extend(self._registry.handle(frame))
+        return responses
+
+    async def handle_frames_async(
+        self, frames: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Batch dispatch off the event loop when a shard pool is behind."""
+        if self._pool is not None:
+            self.frames_served += len(frames)
+            pool = self._pool
+            return await asyncio.to_thread(pool.handle_batch, frames)
+        return self.handle_batch(frames)
+
+    # -- the socket front end --------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(64 * 1024)
+                if not chunk:
+                    break
+                try:
+                    lines = decoder.feed(chunk)
+                except ProtocolError as exc:
+                    writer.write(encode_frame(exc.to_frame()))
+                    await writer.drain()
+                    continue
+                frames: List[Dict[str, Any]] = []
+                responses: List[Dict[str, Any]] = []
+                for line in lines:
+                    try:
+                        frames.append(decode_frame(line))
+                    except ProtocolError as exc:
+                        # Flush what decoded so far, then the error, keeping
+                        # response order aligned with request order.
+                        if frames:
+                            responses.extend(await self.handle_frames_async(frames))
+                            frames = []
+                        responses.append(exc.to_frame())
+                if frames:
+                    responses.extend(await self.handle_frames_async(frames))
+                if responses:
+                    writer.write(b"".join(encode_frame(r) for r in responses))
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # Teardown races (client already gone, loop shutting down
+                # mid-wait) are all equivalent here: the connection is over.
+                pass
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        """Bind and start accepting; returns the listening ``(host, port)``."""
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 9178) -> None:
+        bound_host, bound_port = await self.start(host, port)
+        backend = (
+            f"{self._pool.shard_count} shard workers"
+            if self._pool is not None
+            else "in-process registry"
+        )
+        print(f"repro.serve listening on {bound_host}:{bound_port} ({backend})")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def close(self) -> None:
+        """Release the backend (stops shard workers)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def service_snapshot(self) -> Dict[str, Any]:
+        if self._pool is not None:
+            snapshot = self._pool.aggregate_snapshot()
+        else:
+            snapshot = self._registry.service_snapshot()
+        snapshot["connections_served"] = self.connections_served
+        snapshot["frames_served"] = self.frames_served
+        return snapshot

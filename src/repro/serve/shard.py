@@ -1,0 +1,72 @@
+"""Consistent hashing: stable stream → worker assignment.
+
+Streams are pinned to shard workers by a classic consistent-hash ring:
+every worker owns ``replicas`` pseudo-random points on a 64-bit circle
+(SHA-256 of ``"worker:replica"``), and a stream id hashes to the first
+worker point at or clockwise-after its own hash.  Two properties matter
+here:
+
+* **determinism** — the assignment is a pure function of (worker ids,
+  replicas, stream id): the parent router and any client computing
+  assignments locally always agree, across processes and runs (no
+  dependence on ``PYTHONHASHSEED``);
+* **stability** — resizing the pool from *n* to *n+1* workers remaps only
+  ~``1/(n+1)`` of the streams, so a scaled service re-homes (and re-warms)
+  the minimum, instead of reshuffling every monitor state the way
+  ``hash(stream) % n`` would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+
+#: Points per worker: enough that the largest/smallest shard load ratio
+#: stays small, few enough that ring construction is instant.
+DEFAULT_REPLICAS = 64
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over an ordered set of worker ids."""
+
+    def __init__(self, workers: Sequence[int], replicas: int = DEFAULT_REPLICAS):
+        if not workers:
+            raise ValueError("a hash ring needs at least one worker")
+        if len(set(workers)) != len(workers):
+            raise ValueError("worker ids must be unique")
+        if replicas < 1:
+            raise ValueError(f"replicas must be at least 1, got {replicas}")
+        self.workers: Tuple[int, ...] = tuple(workers)
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for worker in workers:
+            for replica in range(replicas):
+                points.append((_point(f"{worker}:{replica}"), worker))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [worker for _, worker in points]
+
+    def worker_for(self, stream: str) -> int:
+        """The worker owning ``stream`` (wrap-around at the top of the ring)."""
+        index = bisect_right(self._hashes, _point(stream))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+    def assign(self, streams: Sequence[str]) -> Dict[int, List[str]]:
+        """Bulk assignment, preserving per-worker stream order."""
+        assignment: Dict[int, List[str]] = {worker: [] for worker in self.workers}
+        for stream in streams:
+            assignment[self.worker_for(stream)].append(stream)
+        return assignment
+
+    def __repr__(self) -> str:
+        return f"HashRing(workers={list(self.workers)}, replicas={self.replicas})"

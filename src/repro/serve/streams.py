@@ -1,0 +1,354 @@
+"""Named monitored streams and the per-worker stream registry.
+
+A :class:`StreamRegistry` is the synchronous core every transport shares:
+the asyncio front end (single-process service), each shard worker process,
+and the corpus replay harness all push decoded request frames through
+:meth:`StreamRegistry.handle` and write back whatever response frames it
+returns.  One registry owns one :class:`~repro.api.session.Session`, so
+every stream opened on the same specification reuses one warm compiled
+plan (and, with a persistent plan-cache directory, plans compiled by any
+earlier process).
+
+Each stream is an incremental :class:`~repro.checking.monitor.Monitor` —
+the multi-root ``SpecPlanState`` path with tail-aware memos — plus a
+**published snapshot**: a small version-stamped verdict digest rebuilt at
+every batch boundary.  Snapshot reads return that published version
+as-is, MVCC-style (the "Multiversion Concurrency Control" reading of the
+ROADMAP item): a reader sees the last *committed* batch, never a
+half-absorbed one, and ingestion never waits on readers — there is no
+lock to contend because snapshots cost a dict copy.
+
+Verdict-change alerts ride the monitor's ``on_change`` hook: whenever a
+clause's verdict flips (or first materializes, or starts erroring), the
+registry emits an ``alert`` event frame ahead of the triggering frame's
+acknowledgement.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..api.session import Session
+from ..syntax.parser import parse_formula
+from .protocol import ProtocolError, rows_to_states, validate_request
+
+__all__ = ["SPEC_FACTORIES", "StreamHandle", "StreamRegistry"]
+
+
+def _spec_factories() -> Dict[str, Callable[[], Any]]:
+    # Lazy: repro.specs pulls in the full syntax/builder stack.
+    from ..specs import (
+        arbiter_spec,
+        mutex_spec,
+        receiver_spec,
+        reliable_queue_spec,
+        request_ack_spec,
+        sender_spec,
+        service_provided_spec,
+        stack_spec,
+        unreliable_queue_spec,
+    )
+
+    return {
+        "mutex": mutex_spec,
+        "reliable_queue": reliable_queue_spec,
+        "stack": stack_spec,
+        "unreliable_queue": unreliable_queue_spec,
+        "arbiter": arbiter_spec,
+        "request_ack": request_ack_spec,
+        "ab_sender": sender_spec,
+        "ab_receiver": receiver_spec,
+        "ab_service": service_provided_spec,
+    }
+
+
+#: ``open`` frames with ``"spec": name`` resolve through this registry —
+#: the paper's Chapter 5-8 specifications, ready to serve.
+SPEC_FACTORIES = _spec_factories
+
+
+class StreamHandle:
+    """One named stream: an incremental monitor plus its published snapshot."""
+
+    __slots__ = (
+        "name",
+        "monitor",
+        "version",
+        "states_ingested",
+        "batches",
+        "alerts_emitted",
+        "_published",
+        "_pending_alerts",
+    )
+
+    def __init__(self, name: str, monitor) -> None:
+        self.name = name
+        self.monitor = monitor
+        #: Bumped once per committed batch; snapshots carry it, so a client
+        #: polling snapshots can tell "no progress" from "no change".
+        self.version = 0
+        self.states_ingested = 0
+        self.batches = 0
+        self.alerts_emitted = 0
+        self._pending_alerts: List[Dict[str, Any]] = []
+        self._published = self._build_snapshot()
+        monitor.on_change = self._on_change  # the stream owns the alert hook
+
+    # -- alerts ---------------------------------------------------------------
+
+    def _on_change(self, clause: str, verdict) -> None:
+        alert: Dict[str, Any] = {
+            "event": "alert",
+            "stream": self.name,
+            "clause": clause,
+            "verdict": verdict.holds,
+            "at": self.monitor.prefix_length,
+        }
+        if verdict.error is not None:
+            alert["error"] = verdict.error
+        self._pending_alerts.append(alert)
+
+    # -- ingestion ------------------------------------------------------------
+
+    def absorb(self, states) -> List[Dict[str, Any]]:
+        """Commit one batch; returns the alert frames it raised."""
+        self.monitor.observe_batch(states)
+        self.version += 1
+        self.states_ingested += len(states)
+        self.batches += 1
+        alerts, self._pending_alerts = self._pending_alerts, []
+        self.alerts_emitted += len(alerts)
+        self._published = self._build_snapshot()
+        return alerts
+
+    # -- the published (non-blocking) snapshot --------------------------------
+
+    def _build_snapshot(self) -> Dict[str, Any]:
+        monitor = self.monitor
+        costs = monitor.step_costs
+        verdicts = {
+            name: {
+                "holds": v.holds,
+                "stable_for": v.stable_for,
+                **({"error": v.error} if v.error is not None else {}),
+            }
+            for name, v in monitor.verdicts.items()
+        }
+        return {
+            "ok": "snapshot",
+            "stream": self.name,
+            "version": self.version,
+            "length": monitor.prefix_length,
+            "states_ingested": self.states_ingested,
+            "batches": self.batches,
+            "alerts": self.alerts_emitted,
+            "verdicts": verdicts,
+            "failing": sorted(monitor.failing()),
+            "step_cost": {
+                "last": monitor.last_step_cost,
+                "window": len(costs),
+                "window_total": sum(costs),
+                "lifetime_batches": costs.total_count,
+                "lifetime_total": costs.total,
+            },
+            "memo_size": monitor.plan_state.memo_size,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The last *committed* version — a copy, never an evaluation.
+
+        A deep copy: snapshots hold nested verdict/step-cost objects, and
+        a reader mutating its copy must not corrupt the published version
+        every other reader shares.
+        """
+        return copy.deepcopy(self._published)
+
+    def verdict_map(self) -> Dict[str, Optional[bool]]:
+        return {name: v.holds for name, v in self.monitor.verdicts.items()}
+
+
+class StreamRegistry:
+    """All streams of one worker, behind the frame-level request surface."""
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        stat_window: int = 256,
+        worker_id: Optional[int] = None,
+    ) -> None:
+        self._session = session if session is not None else Session()
+        self._stat_window = stat_window
+        self._streams: Dict[str, StreamHandle] = {}
+        self.worker_id = worker_id
+        self.opened = 0
+        self.closed = 0
+        self.states_ingested = 0
+        self.alerts_emitted = 0
+        self.errors = 0
+
+    @property
+    def session(self) -> Session:
+        return self._session
+
+    @property
+    def stream_count(self) -> int:
+        return len(self._streams)
+
+    def stream(self, name: str) -> StreamHandle:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise ProtocolError(
+                "unknown-stream", f"no stream named {name!r} is open", stream=name
+            ) from None
+
+    # -- the frame-level surface ----------------------------------------------
+
+    def handle(self, frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """One request frame → its response frames (alerts before acks).
+
+        Protocol failures come back as ``error`` frames instead of
+        raising, so every transport (socket loop, shard pipe, replay
+        harness) shares one error discipline; unexpected internal failures
+        are caught too (``"internal"``) — one poisoned frame must not take
+        down a worker serving thousands of streams.
+        """
+        try:
+            op = validate_request(frame)
+            if op == "ping":
+                return [{"ok": "pong"}]
+            if op == "open":
+                return [self.open(frame)]
+            if op == "append":
+                return self.append(frame)
+            if op == "snapshot":
+                return [self.snapshot(frame.get("stream"))]
+            return [self.close(frame["stream"])]
+        except ProtocolError as exc:
+            self.errors += 1
+            return [exc.to_frame()]
+        except Exception as exc:  # pragma: no cover - defensive
+            self.errors += 1
+            return [
+                ProtocolError(
+                    "internal",
+                    f"{type(exc).__name__}: {exc}",
+                    stream=frame.get("stream")
+                    if isinstance(frame.get("stream"), str)
+                    else None,
+                ).to_frame()
+            ]
+
+    # -- operations ------------------------------------------------------------
+
+    def open(self, frame: Mapping[str, Any]) -> Dict[str, Any]:
+        name = frame["stream"]
+        if name in self._streams:
+            raise ProtocolError(
+                "duplicate-stream", f"stream {name!r} is already open", stream=name
+            )
+        formulas = self._resolve_formulas(frame)
+        domain = frame.get("domain")
+        monitor = self._session.monitor(
+            formulas,
+            domain,
+            capture_errors=True,
+            stat_window=self._stat_window,
+        )
+        handle = StreamHandle(name, monitor)
+        self._streams[name] = handle
+        self.opened += 1
+        return {
+            "ok": "opened",
+            "stream": name,
+            "clauses": list(formulas),
+            "plan_from_cache": bool(monitor.plan_from_cache),
+        }
+
+    def _resolve_formulas(self, frame: Mapping[str, Any]) -> Dict[str, Any]:
+        name = frame["stream"]
+        if "spec" in frame:
+            factories = SPEC_FACTORIES()
+            try:
+                factory = factories[frame["spec"]]
+            except KeyError:
+                raise ProtocolError(
+                    "unknown-spec",
+                    f"unknown spec {frame['spec']!r}; available: "
+                    f"{', '.join(sorted(factories))}",
+                    stream=name,
+                ) from None
+            specification = factory()
+            return {
+                clause.name: clause.interpreted_formula()
+                for clause in specification.clauses
+            }
+        formulas = {}
+        for clause, text in frame["formulas"].items():
+            try:
+                formulas[clause] = parse_formula(text)
+            except Exception as exc:
+                raise ProtocolError(
+                    "bad-formula", f"clause {clause!r}: {exc}", stream=name
+                ) from None
+        return formulas
+
+    def append(self, frame: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        name = frame["stream"]
+        handle = self.stream(name)
+        states = rows_to_states(frame["states"], stream=name)
+        alerts = handle.absorb(states)
+        self.states_ingested += len(states)
+        self.alerts_emitted += len(alerts)
+        responses = list(alerts)
+        if frame.get("ack", True):
+            responses.append(
+                {
+                    "ok": "appended",
+                    "stream": name,
+                    "count": len(states),
+                    "length": handle.monitor.prefix_length,
+                    "version": handle.version,
+                    "verdicts": handle.verdict_map(),
+                }
+            )
+        return responses
+
+    def snapshot(self, name: Optional[str] = None) -> Dict[str, Any]:
+        if name is not None:
+            return self.stream(name).snapshot()
+        return self.service_snapshot()
+
+    def service_snapshot(self) -> Dict[str, Any]:
+        """The whole worker's aggregate, cache stats included."""
+        snapshot: Dict[str, Any] = {
+            "ok": "snapshot",
+            "streams": len(self._streams),
+            "opened": self.opened,
+            "closed": self.closed,
+            "states_ingested": self.states_ingested,
+            "alerts": self.alerts_emitted,
+            "errors": self.errors,
+            "failing_streams": sorted(
+                handle.name
+                for handle in self._streams.values()
+                if handle.monitor.failing()
+            ),
+            "cache": self._session.cache_statistics(),
+        }
+        if self.worker_id is not None:
+            snapshot["worker"] = self.worker_id
+        return snapshot
+
+    def close(self, name: str) -> Dict[str, Any]:
+        handle = self.stream(name)
+        del self._streams[name]
+        self.closed += 1
+        return {
+            "ok": "closed",
+            "stream": name,
+            "length": handle.monitor.prefix_length,
+            "version": handle.version,
+            "verdicts": handle.verdict_map(),
+        }

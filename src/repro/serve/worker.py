@@ -1,0 +1,253 @@
+"""Shard worker processes and the parent-side routing pool.
+
+One :class:`ShardPool` owns ``n`` worker processes, each running
+:func:`shard_worker_main`: a plain loop over a ``multiprocessing`` pipe
+that applies request frames to a private :class:`~repro.serve.streams.
+StreamRegistry` (its own :class:`~repro.api.session.Session`, its own warm
+plan cache — give every worker the same persistent ``plan_cache_dir`` and
+only the first to see a specification ever compiles it).  The parent
+routes each frame by consistent hash on its stream id
+(:class:`~repro.serve.shard.HashRing`), ships frames **in batches** per
+worker (one pickle round-trip absorbs an arbitrary number of appends, so
+the pipe never becomes the bottleneck the per-frame latency would make
+it), and re-interleaves nothing: responses come back grouped per worker in
+submission order, which is exactly per-stream order — the only order the
+protocol promises.
+
+Stream-less frames fan out: a service-wide ``snapshot`` queries every
+worker and merges the aggregates; ``ping`` answers in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .shard import DEFAULT_REPLICAS, HashRing
+
+__all__ = ["WorkerConfig", "ShardPool", "shard_worker_main"]
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker needs to build its registry (must pickle)."""
+
+    worker_id: int
+    plan_cache_dir: Optional[str] = None
+    stat_window: int = 256
+    session_options: Dict[str, Any] = field(default_factory=dict)
+
+
+def shard_worker_main(conn, config: WorkerConfig) -> None:
+    """The worker loop: ``("frames", [...])`` in, ``[responses...]`` out."""
+    from ..api.session import Session
+    from .streams import StreamRegistry
+
+    session = Session(
+        plan_cache_dir=config.plan_cache_dir, **config.session_options
+    )
+    registry = StreamRegistry(
+        session=session,
+        stat_window=config.stat_window,
+        worker_id=config.worker_id,
+    )
+    while True:
+        try:
+            kind, payload = conn.recv()
+        except EOFError:  # parent died: nothing left to serve
+            break
+        if kind == "stop":
+            conn.send(("stats", registry.service_snapshot()))
+            break
+        responses: List[Dict[str, Any]] = []
+        for frame in payload:
+            responses.extend(registry.handle(frame))
+        conn.send(("frames", responses))
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle: process + pipe + a lock serializing round-trips."""
+
+    __slots__ = ("id", "process", "conn", "lock")
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        # The asyncio front end may drive round-trips from worker threads
+        # (``asyncio.to_thread``); one lock per pipe keeps send/recv paired.
+        self.lock = threading.Lock()
+
+    def request(self, frames: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        with self.lock:
+            self.conn.send(("frames", list(frames)))
+            kind, payload = self.conn.recv()
+        return payload
+
+    def stop(self) -> Optional[Dict[str, Any]]:
+        stats = None
+        try:
+            with self.lock:
+                self.conn.send(("stop", None))
+                kind, payload = self.conn.recv()
+            if kind == "stats":
+                stats = payload
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5)
+        return stats
+
+
+class ShardPool:
+    """``n`` shard workers behind one consistent-hash router."""
+
+    def __init__(
+        self,
+        shards: int,
+        plan_cache_dir: Optional[str] = None,
+        stat_window: int = 256,
+        replicas: int = DEFAULT_REPLICAS,
+        context: Optional[str] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        ctx = multiprocessing.get_context(context)
+        self.ring = HashRing(range(shards), replicas=replicas)
+        self._workers: List[_Worker] = []
+        self._closed = False
+        for worker_id in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            config = WorkerConfig(
+                worker_id=worker_id,
+                plan_cache_dir=plan_cache_dir,
+                stat_window=stat_window,
+            )
+            process = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, config),
+                daemon=True,
+                name=f"repro-serve-shard-{worker_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(worker_id, process, parent_conn))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._workers)
+
+    def worker_for(self, stream: str) -> int:
+        return self.ring.worker_for(stream)
+
+    # -- routing ---------------------------------------------------------------
+
+    def handle(self, frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Route one frame; stream-less snapshots aggregate over the pool."""
+        return self.handle_batch([frame])
+
+    def handle_batch(self, frames: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Route a frame batch, one pipe round-trip per involved worker.
+
+        Responses are concatenated in worker-id order, per-stream order
+        preserved inside each worker (the hash pins a stream to exactly
+        one worker, so no cross-worker reordering can touch a stream).
+        """
+        self._check_open()
+        groups: Dict[int, List[Dict[str, Any]]] = {}
+        passthrough: List[Dict[str, Any]] = []
+        for frame in frames:
+            stream = frame.get("stream")
+            if isinstance(stream, str):
+                groups.setdefault(self.ring.worker_for(stream), []).append(frame)
+            elif frame.get("op") == "snapshot":
+                passthrough.append(self.aggregate_snapshot())
+            elif frame.get("op") == "ping":
+                passthrough.append({"ok": "pong"})
+            else:
+                # Shape errors for stream-less frames: any worker answers
+                # identically; use worker 0 to keep one error discipline.
+                groups.setdefault(self.ring.workers[0], []).append(frame)
+        responses: List[Dict[str, Any]] = []
+        involved = [w for w in self._workers if groups.get(w.id)]
+        if len(involved) == 1:
+            responses.extend(involved[0].request(groups[involved[0].id]))
+        elif involved:
+            # Ship every worker its batch *before* collecting any reply —
+            # the whole point of sharding is that workers grind
+            # concurrently, and a send-recv-send-recv loop would serialize
+            # them behind each other.  Locks are taken in worker-id order
+            # (consistently everywhere) so concurrent batch dispatchers
+            # cannot deadlock.
+            for worker in involved:
+                worker.lock.acquire()
+            try:
+                for worker in involved:
+                    worker.conn.send(("frames", groups[worker.id]))
+                for worker in involved:
+                    _, payload = worker.conn.recv()
+                    responses.extend(payload)
+            finally:
+                for worker in involved:
+                    worker.lock.release()
+        responses.extend(passthrough)
+        return responses
+
+    def aggregate_snapshot(self) -> Dict[str, Any]:
+        """Service-wide totals merged over every worker's aggregate."""
+        self._check_open()
+        merged: Dict[str, Any] = {
+            "ok": "snapshot",
+            "shards": len(self._workers),
+            "streams": 0,
+            "opened": 0,
+            "closed": 0,
+            "states_ingested": 0,
+            "alerts": 0,
+            "errors": 0,
+            "failing_streams": [],
+            "workers": [],
+        }
+        for worker in self._workers:
+            (snapshot,) = worker.request([{"op": "snapshot"}])
+            for key in ("streams", "opened", "closed", "states_ingested",
+                        "alerts", "errors"):
+                merged[key] += snapshot.get(key, 0)
+            merged["failing_streams"].extend(snapshot.get("failing_streams", []))
+            merged["workers"].append(snapshot)
+        merged["failing_streams"].sort()
+        return merged
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this shard pool is closed")
+
+    def close(self) -> List[Dict[str, Any]]:
+        """Stop every worker; returns their final aggregate snapshots."""
+        if self._closed:
+            return []
+        self._closed = True
+        stats = []
+        for worker in self._workers:
+            final = worker.stop()
+            if final is not None:
+                stats.append(final)
+        return stats
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
