@@ -4,15 +4,23 @@
 worker processes.  The batch is split into contiguous chunks (preserving
 order), each worker materializes its own :class:`~repro.api.session.Session`
 and runs a chunk serially, and the results are re-concatenated in request
-order.  Workers share nothing; per-trace memo sharing still happens within a
-chunk, so chunks should group requests over the same trace — which is how
-the conformance runner lays them out.
+order.  Workers share nothing in memory; per-trace memo sharing still
+happens within a chunk, so chunks should group requests over the same trace
+— which is how the conformance runner lays them out.
+
+Workers *do* share the parent session's persistent plan store: when the
+session was built with ``plan_cache_dir=...`` the directory travels to
+every worker session, and the parent precompiles each compiled-path plan
+into it before the fan-out — so workers start **warm**, loading plans by
+digest (``plan_disk_hits``) instead of recompiling per process.  Each
+worker's cache statistics come back with its chunk and are exposed on
+``Session.last_parallel_cache_stats``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..semantics.trace import Trace
 from .request import CheckRequest
@@ -54,26 +62,46 @@ def split_chunks(
     return [list(requests[i : i + chunk_size]) for i in range(0, total, chunk_size)]
 
 
-def _run_chunk(requests: List[CheckRequest]) -> List[CheckResult]:
+def _run_chunk(
+    payload: Tuple[List[CheckRequest], Optional[str]]
+) -> Tuple[List[CheckResult], Dict[str, Any]]:
     # A fresh session per worker: evaluator memo tables are shared within
-    # the chunk, never across processes.
+    # the chunk, never across processes — but the persistent plan store
+    # (when configured) is shared with the parent, so plans the parent
+    # precompiled load from disk instead of recompiling per worker.
     from .session import Session
 
-    session = Session()
-    return [session._run(request) for request in requests]
+    requests, plan_cache_dir = payload
+    session = Session(plan_cache_dir=plan_cache_dir)
+    results = [session._run(request) for request in requests]
+    return results, session.cache_statistics()
 
 
 def run_chunked(
     requests: Sequence[CheckRequest],
     processes: int,
     chunk_size: Optional[int] = None,
+    plan_cache_dir: Optional[str] = None,
+    stats_sink: Optional[List[Dict[str, Any]]] = None,
 ) -> List[CheckResult]:
-    """Run ``requests`` over ``processes`` workers; results in request order."""
+    """Run ``requests`` over ``processes`` workers; results in request order.
+
+    ``plan_cache_dir`` hands every worker session the persistent plan
+    store; ``stats_sink`` (a list) collects one cache-statistics dict per
+    worker chunk, in chunk order.
+    """
     chunks = split_chunks(requests, processes, chunk_size)
     if len(chunks) <= 1:
-        return _run_chunk(list(requests))
+        results, stats = _run_chunk((list(requests), plan_cache_dir))
+        if stats_sink is not None:
+            stats_sink.append(stats)
+        return results
     _prepare_columns(requests)
     context = multiprocessing.get_context()
     with context.Pool(processes=min(processes, len(chunks))) as pool:
-        chunk_results = pool.map(_run_chunk, chunks)
-    return [result for chunk in chunk_results for result in chunk]
+        chunk_results = pool.map(
+            _run_chunk, [(chunk, plan_cache_dir) for chunk in chunks]
+        )
+    if stats_sink is not None:
+        stats_sink.extend(stats for _, stats in chunk_results)
+    return [result for results, _ in chunk_results for result in results]

@@ -94,7 +94,16 @@ class Session:
         ``REPRO_PLAN_CACHE`` environment variable when set — which worker
         processes inherit, so ``check_many(processes=...)`` fan-outs and
         :mod:`repro.serve` shard workers reload plans compiled by any
-        earlier process instead of recompiling per worker.
+        earlier process instead of recompiling per worker.  An explicit
+        directory is threaded into ``check_many(processes=...)`` worker
+        sessions too, and the parent precompiles each compiled-path plan
+        into it before fanning out — warm workers report their cache
+        statistics on :attr:`last_parallel_cache_stats`.
+    forall_unroll_cap:
+        Bound on quantifier unrolling in the compiled runtime (``None`` =
+        the runtime default, ``0`` disables specialization).  Part of the
+        bound-plan-state cache key: plan states specialized under
+        different caps never alias.
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class Session:
         processes: Optional[int] = None,
         prefer_compiled: bool = True,
         plan_cache_dir: Optional[str] = None,
+        forall_unroll_cap: Optional[int] = None,
     ) -> None:
         self._default_domain = dict(domain) if domain else None
         self._registry = engines if engines is not None else default_registry()
@@ -113,6 +123,10 @@ class Session:
         self._processes = processes
         self._prefer_compiled = prefer_compiled
         self._plan_cache_dir = plan_cache_dir
+        self._forall_unroll_cap = forall_unroll_cap
+        #: Per-worker cache statistics of the most recent
+        #: ``check_many(processes=...)`` fan-out (one dict per chunk).
+        self.last_parallel_cache_stats: List[Dict[str, Any]] = []
         self._traces: Dict[str, Trace] = {}
         self._evaluators: Dict[Tuple[int, Any], Evaluator] = {}
         self._trace_refs: Dict[int, Trace] = {}
@@ -262,6 +276,7 @@ class Session:
             for name, f in formulas.items()
         ]
         plan, from_cache = self.plan_cache.get_spec(items, domain)
+        options.setdefault("forall_unroll_cap", self._forall_unroll_cap)
         monitor = Monitor(dict(items), domain, plan=plan, **options)
         monitor.plan_from_cache = from_cache
         return monitor
@@ -306,12 +321,20 @@ class Session:
             domain = self._default_domain
         plan, from_cache = self.plan_cache.get(formula, domain)
         domain_key = _domain_key(domain)
+        cap = self._forall_unroll_cap
         if domain_key is _UNCACHEABLE:
-            return plan.evaluator(trace, domain, vectorize=vectorize), from_cache
-        key = (plan.digest, id(trace), domain_key, bool(vectorize))
+            return (
+                plan.evaluator(
+                    trace, domain, vectorize=vectorize, forall_unroll_cap=cap
+                ),
+                from_cache,
+            )
+        key = (plan.digest, id(trace), domain_key, bool(vectorize), cap)
         state = self._plan_states.get(key)
         if state is None:
-            state = plan.evaluator(trace, domain, vectorize=vectorize)
+            state = plan.evaluator(
+                trace, domain, vectorize=vectorize, forall_unroll_cap=cap
+            )
             self._plan_states[key] = state
             # Keep the trace alive so the id() key cannot be recycled.
             self._trace_refs[id(trace)] = trace
@@ -360,12 +383,20 @@ class Session:
                 self._spec_plans[plan_key] = (plan, specification)
                 while len(self._spec_plans) > self._SPEC_PLAN_IDENTITY_CAPACITY:
                     self._spec_plans.popitem(last=False)
+        cap = self._forall_unroll_cap
         if domain_key is _UNCACHEABLE:
-            return plan.evaluator(trace, domain, vectorize=vectorize), from_cache
-        key = (plan.digest, id(trace), domain_key, bool(vectorize))
+            return (
+                plan.evaluator(
+                    trace, domain, vectorize=vectorize, forall_unroll_cap=cap
+                ),
+                from_cache,
+            )
+        key = (plan.digest, id(trace), domain_key, bool(vectorize), cap)
         state = self._plan_states.get(key)
         if state is None:
-            state = plan.evaluator(trace, domain, vectorize=vectorize)
+            state = plan.evaluator(
+                trace, domain, vectorize=vectorize, forall_unroll_cap=cap
+            )
             self._plan_states[key] = state
             # Keep the trace alive so the id() key cannot be recycled.
             self._trace_refs[id(trace)] = trace
@@ -470,8 +501,18 @@ class Session:
             from .parallel import run_chunked
 
             shipped = [self._prepare_for_worker(r) for r in prepared]
+            self._warm_plan_store(shipped)
+            stats_sink: List[Dict[str, Any]] = []
             try:
-                return run_chunked(shipped, processes, chunk_size)
+                results = run_chunked(
+                    shipped,
+                    processes,
+                    chunk_size,
+                    plan_cache_dir=self._plan_cache_dir,
+                    stats_sink=stats_sink,
+                )
+                self.last_parallel_cache_stats = stats_sink
+                return results
             except Exception as exc:
                 # Workers could not be used (unpicklable payloads, missing
                 # fork support, or an engine error that must surface with a
@@ -505,6 +546,40 @@ class Session:
         if changes:
             return request.with_options(**changes)
         return request
+
+    def _warm_plan_store(self, requests: Sequence[CheckRequest]) -> None:
+        """Precompile every compiled-path plan into the persistent store.
+
+        Runs before a worker fan-out when this session carries an explicit
+        ``plan_cache_dir``: each distinct (formula, domain-shape) that will
+        dispatch to the compiled engine is compiled once here — an atomic
+        digest-addressed write — so every worker's first lookup is a
+        ``plan_disk_hits`` load, never a recompilation.  Best-effort: a
+        formula the pipeline cannot lower is skipped (the worker falls
+        back to the interpreting engine exactly as it would have anyway).
+        """
+        if self._plan_cache_dir is None:
+            return
+        seen = set()
+        for request in requests:
+            if request.trace is None:
+                continue
+            if not (request.compile is True or request.mode == "compiled"):
+                continue
+            try:
+                formula = request.resolved_formula()
+            except Exception:
+                continue
+            if not isinstance(formula, Formula):
+                continue
+            key = (repr(formula), _domain_key(request.domain))
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                self.plan_cache.get(formula, request.domain)
+            except Exception:
+                continue
 
     def check_spec(
         self,

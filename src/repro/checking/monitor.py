@@ -161,11 +161,17 @@ class MonitorVerdict:
     #: Set when the formula's evaluation raised under ``capture_errors``.
     error: Optional[str] = None
 
-    def update(self, value: bool) -> bool:
-        """Record a fresh verdict; True when it changed (or first appeared)."""
+    def update(self, value: bool, weight: int = 1) -> bool:
+        """Record a fresh verdict; True when it changed (or first appeared).
+
+        ``weight`` is the number of observation steps this verdict stands
+        for — a coalesced batch of ``k`` frames whose verdict did not flip
+        advances ``stable_for`` by ``k``, exactly as ``k`` frame-at-a-time
+        updates would have.
+        """
         changed = self.holds is None or value != self.holds
         if not changed:
-            self.stable_for += 1
+            self.stable_for += weight
         else:
             self.stable_for = 0
         self.holds = value
@@ -173,11 +179,11 @@ class MonitorVerdict:
         self.history.append(value)
         return changed
 
-    def update_error(self, message: str) -> bool:
+    def update_error(self, message: str, weight: int = 1) -> bool:
         """Record an evaluation error; True when the classification changed."""
         changed = self.error is None
         self.holds = None
-        self.stable_for = 0 if changed else self.stable_for + 1
+        self.stable_for = 0 if changed else self.stable_for + weight
         self.error = message
         self.history.append(None)
         return changed
@@ -216,6 +222,11 @@ class Monitor:
     stat_window:
         Ring-buffer capacity for ``step_costs`` and verdict histories
         (``None`` = unbounded, the pre-serve behaviour).
+    forall_unroll_cap:
+        Bound on quantifier specialization in the compiled runtime
+        (``None`` = the runtime default, ``0`` disables unrolling) —
+        verdicts are identical at any cap; the knob exists for parity
+        harnesses and benchmarks pinning one mode.
     """
 
     def __init__(
@@ -227,6 +238,7 @@ class Monitor:
         on_change: Optional[Callable[[str, MonitorVerdict], None]] = None,
         capture_errors: bool = False,
         stat_window: Optional[int] = DEFAULT_STAT_WINDOW,
+        forall_unroll_cap: Optional[int] = None,
     ) -> None:
         self._formulas = dict(formulas)
         self._domain = domain
@@ -245,6 +257,7 @@ class Monitor:
             self._prefix,
             domain=domain,
             incremental=True,
+            forall_unroll_cap=forall_unroll_cap,
         )
         self._on_change = on_change
         self._capture_errors = capture_errors
@@ -277,16 +290,18 @@ class Monitor:
         """The shared multi-root plan state behind this monitor."""
         return self._state
 
-    def _refresh_verdicts(self) -> None:
+    def _refresh_verdicts(self, weight: int = 1) -> None:
         for name in self._formulas:
             verdict = self._verdicts[name]
             if self._capture_errors:
                 try:
-                    changed = verdict.update(self._state.satisfies(name))
+                    changed = verdict.update(self._state.satisfies(name), weight)
                 except Exception as exc:  # per-formula capture, like check_all
-                    changed = verdict.update_error(f"{type(exc).__name__}: {exc}")
+                    changed = verdict.update_error(
+                        f"{type(exc).__name__}: {exc}", weight
+                    )
             else:
-                changed = verdict.update(self._state.satisfies(name))
+                changed = verdict.update(self._state.satisfies(name), weight)
             if changed and self._on_change is not None:
                 self._on_change(name, verdict)
 
@@ -305,15 +320,25 @@ class Monitor:
         self.step_costs.append(self._state.stats.dispatch_calls - before)
         return dict(self._verdicts)
 
-    def observe_batch(self, states: Sequence[State]) -> Dict[str, MonitorVerdict]:
+    def observe_batch(
+        self, states: Sequence[State], commits: int = 1
+    ) -> Dict[str, MonitorVerdict]:
         """Absorb a chunk of states, re-evaluating once at the boundary.
 
         Sound because the incremental memo split is tail-aware: stable
         entries are tail-independent, so appending any number of states
         before the single re-evaluation invalidates exactly the volatile
         entries that :meth:`~repro.compile.specplan.SpecPlanState.note_append`
-        clears.  Verdict histories and ``on_change`` callbacks see one
-        entry per *batch* — send batches of one for per-state granularity.
+        clears (one sweep per batch), and the tail kernel extends its
+        profiles over the whole appended window in one vectorized pass.
+        Verdict histories and ``on_change`` callbacks see one entry per
+        *batch* — send batches of one for per-state granularity.
+
+        ``commits`` is the number of observation steps the batch stands
+        for: the serve layer coalesces ``k`` back-to-back frames into one
+        batch and passes ``commits=k`` so each formula's ``stable_for``
+        advances exactly as ``k`` frame-at-a-time batches would have when
+        the verdict does not flip inside the group.
         """
         if not states:
             return dict(self._verdicts)
@@ -323,7 +348,7 @@ class Monitor:
             self._prefix.append(state)
         before = self._state.stats.dispatch_calls
         self._state.note_append()
-        self._refresh_verdicts()
+        self._refresh_verdicts(weight=commits)
         self.step_costs.append(self._state.stats.dispatch_calls - before)
         return dict(self._verdicts)
 

@@ -24,9 +24,12 @@ exactly as before.
 
 from __future__ import annotations
 
+from itertools import product
 from typing import Callable, List, Tuple
 
-from ..semantics.construction import BOTTOM
+from ..semantics.trace import INFINITY
+
+from ..semantics.construction import BOTTOM, Direction, Interval
 from .dag import (
     CompileError,
     N_ALWAYS,
@@ -43,6 +46,11 @@ from .dag import (
     N_OCCURS,
     N_OR,
     N_TRUE,
+    T_BACKWARD,
+    T_BEGIN,
+    T_END,
+    T_EVENT,
+    T_FORWARD,
 )
 
 __all__ = ["bind_dispatch"]
@@ -144,6 +152,47 @@ def _lower_occurs(state, node):
 
 
 def _lower_forall(state, node):
+    """Quantifier lowering, specialized when the domains are known small.
+
+    When every quantified variable carries an *explicit* domain and the
+    cartesian product has at most ``forall_unroll_cap`` bindings, the
+    quantifier unrolls at lowering time: the binding tuples are
+    precomputed once per plan state and the closure is a flat loop —
+    no per-call recursion, no per-level domain lookups — so each
+    instantiated body hits its own envkey-addressed memo slots (and, for
+    state-formula bodies, its own kernel profile) directly.  Iteration
+    order, first-``False`` short-circuit and error propagation are
+    exactly those of :meth:`PlanState._holds_forall`, which remains the
+    path for default-universe or over-cap quantifiers.
+    """
+    cap = state._forall_unroll_cap
+    names = node.var_names
+    if cap > 0 and all(name in state._domain for name in names):
+        domains = [state._domain[name] for name in names]
+        total = 1
+        for values in domains:
+            total *= len(values)
+        if total <= cap:
+            bindings = list(product(*domains))
+            holds = state._holds
+            slots = state._slots
+            var_slots = node.var_slots
+            child = node.a
+
+            def run(lo, hi):
+                saved = [slots[s] for s in var_slots]
+                try:
+                    for combo in bindings:
+                        for slot, value in zip(var_slots, combo):
+                            slots[slot] = value
+                        if not holds(child, lo, hi):
+                            return False
+                    return True
+                finally:
+                    for slot, value in zip(var_slots, saved):
+                        slots[slot] = value
+            return run
+
     holds_forall = state._holds_forall
 
     def run(lo, hi):
@@ -215,6 +264,282 @@ def _vectorized(state, kernel, node, fallback):
     return None
 
 
+def _mask_range(lo: int, hi: int) -> int:
+    if lo > hi:
+        return 0
+    return (1 << hi) - (1 << (lo - 1))
+
+
+class _ExactConstruct(Exception):
+    """A fused term closure met a dead/unusable profile: the caller must
+    rerun the whole construction on the generic (memoized, exact-error)
+    path instead."""
+
+
+def _compile_term_bits(state, kernel, tid, direction):
+    """Compile interval term ``tid`` to a closure ``(i, j) -> Interval|⊥``.
+
+    The closure computes ``F(term, <i, j>)`` straight from tail-kernel
+    change profiles — the whole ``_construct_interval`` →  ``_construct``
+    → ``_find_event`` recursion collapsed to bit arithmetic at lowering
+    time, with the direction of every event search resolved statically
+    (it only depends on the term's shape).  Returns ``None`` when some
+    event leaf is not kernel-vectorizable; raises :class:`_ExactConstruct`
+    at *call* time when a profile has died (unusable column, erroring
+    comparison), so the caller falls back to the generic exact path whose
+    lazy per-position errors the fused path cannot reproduce.
+
+    Tail-marking mirrors ``PlanState._find_event_bits`` exactly: a forward
+    search that found nothing inside the concrete prefix, and every
+    backward search over an infinite context, mark the caller's frame
+    tail-dependent.
+    """
+    term = state._terms[tid]
+    op = term.op
+    if op == T_EVENT:
+        nid = term.event
+        node = state._nodes[nid]
+        if not (node.is_state and kernel.supports(nid)):
+            return None
+        profile = kernel.profile
+        trace = state._trace
+        mark_tail = state._mark_tail
+        forward = direction == Direction.FORWARD
+        stats = state.stats
+
+        def run(i, j):
+            bits = profile(node)
+            if bits is None:
+                raise _ExactConstruct
+            stats.event_searches += 1
+            n = trace.length
+            chg = bits & ~((bits << 1) | 1)
+            if j == INFINITY:
+                bound = (i if i > n else n) + 1
+            else:
+                bound = j
+            lo = i + 1
+            hi = bound if bound < n else n
+            if hi < lo:
+                window = 0
+            else:
+                window = (chg >> (lo - 1)) & ((1 << (hi - lo + 1)) - 1)
+            if forward:
+                if not window:
+                    if bound > n:
+                        mark_tail()  # no event yet; one may still appear
+                    return BOTTOM
+                k = lo + ((window & -window).bit_length() - 1)
+                return Interval(k - 1, k)
+            if j == INFINITY:
+                # The changeset max can move (or appear) as the prefix grows.
+                mark_tail()
+            elif bound > n:
+                mark_tail()
+            if not window:
+                return BOTTOM
+            k = lo + window.bit_length() - 1
+            return Interval(k - 1, k)
+        return run
+    if op == T_BEGIN:
+        inner = _compile_term_bits(state, kernel, term.a, direction)
+        if inner is None:
+            return None
+
+        def run(i, j):
+            found = inner(i, j)
+            if found is BOTTOM:
+                return BOTTOM
+            return Interval(found.lo, found.lo)
+        return run
+    if op == T_END:
+        inner = _compile_term_bits(state, kernel, term.a, direction)
+        if inner is None:
+            return None
+
+        def run(i, j):
+            found = inner(i, j)
+            if found is BOTTOM or found.hi == INFINITY:
+                return BOTTOM
+            last = int(found.hi)
+            return Interval(last, last)
+        return run
+    if op in (T_FORWARD, T_BACKWARD):
+        left, right = term.a, term.b
+        if left is None and right is None:
+            return lambda i, j: Interval(i, j)
+        if op == T_FORWARD:
+            # ``I =>``: the *next* I (caller's direction); ``=> J``: the
+            # first J, always forward.
+            lrun = (
+                _compile_term_bits(state, kernel, left, direction)
+                if left is not None
+                else None
+            )
+            rrun = (
+                _compile_term_bits(state, kernel, right, Direction.FORWARD)
+                if right is not None
+                else None
+            )
+        else:
+            # ``I <=``: the most recent I, always backward; ``<= J``: the
+            # first J in the caller's direction.
+            lrun = (
+                _compile_term_bits(state, kernel, left, Direction.BACKWARD)
+                if left is not None
+                else None
+            )
+            rrun = (
+                _compile_term_bits(state, kernel, right, direction)
+                if right is not None
+                else None
+            )
+        if (left is not None and lrun is None) or (
+            right is not None and rrun is None
+        ):
+            return None
+        if rrun is None:
+            def run(i, j):
+                found = lrun(i, j)
+                if found is BOTTOM or found.hi == INFINITY:
+                    return BOTTOM
+                return Interval(int(found.hi), j)
+            return run
+        if lrun is None:
+            def run(i, j):
+                found = rrun(i, j)
+                if found is BOTTOM or found.hi == INFINITY:
+                    return BOTTOM
+                return Interval(i, int(found.hi))
+            return run
+        if op == T_FORWARD:
+            def run(i, j):
+                prefix = lrun(i, j)
+                if prefix is BOTTOM or prefix.hi == INFINITY:
+                    return BOTTOM
+                lo = int(prefix.hi)
+                found = rrun(lo, j)
+                if found is BOTTOM or found.hi == INFINITY:
+                    return BOTTOM
+                return Interval(lo, int(found.hi))
+            return run
+
+        def run(i, j):
+            suffix = rrun(i, j)
+            if suffix is BOTTOM or suffix.hi == INFINITY:
+                return BOTTOM
+            hi = int(suffix.hi)
+            found = lrun(i, hi)
+            if found is BOTTOM or found.hi == INFINITY:
+                return BOTTOM
+            return Interval(int(found.hi), hi)
+        return run
+    return None
+
+
+def _vectorized_incremental(state, kernel, node, fallback):
+    """The tail-kernel binding of ``node`` on a growing prefix, or ``None``.
+
+    Same two shapes as :func:`_vectorized`, but over profiles that only
+    cover the *concrete* states observed so far.  ``_holds`` skips both
+    context normalization and the tail push for vector node ids, so these
+    closures own both obligations: a context reaching past the last
+    concrete state marks the caller's frame tail-dependent (its verdict
+    reads the stuttered final state and may flip on append) **before**
+    normalizing, and every fallback call receives the normalized context —
+    the resumable ``[] / <>`` frontier keys on ``lo`` and would otherwise
+    see an empty representative range for tail-only contexts.
+
+    Verdicts decided by concrete states alone — a witness position under
+    ``<>``, a counterexample under ``[]``, any bounded context ending at or
+    before the last concrete state — stay unmarked, so they land in
+    callers' *stable* memos and survive appends: that is what makes a
+    batched append one window pass instead of N re-evaluations.
+    """
+    trace = state._trace
+    normalize = state._normalize_ctx
+    mark_tail = state._mark_tail
+    if node.is_state:
+        if not kernel.supports(node.id):
+            return None
+        holds_at = kernel.holds_at
+
+        def run(lo, hi):
+            if lo > trace.length:
+                mark_tail()
+                lo, hi = normalize(lo, hi)
+            verdict = holds_at(node, lo)
+            if verdict is None:
+                return fallback(lo, hi)
+            return verdict
+        return run
+    if node.op in (N_ALWAYS, N_EVENTUALLY):
+        child = state._nodes[node.a]
+        if not (child.is_state and kernel.supports(child.id)):
+            return None
+        profile = kernel.profile
+        want = node.op == N_EVENTUALLY
+
+        def run(lo, hi):
+            n = trace.length
+            if lo > n:
+                mark_tail()
+                lo, hi = normalize(lo, hi)
+            bits = profile(child)
+            if bits is None:
+                return fallback(lo, hi)
+            if hi == INFINITY:
+                cov = _mask_range(lo, n)
+                open_end = True
+            else:
+                cov = _mask_range(lo, hi if hi < n else n)
+                open_end = hi > n
+            if want:
+                if bits & cov:
+                    return True
+                if open_end:
+                    mark_tail()
+                return False
+            if (bits & cov) != cov:
+                return False
+            if open_end:
+                mark_tail()
+            return True
+        return run
+    if node.op in (N_INTERVAL, N_OCCURS):
+        construct_fast = _compile_term_bits(
+            state, kernel, node.term, Direction.FORWARD
+        )
+        if construct_fast is None:
+            return None
+        if node.op == N_OCCURS:
+            def run(lo, hi):
+                if lo > trace.length:
+                    mark_tail()
+                    lo, hi = normalize(lo, hi)
+                try:
+                    return construct_fast(lo, hi) is not BOTTOM
+                except _ExactConstruct:
+                    return fallback(lo, hi)
+            return run
+        holds = state._holds
+        body = node.a
+
+        def run(lo, hi):
+            if lo > trace.length:
+                mark_tail()
+                lo, hi = normalize(lo, hi)
+            try:
+                found = construct_fast(lo, hi)
+            except _ExactConstruct:
+                return fallback(lo, hi)
+            if found is BOTTOM:
+                return True
+            return holds(body, found.lo, found.hi)
+        return run
+    return None
+
+
 def bind_dispatch(state) -> Tuple[Tuple[Callable[[int, object], bool], ...], frozenset]:
     """Lower every node of ``state``'s plan to a bound closure.
 
@@ -225,6 +550,7 @@ def bind_dispatch(state) -> Tuple[Tuple[Callable[[int, object], bool], ...], fro
     at the first evaluation that reaches the node.
     """
     kernel = state._kernel
+    vectorize = _vectorized_incremental if state._incremental else _vectorized
     ops: List[Callable] = []
     vector_ids: List[int] = []
     for node in state._plan.nodes:
@@ -233,7 +559,7 @@ def bind_dispatch(state) -> Tuple[Tuple[Callable[[int, object], bool], ...], fro
             raise CompileError(f"cannot lower plan node: {node!r}")
         closure = factory(state, node)
         if kernel is not None:
-            vectorized = _vectorized(state, kernel, node, closure)
+            vectorized = vectorize(state, kernel, node, closure)
             if vectorized is not None:
                 closure = vectorized
                 vector_ids.append(node.id)

@@ -41,11 +41,12 @@ from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..errors import EvaluationError, TraceError
+from ..semantics.columns import IncrementalColumnStore
 from ..semantics.construction import BOTTOM, Direction, Interval
 from ..semantics.state import State
 from ..semantics.trace import INFINITY, Trace
 from ..syntax.terms import Cmp, Const, LogicalVar, OpAfter, OpAt, OpIn, Var
-from .vector import BitsetKernel, changes_from_bits
+from .vector import BitsetKernel, TailKernel, changes_from_bits
 from .dag import (
     N_AND,
     N_ATOM,
@@ -65,6 +66,7 @@ from .dag import (
 
 __all__ = [
     "UNSET",
+    "DEFAULT_FORALL_UNROLL_CAP",
     "GrowingPrefix",
     "EventIndex",
     "ValueColumn",
@@ -79,6 +81,12 @@ Position = Union[int, float]
 #: Sentinel marking an unbound logical-variable slot.
 UNSET = object()
 
+#: Default cap on explicit-domain ``Forall`` unrolling at lowering time:
+#: a quantifier whose variables all carry explicit domains with at most
+#: this many bindings in total (the cartesian product) lowers to a flat
+#: specialized loop over precomputed binding tuples.
+DEFAULT_FORALL_UNROLL_CAP = 8
+
 _MISS = object()
 
 
@@ -91,7 +99,13 @@ class GrowingPrefix:
     on every appended state the way ``Trace(list(states))`` would.
     """
 
-    __slots__ = ("_states", "_universe", "_universe_seen")
+    __slots__ = (
+        "_states",
+        "_universe",
+        "_universe_seen",
+        "_universe_built_to",
+        "_column_store",
+    )
 
     def __init__(self) -> None:
         self._states: List[State] = []
@@ -99,6 +113,12 @@ class GrowingPrefix:
         # Companion set for O(1) membership on hashable values; the list
         # keeps the deterministic observation order Trace.value_universe has.
         self._universe_seen: set = set()
+        # Universe maintenance is lazy (cursor catch-up on value_universe):
+        # plans with no quantifier never pay for it.
+        self._universe_built_to = 0
+        # Lazy incremental column store (built on first `columns` access,
+        # then caught up per append): the tail-window kernel's substrate.
+        self._column_store: Optional[IncrementalColumnStore] = None
 
     def append(self, state: State) -> None:
         if not isinstance(state, State):
@@ -115,15 +135,6 @@ class GrowingPrefix:
             values["__start__"] = False
             state = State(values, state.operations)
         self._states.append(state)
-        for value in state.observed_values():
-            try:
-                if value in self._universe_seen:
-                    continue
-                self._universe_seen.add(value)
-            except TypeError:
-                if value in self._universe:  # unhashable: linear fallback
-                    continue
-            self._universe.append(value)
 
     # -- Trace position protocol --------------------------------------------
 
@@ -176,7 +187,41 @@ class GrowingPrefix:
         return int(position) >= len(self._states)
 
     def value_universe(self) -> Tuple[Any, ...]:
+        states = self._states
+        built = self._universe_built_to
+        if built < len(states):
+            universe = self._universe
+            seen = self._universe_seen
+            for index in range(built, len(states)):
+                for value in states[index].observed_values():
+                    try:
+                        if value in seen:
+                            continue
+                        seen.add(value)
+                    except TypeError:
+                        if value in universe:  # unhashable: linear fallback
+                            continue
+                    universe.append(value)
+            self._universe_built_to = len(states)
         return tuple(self._universe)
+
+    @property
+    def columns(self) -> IncrementalColumnStore:
+        """The prefix's dictionary-encoded columns, caught up to its length.
+
+        Built on first access (per-append absorption costs nothing until a
+        vectorized plan state actually reads columns), then extended one
+        state at a time — the substrate the tail-window
+        :class:`~repro.compile.vector.TailKernel` extends its truth
+        profiles over.
+        """
+        store = self._column_store
+        if store is None:
+            store = self._column_store = IncrementalColumnStore()
+        states = self._states
+        while store.length < len(states):
+            store.absorb(states[store.length])
+        return store
 
 
 class EventIndex:
@@ -376,13 +421,22 @@ class PlanState:
     vectorize:
         Enable the vectorized binding mode: pure state formulas (and
         ``[] / <>`` directly over them) evaluate as whole-column bitset
-        operations through a :class:`~repro.compile.vector.BitsetKernel`,
-        and state-formula event indexes derive their change positions from
-        bitset shifts.  Only takes effect on a static
-        :class:`~repro.semantics.trace.Trace`; incremental prefixes always
-        use the per-position path.  Verdicts and error behaviour are
-        identical either way — the kernel falls back per node whenever it
-        cannot reproduce the per-position semantics bit-for-bit.
+        operations through a :class:`~repro.compile.vector.BitsetKernel`
+        (static :class:`~repro.semantics.trace.Trace`) or a window-extended
+        :class:`~repro.compile.vector.TailKernel` (incremental
+        :class:`GrowingPrefix`), and state-formula event indexes derive
+        their change positions from bitset shifts.  Verdicts and error
+        behaviour are identical either way — the kernels fall back per
+        node whenever they cannot reproduce the per-position semantics
+        bit-for-bit.
+    forall_unroll_cap:
+        ``Forall`` nodes whose variables all carry *explicit* domains with
+        at most this many bindings in total unroll at lowering time into a
+        flat specialized loop over the precomputed binding tuples (see
+        :mod:`repro.compile.lower`); larger or default-universe domains
+        keep the generic per-call quantifier path.  ``0`` disables
+        unrolling.  Verdicts, short-circuit order and error behaviour are
+        identical either way.
     """
 
     def __init__(
@@ -392,6 +446,7 @@ class PlanState:
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
         incremental: bool = False,
         vectorize: bool = True,
+        forall_unroll_cap: Optional[int] = None,
     ) -> None:
         self._plan = plan
         self._nodes = plan.nodes
@@ -421,12 +476,19 @@ class PlanState:
         self._volatile_events: Dict[Any, Any] = {}
         self._volatile_constructs: Dict[Any, Any] = {}
         self._tail: List[bool] = [False]
+        if forall_unroll_cap is None:
+            forall_unroll_cap = DEFAULT_FORALL_UNROLL_CAP
+        self._forall_unroll_cap = max(0, int(forall_unroll_cap))
         self.stats = PlanStats()
-        # The bitset kernel evaluates state formulas columnwise; profiles
-        # are whole-trace facts, so only a static Trace qualifies.
-        self._kernel: Optional[BitsetKernel] = None
-        if vectorize and not incremental and isinstance(trace, Trace):
-            self._kernel = BitsetKernel(self, trace)
+        # The bitset kernels evaluate state formulas columnwise: whole-trace
+        # profiles on a static Trace, window-extended profiles on a growing
+        # prefix (the batched tail-window vectorization).
+        self._kernel: Optional[Any] = None
+        if vectorize:
+            if not incremental and isinstance(trace, Trace):
+                self._kernel = BitsetKernel(self, trace)
+            elif incremental and isinstance(trace, GrowingPrefix):
+                self._kernel = TailKernel(self, trace)
         # Closure-lowered dispatch: one bound closure per plan node, built
         # once per state (see repro.compile.lower).
         from .lower import bind_dispatch
@@ -508,13 +570,21 @@ class PlanState:
         finally:
             self._slots[:] = saved
 
-    def note_append(self) -> None:
-        """Absorb one appended state: drop only tail-dependent verdicts."""
+    def note_append(self, count: int = 1) -> None:
+        """Absorb ``count`` appended states: drop only tail-dependent verdicts.
+
+        One call absorbs an arbitrarily large appended window — the
+        stable memo holds tail-*independent* entries only, so the
+        volatile/aggregator state cleared here is exactly what any number
+        of new states could change, and the tail kernel's profiles (which
+        only ever extend) are untouched.  Batched appends therefore pay
+        one memo sweep per batch, not per state.
+        """
         self._volatile.clear()
         self._volatile_events.clear()
         self._volatile_constructs.clear()
         self._default_domain = None
-        self.stats.steps += 1
+        self.stats.steps += count
 
     # -- the satisfaction relation ------------------------------------------
 
@@ -544,10 +614,12 @@ class PlanState:
     def _holds(self, nid: int, lo: int, hi: Position) -> bool:
         self.stats.dispatch_calls += 1
         if nid in self._vector_nids:
-            # Vectorized nodes answer from cached whole-trace profiles:
-            # no context normalization (canonical positions and coverage
-            # are invariant under whole-period shifts) and no memo table
-            # (the profile *is* the memo).  Never active incrementally.
+            # Vectorized nodes answer from cached bitset profiles: no
+            # context normalization (canonical positions and coverage are
+            # invariant under whole-period shifts; incremental closures
+            # normalize themselves) and no memo table (the profile *is*
+            # the memo).  Incremental closures own their tail-marking, so
+            # the caller's stable/volatile split stays sound.
             return self._ops[nid](lo, hi)
         incremental = self._incremental
         if incremental and lo > self._trace.length:
@@ -759,22 +831,24 @@ class PlanState:
         tail-dependent constructions.
         """
         term = self._terms[tid]
-        key: Optional[Tuple[Any, ...]] = None
-        try:
-            envkey = tuple(self._slots[s] for s in term.free_slots)
-            key = (tid, lo, hi, envkey)
-        except TypeError:
-            key = None
+        free = term.free_slots
+        if free:
+            slots = self._slots
+            key = (tid, lo, hi) + tuple(slots[s] for s in free)
+        else:
+            key = (tid, lo, hi)
         incremental = self._incremental
-        if key is not None:
+        try:
             hit = self._construct_memo.get(key, _MISS)
+        except TypeError:
+            key, hit = None, _MISS
+        if hit is not _MISS:
+            return hit
+        if incremental and key is not None:
+            hit = self._volatile_constructs.get(key, _MISS)
             if hit is not _MISS:
+                self._tail[-1] = True
                 return hit
-            if incremental:
-                hit = self._volatile_constructs.get(key, _MISS)
-                if hit is not _MISS:
-                    self._tail[-1] = True
-                    return hit
         if not incremental:
             found = self._construct(tid, Interval(lo, hi), Direction.FORWARD)
             if key is not None:
@@ -970,10 +1044,13 @@ class PlanState:
     def _kernel_index(self, event_nid: int, node) -> Optional[EventIndex]:
         """An endpoint index whose change positions come from the bitset
         kernel: one profile computation and one shift-and-mask instead of a
-        per-state truth scan.  ``None`` when the kernel is absent (per-
-        position mode, growing prefix) or declines the event formula."""
+        per-state truth scan.  ``None`` when the kernel is absent
+        (``vectorize=False``) or declines the event formula.  Static traces
+        only — on a growing prefix, kernel-supported events are answered
+        straight off the tail profile by :meth:`_find_event_bits`, with no
+        index object at all."""
         kernel = self._kernel
-        if kernel is None or not kernel.supports(event_nid):
+        if kernel is None or self._incremental or not kernel.supports(event_nid):
             return None
         bits = kernel.profile(node)
         if bits is None:
@@ -1045,6 +1122,20 @@ class PlanState:
             return BOTTOM
         i, j = context.lo, context.hi
         node = self._nodes[event_nid]
+        if self._incremental and node.is_state:
+            kernel = self._kernel
+            if kernel is not None and kernel.supports(event_nid):
+                bits = kernel.profile(node)
+                if bits is not None:
+                    # Growing prefix, vectorizable event: the bit search is
+                    # cheaper than this memo's key build, so answer directly
+                    # (tail-marking happens inside, straight onto the
+                    # caller's frame).  A dead profile falls through to the
+                    # memoized exact search.
+                    self.stats.event_searches += 1
+                    return self._find_event_bits(
+                        bits, i, j, self._trace.scan_bound(i, j), direction
+                    )
         key: Optional[Tuple[Any, ...]] = None
         try:
             envkey = tuple(self._slots[s] for s in node.free_slots)
@@ -1084,10 +1175,53 @@ class PlanState:
         trace = self._trace
         bound = trace.scan_bound(i, j)
         if node.is_state:
+            # Growing-prefix vectorizable events answered directly in
+            # :meth:`_find_event` (the tail-profile bit search); reaching
+            # here means a static trace, an unsupported shape, or a dead
+            # profile — the index/scan paths decide.
             index = self._index_for(event_nid, node)
             if index is not None:
                 return self._find_event_indexed(index, i, j, bound, direction)
         return self._find_event_scan(event_nid, i, j, bound, direction)
+
+    def _find_event_bits(
+        self, bits: int, i: int, j: Position, bound: int, direction: str
+    ):
+        """The changeset search as bit arithmetic over a tail profile.
+
+        ``bits`` covers the concrete positions ``1..length`` of a growing
+        prefix; its stutter tail repeats the last state, so no change
+        position exists past the concrete states (in particular the
+        backward search's recurs-forever ⊥ case cannot arise) and the
+        tail-marking mirrors :meth:`_find_event_indexed` on a growing
+        index exactly.
+        """
+        n = self._trace.length
+        # bit k-1 set iff positions (k-1, k) are a False→True change;
+        # `| 1` excludes k = 1 (no predecessor).
+        chg = bits & ~((bits << 1) | 1)
+        lo = i + 1
+        hi = bound if bound < n else n
+        if hi < lo:
+            window = 0
+        else:
+            window = (chg >> (lo - 1)) & ((1 << (hi - lo + 1)) - 1)
+        if direction == Direction.FORWARD:
+            if not window:
+                if bound > n:
+                    self._mark_tail()  # no event yet; one may still appear
+                return BOTTOM
+            k = lo + ((window & -window).bit_length() - 1)
+            return Interval(k - 1, k)
+        if j == INFINITY:
+            # The changeset max can move (or appear) as the prefix grows.
+            self._mark_tail()
+        elif bound > n:
+            self._mark_tail()
+        if not window:
+            return BOTTOM
+        k = lo + window.bit_length() - 1
+        return Interval(k - 1, k)
 
     def _find_event_indexed(
         self, index: EventIndex, i: int, j: Position, bound: int, direction: str

@@ -131,15 +131,32 @@ class SpecPlan:
         trace,
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
         vectorize: bool = True,
+        forall_unroll_cap: Optional[int] = None,
     ):
         """A :class:`SpecPlanState` bound to a fixed (possibly lasso) trace."""
-        return SpecPlanState(self, trace, domain=domain, vectorize=vectorize)
+        return SpecPlanState(
+            self,
+            trace,
+            domain=domain,
+            vectorize=vectorize,
+            forall_unroll_cap=forall_unroll_cap,
+        )
 
-    def monitor(self, domain: Optional[Mapping[str, Iterable[Any]]] = None):
+    def monitor(
+        self,
+        domain: Optional[Mapping[str, Iterable[Any]]] = None,
+        forall_unroll_cap: Optional[int] = None,
+    ):
         """An incremental :class:`SpecPlanState` over a growing state prefix."""
         from .runtime import GrowingPrefix
 
-        return SpecPlanState(self, GrowingPrefix(), domain=domain, incremental=True)
+        return SpecPlanState(
+            self,
+            GrowingPrefix(),
+            domain=domain,
+            incremental=True,
+            forall_unroll_cap=forall_unroll_cap,
+        )
 
 
 @dataclass(frozen=True)
@@ -172,12 +189,18 @@ class SpecPlanState:
         domain: Optional[Mapping[str, Iterable[Any]]] = None,
         incremental: bool = False,
         vectorize: bool = True,
+        forall_unroll_cap: Optional[int] = None,
     ) -> None:
         from .runtime import PlanState
 
         self._plan = plan
         self._state = PlanState(
-            plan, trace, domain=domain, incremental=incremental, vectorize=vectorize
+            plan,
+            trace,
+            domain=domain,
+            incremental=incremental,
+            vectorize=vectorize,
+            forall_unroll_cap=forall_unroll_cap,
         )
 
     # -- shared-state introspection ------------------------------------------
@@ -252,8 +275,23 @@ class SpecPlanState:
         self._state.trace.append(state)
         self._state.note_append()
 
-    def note_append(self) -> None:
-        self._state.note_append()
+    def append_batch(self, states: Sequence[Any]) -> None:
+        """Absorb a multi-state window in one memo sweep.
+
+        All states land on the prefix first; the volatile/aggregator memo
+        split is then updated **once** for the whole window (and the tail
+        kernel extends each touched profile in one vectorized pass), which
+        is what makes batched appends cheaper than repeated single-state
+        :meth:`append` calls — verdicts afterwards are identical.
+        """
+        trace = self._state.trace
+        for state in states:
+            trace.append(state)
+        if states:
+            self._state.note_append(len(states))
+
+    def note_append(self, count: int = 1) -> None:
+        self._state.note_append(count)
 
 
 def compile_specification(specification) -> SpecPlan:

@@ -59,7 +59,7 @@ from .dag import (
     STATE_NODE_OPS,
 )
 
-__all__ = ["BitsetKernel", "bit_positions", "changes_from_bits"]
+__all__ = ["BitsetKernel", "TailKernel", "bit_positions", "changes_from_bits"]
 
 
 _MISS = object()
@@ -439,3 +439,387 @@ def _mask_range(lo: int, hi: int) -> int:
     if lo > hi:
         return 0
     return (1 << hi) - (1 << (lo - 1))
+
+
+class _TailEntry:
+    """One (node, bindings) profile of a :class:`TailKernel`.
+
+    ``bits`` covers concrete positions ``1..built_to``; ``passes`` caches
+    the atom test's verdict per dictionary code (the test runs once per
+    *distinct value*, exactly like ``Column.select_bits``, but across every
+    extension window).  ``dead`` is the permanent exact-fallback flag.
+    """
+
+    __slots__ = ("bits", "built_to", "dead", "passes")
+
+    def __init__(self) -> None:
+        self.bits = 0
+        self.built_to = 0
+        self.dead = False
+        self.passes: Dict[int, bool] = {}
+
+
+class _CallTrack:
+    """Codes of one operation column grouped by ``record.args``.
+
+    Built once per (operation, phase set) as the column's value dictionary
+    grows; ``dead`` marks an unhashable argument tuple, after which every
+    query falls back to the per-code test sweep.
+    """
+
+    __slots__ = ("by_args", "built", "dead")
+
+    def __init__(self) -> None:
+        self.by_args: Dict[Any, List[int]] = {}
+        self.built = 0
+        self.dead = False
+
+
+class _ColumnTrack:
+    """Per-code position bitsets of one growing column, extended per window.
+
+    The incremental twin of ``_ColumnBase.code_bitsets``: one pass over the
+    appended window files each position under its dictionary code, so *every*
+    profile over this column (one per quantifier binding, say) recombines
+    cached per-code bitsets in O(distinct codes) instead of re-scanning the
+    window per binding.
+    """
+
+    __slots__ = ("bits_by_code", "absent_bits", "built_to")
+
+    def __init__(self) -> None:
+        self.bits_by_code: List[int] = []
+        self.absent_bits = 0
+        self.built_to = 0
+
+    def extend(self, column, n: int) -> None:
+        codes = column.codes
+        bits_by_code = self.bits_by_code
+        bit = 1 << self.built_to
+        for i in range(self.built_to, n):
+            code = codes[i]
+            if code < 0:
+                self.absent_bits |= bit
+            else:
+                if code >= len(bits_by_code):
+                    bits_by_code.extend([0] * (code + 1 - len(bits_by_code)))
+                bits_by_code[code] |= bit
+            bit <<= 1
+        self.built_to = n
+
+
+def _record_test(phases, arg_values) -> Callable[[Any], bool]:
+    """Operation-record match with the elementwise ``!=`` convention of
+    :func:`repro.syntax.terms._args_match` (mirrors
+    :meth:`~repro.semantics.columns.OperationColumn.call_bits`)."""
+
+    def test(record) -> bool:
+        if record.phase not in phases:
+            return False
+        actual = record.args
+        if len(arg_values) != len(actual):
+            return False
+        return not any(
+            expected != value for expected, value in zip(arg_values, actual)
+        )
+
+    return test
+
+
+class TailKernel:
+    """Incremental bitset evaluation over a growing state prefix.
+
+    The batched-append twin of :class:`BitsetKernel`: bound to a
+    :class:`~repro.compile.runtime.GrowingPrefix` instead of a static
+    trace, it keeps one packed truth profile per ``(node, bindings)`` over
+    the *concrete states observed so far* and extends each touched profile
+    in one pass over the appended window ``[built_to, length)`` — atoms
+    through the prefix's incremental dictionary-encoded columns (the test
+    runs once per distinct value, cached across windows), connectives by
+    recombining child bits.  A multi-state append is thus absorbed as one
+    vectorized window pass instead of N per-position re-evaluations.
+
+    The exact-fallback discipline is the same as the static kernel's, with
+    one incremental twist: a column that becomes unusable mid-stream (a
+    variable missing from some appended state, a comparison raising on a
+    fresh value) kills the profile *permanently* (``None`` henceforth) and
+    the per-position path takes over — earlier answers remain valid
+    because they were bit-for-bit the per-position verdicts of the shorter
+    prefix.  Profiles never look past the concrete states; tail positions
+    (and the tail-marking that keeps the stable/volatile memo split sound)
+    are the caller's responsibility (:mod:`repro.compile.lower`).
+    """
+
+    __slots__ = ("_state", "_trace", "_entries", "_supported", "_tracks")
+
+    def __init__(self, plan_state, prefix) -> None:
+        self._state = plan_state
+        self._trace = prefix
+        self._entries: Dict[Any, _TailEntry] = {}
+        self._supported: Dict[int, bool] = {}
+        self._tracks: Dict[Any, _ColumnTrack] = {}
+
+    # -- static shape check (same rules as the static kernel) ----------------
+
+    def supports(self, nid: int) -> bool:
+        """Whether the node's *shape* is vectorizable (bindings checked later)."""
+        cached = self._supported.get(nid)
+        if cached is not None:
+            return cached
+        node = self._state._nodes[nid]
+        op = node.op
+        if op not in STATE_NODE_OPS:
+            ok = False
+        elif op in (N_TRUE, N_FALSE):
+            ok = True
+        elif op == N_NOT:
+            ok = self.supports(node.a)
+        elif op == N_ATOM:
+            ok = BitsetKernel._atom_supported(node.predicate)
+        else:  # and / or / implies / iff
+            ok = self.supports(node.a) and self.supports(node.b)
+        self._supported[nid] = ok
+        return ok
+
+    # -- profiles -------------------------------------------------------------
+
+    def profile(self, node) -> Optional[int]:
+        """Truth bits over concrete positions ``1..length`` under the current
+        slot bindings, extended to the prefix's length; ``None`` when the
+        per-position path must decide instead."""
+        free = node.free_slots
+        if free:
+            slots = self._state._slots
+            key = (node.id,) + tuple(slots[s] for s in free)
+        else:
+            # Slot-free nodes (every propositional atom and connective over
+            # them) key on the bare node id — no tuple, no binding reads.
+            key = node.id
+        try:
+            entry = self._entries.get(key)
+        except TypeError:
+            # An unhashable binding cannot key an extendable profile; the
+            # per-position path (which needs no cache) decides.
+            return None
+        if entry is None:
+            entry = self._entries[key] = _TailEntry()
+        if entry.dead:
+            return None
+        n = self._trace.length
+        if entry.built_to < n:
+            try:
+                self._extend(node, entry, n)
+            except Exception:
+                entry.dead = True
+                return None
+        return entry.bits
+
+    def holds_at(self, node, pos: int) -> Optional[bool]:
+        """The node's truth at virtual position ``pos`` (None → fall back).
+
+        Positions past the last concrete state read the stuttered final
+        state, exactly like ``GrowingPrefix.canonical``; the *caller* is
+        responsible for tail-marking those reads.
+        """
+        bits = self.profile(node)
+        if bits is None:
+            return None
+        c = self._trace.canonical(pos) - 1
+        return bool((bits >> c) & 1)
+
+    # -- extension ------------------------------------------------------------
+
+    def _child(self, nid: int) -> int:
+        bits = self.profile(self._state._nodes[nid])
+        if bits is None:
+            raise _Fallback(nid)
+        return bits
+
+    def _extend(self, node, entry: _TailEntry, n: int) -> None:
+        op = node.op
+        if op == N_ATOM:
+            entry.bits = self._atom_bits(node, entry, n)
+        elif op == N_TRUE:
+            entry.bits = (1 << n) - 1
+        elif op == N_FALSE:
+            entry.bits = 0
+        elif op == N_NOT:
+            entry.bits = ~self._child(node.a) & ((1 << n) - 1)
+        else:
+            a = self._child(node.a)
+            b = self._child(node.b)
+            mask = (1 << n) - 1
+            if op == N_AND:
+                entry.bits = a & b
+            elif op == N_OR:
+                entry.bits = a | b
+            elif op == N_IMPLIES:
+                entry.bits = (~a | b) & mask
+            elif op == N_IFF:
+                entry.bits = ~(a ^ b) & mask
+            else:
+                raise _Fallback(node.id)
+        entry.built_to = n
+
+    def _resolve(self, expr) -> Any:
+        """A ``Const`` / *bound* ``LogicalVar`` value (else fall back: the
+        per-position path raises its unbound-variable error lazily)."""
+        if isinstance(expr, Const):
+            return expr.value
+        from .runtime import UNSET  # late: vector loads during runtime's import
+
+        slot = self._state._plan.slot_of.get(expr.name)
+        if slot is not None:
+            value = self._state._slots[slot]
+            if value is not UNSET:
+                return value
+        raise _Fallback(expr)
+
+    def _atom_bits(self, node, entry: _TailEntry, n: int) -> int:
+        """Full-prefix bits for positions ``1..n`` (bit 0 = position 1)."""
+        predicate = node.predicate
+        if isinstance(predicate, TruePredicate):
+            return (1 << n) - 1
+        if isinstance(predicate, FalsePredicate):
+            return 0
+        store = self._trace.columns
+        if isinstance(predicate, StartPredicate):
+            # Missing ``__start__`` is False, not an error — no presence
+            # requirement (GrowingPrefix injects it, but stay faithful).
+            column = store.column("__start__")
+            return self._select_bits("v", "__start__", column, entry, n, bool)
+        if isinstance(predicate, Prop):
+            column = store.column(predicate.name)
+            if column is None or column.missing:
+                # The per-position path raises UnknownStateVariableError at
+                # the position it touches; only it can do that lazily.
+                raise _Fallback(predicate.name)
+            return self._select_bits("v", predicate.name, column, entry, n, bool)
+        if isinstance(predicate, Cmp):
+            left, right = predicate.left, predicate.right
+            if isinstance(left, Var) and isinstance(right, (Const, LogicalVar)):
+                name, constant, flipped = left.name, self._resolve(right), False
+            elif isinstance(right, Var) and isinstance(left, (Const, LogicalVar)):
+                name, constant, flipped = right.name, self._resolve(left), True
+            else:
+                raise _Fallback(predicate)
+            column = store.column(name)
+            if column is None or column.missing:
+                raise _Fallback(name)
+            compare = _CMP_FUNCS[predicate.op]
+            if flipped:
+                test = lambda value: bool(compare(constant, value))
+            else:
+                test = lambda value: bool(compare(value, constant))
+            # A TypeError inside `compare` kills the profile: the
+            # per-position path raises at the position it touches.
+            return self._select_bits("v", name, column, entry, n, test)
+        if isinstance(predicate, (OpAt, OpIn, OpAfter)):
+            env = self._state._env_view(node)
+            # Arguments are state-independent (checked by supports); an
+            # evaluation error falls back to surface per position.
+            arg_values = tuple(arg.evaluate({}, env) for arg in predicate.args)
+            column = store.op_column(predicate.operation)
+            # No column yet = the operation is idle in every state so far
+            # (it may first be recorded later; the column then arrives
+            # ABSENT-padded and the next window reads it).  ABSENT = idle
+            # = False, so absent positions simply stay unset.
+            if predicate.args:
+                bits = self._call_bits(
+                    predicate.operation, predicate.PHASES, arg_values, column, n
+                )
+                if bits is None:  # unhashable somewhere: per-code test sweep
+                    test = _record_test(predicate.PHASES, arg_values)
+                    return self._select_bits(
+                        "o", predicate.operation, column, entry, n, test
+                    )
+                return bits
+            phases = predicate.PHASES
+            test = lambda record: record.phase in phases
+            return self._select_bits("o", predicate.operation, column, entry, n, test)
+        raise _Fallback(predicate)
+
+    def _call_bits(self, operation, phases, arg_values, column, n):
+        """Positions whose record matches ``(phases, arg_values)`` via an
+        args-indexed call track, or ``None`` to fall back to the test sweep.
+
+        The track groups the column's codes by ``record.args`` once per
+        (operation, phase set) — each quantifier binding's profile is then
+        one dict lookup plus an OR over the (usually single) matching
+        code's bitset, instead of testing every distinct record per
+        binding.  Requires hashable argument tuples on both sides (the
+        dict's ``==`` equality coincides with the elementwise ``!=``
+        convention for values with coherent equality); anything unhashable
+        returns ``None`` and the caller runs the exact per-code sweep.
+        """
+        if column is None:
+            return 0
+        key = ("c", operation, phases)
+        ct = self._tracks.get(key)
+        if ct is None:
+            ct = self._tracks[key] = _CallTrack()
+        values = column.values
+        by_args = ct.by_args
+        built = ct.built
+        if built < len(values):
+            try:
+                while built < len(values):
+                    record = values[built]
+                    if record.phase in phases:
+                        # Tuple equality covers the arity check too: a
+                        # query tuple of different length never matches.
+                        by_args.setdefault(record.args, []).append(built)
+                    built += 1
+            except TypeError:
+                ct.dead = True
+            ct.built = built
+        if ct.dead:
+            return None
+        track = self._tracks.get(("o", operation))
+        if track is None:
+            track = self._tracks[("o", operation)] = _ColumnTrack()
+        if track.built_to < n:
+            track.extend(column, n)
+        try:
+            codes = by_args.get(arg_values)
+        except TypeError:
+            return None
+        if not codes:
+            return 0
+        bits_by_code = track.bits_by_code
+        out = 0
+        for code in codes:
+            if code < len(bits_by_code):
+                out |= bits_by_code[code]
+        return out
+
+    def _select_bits(self, kind, name, column, entry: _TailEntry, n: int, test) -> int:
+        """OR of the column track's per-code bitsets whose value passes.
+
+        The window pass over appended codes runs once per *column* (in the
+        track); each profile then recombines per-code bitsets through its
+        own per-code verdict cache — O(distinct codes) per extension, not
+        O(window) per (node, bindings) entry.  ``ABSENT`` positions are
+        False (callers with a presence requirement, Prop/Cmp, bail on the
+        column's ``missing`` flag before reaching here).
+        """
+        if column is None:
+            return 0
+        key = (kind, name)
+        track = self._tracks.get(key)
+        if track is None:
+            track = self._tracks[key] = _ColumnTrack()
+        if track.built_to < n:
+            track.extend(column, n)
+        values = column.values
+        passes = entry.passes
+        out = 0
+        for code, cbits in enumerate(track.bits_by_code):
+            if not cbits:
+                continue
+            truth = passes.get(code)
+            if truth is None:
+                truth = passes[code] = bool(test(values[code]))
+            if truth:
+                out |= cbits
+        return out

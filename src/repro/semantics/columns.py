@@ -37,7 +37,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .state import OperationRecord, State
 
-__all__ = ["ABSENT", "Column", "OperationColumn", "ColumnStore"]
+__all__ = [
+    "ABSENT",
+    "Column",
+    "OperationColumn",
+    "ColumnStore",
+    "IncrementalColumnStore",
+]
 
 
 #: Code marking "this state does not bind the column's variable / operation".
@@ -199,6 +205,73 @@ class OperationColumn(_ColumnBase):
             return not any(expected != value for expected, value in zip(arg_values, actual))
 
         return self.select_bits(test)
+
+
+class IncrementalColumnStore:
+    """The column-major form of a *growing* state prefix, fed one state at
+    a time.
+
+    The per-state twin of :class:`ColumnStore`: the incremental monitors'
+    :class:`~repro.compile.runtime.GrowingPrefix` absorbs each appended
+    state into the same dictionary-encoded :class:`Column` /
+    :class:`OperationColumn` objects (``ABSENT`` padding included), so the
+    tail-window bitset kernel (:class:`~repro.compile.vector.TailKernel`)
+    can extend its truth profiles over just the appended window.  No
+    ``__start__`` marking happens here — ``GrowingPrefix.append`` injects
+    it into the state rows before they arrive.
+
+    The whole-column bitset caches of :class:`_ColumnBase`
+    (``code_bitsets``/``present_bits``/``select_bits``) are *not* meant to
+    be used on these columns: they snapshot a growing column and would go
+    stale on the next absorb.  The incremental kernel keeps its own
+    window-extended bitsets instead, reading only ``codes`` and
+    ``values``.
+    """
+
+    __slots__ = ("length", "_columns", "_op_columns", "_interns", "_op_interns")
+
+    def __init__(self) -> None:
+        self.length = 0
+        self._columns: Dict[str, Column] = {}
+        self._op_columns: Dict[str, OperationColumn] = {}
+        self._interns: Dict[str, Tuple[Dict[Any, int], List[int]]] = {}
+        self._op_interns: Dict[str, Tuple[Dict[Any, int], List[int]]] = {}
+
+    def absorb(self, state: State) -> None:
+        """Append one state's values/operations to every column (padded)."""
+        index = self.length
+        for name, value in state.raw_values.items():
+            column = self._columns.get(name)
+            if column is None:
+                column = self._columns[name] = Column(name, prefix_length=index)
+                self._interns[name] = ({}, [])
+            code_of, unhashable = self._interns[name]
+            column.append(value, code_of, unhashable)
+        for name, record in state.raw_operations.items():
+            op_column = self._op_columns.get(name)
+            if op_column is None:
+                op_column = self._op_columns[name] = OperationColumn(
+                    name, prefix_length=index
+                )
+                self._op_interns[name] = ({}, [])
+            code_of, unhashable = self._op_interns[name]
+            op_column.codes.append(
+                _intern(record, op_column.values, code_of, unhashable)
+            )
+        filled = index + 1
+        for column in self._columns.values():
+            if len(column.codes) < filled:
+                column.pad()
+        for op_column in self._op_columns.values():
+            if len(op_column.codes) < filled:
+                op_column.pad()
+        self.length = filled
+
+    def column(self, name: str) -> Optional[Column]:
+        return self._columns.get(name)
+
+    def op_column(self, name: str) -> Optional[OperationColumn]:
+        return self._op_columns.get(name)
 
 
 class ColumnStore:

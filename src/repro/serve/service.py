@@ -86,10 +86,9 @@ class MonitorService:
         self.frames_served += len(frames)
         if self._pool is not None:
             return self._pool.handle_batch(frames)
-        responses: List[Dict[str, Any]] = []
-        for frame in frames:
-            responses.extend(self._registry.handle(frame))
-        return responses
+        # Registry-level batch dispatch coalesces back-to-back same-stream
+        # appends into single runtime batches.
+        return self._registry.handle_batch(frames)
 
     async def handle_frames_async(
         self, frames: Sequence[Dict[str, Any]]

@@ -22,12 +22,26 @@ Verdict-change alerts ride the monitor's ``on_change`` hook: whenever a
 clause's verdict flips (or first materializes, or starts erroring), the
 registry emits an ``alert`` event frame ahead of the triggering frame's
 acknowledgement.
+
+**Same-stream coalescing.**  :meth:`StreamRegistry.handle_batch` is the
+batch entry every transport shipping multiple frames at once uses (shard
+workers, the asyncio front end's per-read frame lists, replay harnesses).
+Back-to-back ``append`` frames for one stream are absorbed as **one**
+runtime batch — one volatile-memo sweep, one tail-kernel extension, one
+verdict re-evaluation with ``commits=k`` so every clause's ``stable_for``
+advances exactly as ``k`` frame-at-a-time commits would have.  Each frame
+still gets its own acknowledgement (cumulative length, its own snapshot
+version), and when a verdict *does* flip inside a coalesced group the
+handle replays the stream frame-at-a-time on a fresh monitor from its
+retained frame boundaries, recovering the exact per-frame alert positions
+and ``stable_for`` resets — coalescing is an optimization, never a
+semantic change.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..api.session import Session
 from ..syntax.parser import parse_formula
@@ -80,9 +94,16 @@ class StreamHandle:
         "alerts_emitted",
         "_published",
         "_pending_alerts",
+        "_frame_counts",
+        "_rebuild",
     )
 
-    def __init__(self, name: str, monitor) -> None:
+    def __init__(
+        self,
+        name: str,
+        monitor,
+        rebuild: Optional[Callable[[], Any]] = None,
+    ) -> None:
         self.name = name
         self.monitor = monitor
         #: Bumped once per committed batch; snapshots carry it, so a client
@@ -92,6 +113,12 @@ class StreamHandle:
         self.batches = 0
         self.alerts_emitted = 0
         self._pending_alerts: List[Dict[str, Any]] = []
+        #: State count of every committed frame, in order — the commit
+        #: boundaries a coalesced group's flip replay reconstructs from.
+        self._frame_counts: List[int] = []
+        #: Builds a fresh, empty monitor for the same formulas (the
+        #: registry passes one backed by the session's warm plan cache).
+        self._rebuild = rebuild
         self._published = self._build_snapshot()
         monitor.on_change = self._on_change  # the stream owns the alert hook
 
@@ -117,10 +144,128 @@ class StreamHandle:
         self.version += 1
         self.states_ingested += len(states)
         self.batches += 1
+        self._frame_counts.append(len(states))
         alerts, self._pending_alerts = self._pending_alerts, []
         self.alerts_emitted += len(alerts)
         self._published = self._build_snapshot()
         return alerts
+
+    def absorb_group(
+        self, batches: Sequence[Sequence[Any]]
+    ) -> List[Tuple[List[Dict[str, Any]], Dict[str, Optional[bool]], int, int]]:
+        """Commit ``k`` back-to-back frames as one coalesced runtime batch.
+
+        The concatenated states are absorbed in **one**
+        :meth:`~repro.checking.monitor.Monitor.observe_batch` call with
+        ``commits=k`` — one volatile-memo sweep and one verdict refresh
+        whose ``stable_for`` weights stand in for the ``k`` commits.  The
+        published snapshot is rebuilt once, at the group boundary, but
+        every frame keeps its own snapshot version (``k`` bumps).
+
+        Returns one ``(alerts, verdict_map, length, version)`` entry per
+        frame, exactly what frame-at-a-time ingestion would have produced:
+        on the common no-flip path the alert lists are empty and the maps
+        identical; when a verdict flipped inside the group, the stream is
+        replayed frame-at-a-time from its retained commit boundaries on a
+        fresh monitor, recovering the exact mid-group alert positions and
+        ``stable_for`` resets (see :meth:`_replay_group`).
+        """
+        if len(batches) == 1:
+            alerts = self.absorb(batches[0])
+            return [
+                (alerts, self.verdict_map(), self.monitor.prefix_length, self.version)
+            ]
+        start_version = self.version
+        start_length = self.monitor.prefix_length
+        merged = [state for batch in batches for state in batch]
+        commits = sum(1 for batch in batches if batch)
+        if merged:
+            self.monitor.observe_batch(merged, commits=commits)
+        self.version += len(batches)
+        self.states_ingested += len(merged)
+        self.batches += len(batches)
+        self._frame_counts.extend(len(batch) for batch in batches)
+        alerts, self._pending_alerts = self._pending_alerts, []
+        if alerts:
+            pairs = self._replay_group(len(batches), alerts)
+        else:
+            verdicts = self.verdict_map()
+            pairs = [([], verdicts) for _ in batches]
+        for frame_alerts, _ in pairs:
+            self.alerts_emitted += len(frame_alerts)
+        self._published = self._build_snapshot()
+        out: List[Tuple[List[Dict[str, Any]], Dict[str, Optional[bool]], int, int]] = []
+        length = start_length
+        for index, (batch, (frame_alerts, verdicts)) in enumerate(zip(batches, pairs)):
+            length += len(batch)
+            out.append((frame_alerts, verdicts, length, start_version + index + 1))
+        return out
+
+    def _replay_group(
+        self, group_size: int, coalesced_alerts: List[Dict[str, Any]]
+    ) -> List[Tuple[List[Dict[str, Any]], Dict[str, Optional[bool]]]]:
+        """Exact per-frame alerts for a coalesced group that flipped.
+
+        A flip observed at the group boundary could have happened at any
+        of the group's commit points; clients are promised frame-at-a-time
+        alert positions and ``stable_for`` resets regardless of how frames
+        were coalesced.  So: rebuild a fresh monitor (plan comes warm from
+        the session cache), replay every retained commit silently up to
+        the group, then commit the group's frames one at a time, capturing
+        alerts and verdict maps per frame.  The replayed monitor replaces
+        the optimistic one — its final verdicts are identical (batched
+        absorption is verdict-equivalent by construction); only the alert
+        granularity differs.  Flips are rare (once per faulty stream), so
+        the O(history) replay amortizes away against the batched fast
+        path.
+
+        Without a ``rebuild`` hook the handle degrades to
+        commit-granularity alerts: the coalesced alerts (positioned at the
+        group boundary) ride ahead of the last frame's acknowledgement.
+        """
+        if self._rebuild is None:
+            verdicts = self.verdict_map()
+            pairs: List[Tuple[List[Dict[str, Any]], Dict[str, Optional[bool]]]] = [
+                ([], verdicts) for _ in range(group_size - 1)
+            ]
+            pairs.append((coalesced_alerts, verdicts))
+            return pairs
+        monitor = self._rebuild()
+        states = self.monitor.plan_state.trace.states()
+        counts = self._frame_counts
+        boundary = len(counts) - group_size
+        captured: List[Dict[str, Any]] = []
+
+        def capture(clause: str, verdict) -> None:
+            alert: Dict[str, Any] = {
+                "event": "alert",
+                "stream": self.name,
+                "clause": clause,
+                "verdict": verdict.holds,
+                "at": monitor.prefix_length,
+            }
+            if verdict.error is not None:
+                alert["error"] = verdict.error
+            captured.append(alert)
+
+        pairs = []
+        offset = 0
+        for index, count in enumerate(counts):
+            chunk = list(states[offset:offset + count])
+            offset += count
+            if index == boundary:
+                monitor.on_change = capture
+            monitor.observe_batch(chunk)
+            if index >= boundary:
+                frame_alerts, captured = captured, []
+                pairs.append(
+                    (frame_alerts,
+                     {name: v.holds for name, v in monitor.verdicts.items()})
+                )
+        monitor.on_change = self._on_change
+        self.monitor = monitor
+        self._pending_alerts = []
+        return pairs
 
     # -- the published (non-blocking) snapshot --------------------------------
 
@@ -240,6 +385,46 @@ class StreamRegistry:
                 ).to_frame()
             ]
 
+    def handle_batch(
+        self, frames: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """A frame batch → its response frames, coalescing same-stream runs.
+
+        Maximal runs of back-to-back ``append`` frames for one (open)
+        stream absorb as a single runtime batch (:meth:`append_group`);
+        every other frame goes through :meth:`handle` one at a time.
+        Responses are ordered exactly as frame-at-a-time dispatch orders
+        them: each frame's alerts ahead of its own acknowledgement.
+        """
+        responses: List[Dict[str, Any]] = []
+        index = 0
+        total = len(frames)
+        while index < total:
+            frame = frames[index]
+            stream = frame.get("stream")
+            if (
+                frame.get("op") == "append"
+                and isinstance(stream, str)
+                and stream in self._streams
+                and index + 1 < total
+                and frames[index + 1].get("op") == "append"
+                and frames[index + 1].get("stream") == stream
+            ):
+                end = index + 2
+                while (
+                    end < total
+                    and frames[end].get("op") == "append"
+                    and frames[end].get("stream") == stream
+                ):
+                    end += 1
+                consumed, grouped = self.append_group(frames[index:end])
+                responses.extend(grouped)
+                index += consumed
+            else:
+                responses.extend(self.handle(frame))
+                index += 1
+        return responses
+
     # -- operations ------------------------------------------------------------
 
     def open(self, frame: Mapping[str, Any]) -> Dict[str, Any]:
@@ -256,7 +441,18 @@ class StreamRegistry:
             capture_errors=True,
             stat_window=self._stat_window,
         )
-        handle = StreamHandle(name, monitor)
+
+        def rebuild():
+            # A fresh monitor on the same warm plan — what a coalesced
+            # group's flip replay runs the stream back through.
+            return self._session.monitor(
+                formulas,
+                domain,
+                capture_errors=True,
+                stat_window=self._stat_window,
+            )
+
+        handle = StreamHandle(name, monitor, rebuild=rebuild)
         self._streams[name] = handle
         self.opened += 1
         return {
@@ -314,6 +510,69 @@ class StreamRegistry:
                 }
             )
         return responses
+
+    def append_group(
+        self, run: Sequence[Dict[str, Any]]
+    ) -> Tuple[int, List[Dict[str, Any]]]:
+        """Absorb a run of same-stream ``append`` frames as one batch.
+
+        Every frame is validated and decoded *before* anything commits, so
+        a malformed frame ``k`` truncates the group: frames ``[0, k)``
+        still absorb (coalesced), frame ``k`` answers with its error
+        frame, and the frames after ``k`` are left for the caller to
+        redispatch (the returned consumed count covers ``[0, k]`` only) —
+        exactly the prefix frame-at-a-time dispatch would have committed
+        before hitting the error.
+        """
+        name = run[0]["stream"]
+        handle = self._streams[name]
+        decoded: List[Tuple[Dict[str, Any], List[Any]]] = []
+        failure: Optional[ProtocolError] = None
+        for frame in run:
+            try:
+                validate_request(frame)
+                decoded.append(
+                    (frame, rows_to_states(frame["states"], stream=name))
+                )
+            except ProtocolError as exc:
+                failure = exc
+                break
+        responses: List[Dict[str, Any]] = []
+        if decoded:
+            try:
+                outcomes = handle.absorb_group(
+                    [states for _, states in decoded]
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                self.errors += 1
+                responses.append(
+                    ProtocolError(
+                        "internal", f"{type(exc).__name__}: {exc}", stream=name
+                    ).to_frame()
+                )
+                outcomes = []
+            for (frame, states), (alerts, verdicts, length, version) in zip(
+                decoded, outcomes
+            ):
+                self.states_ingested += len(states)
+                self.alerts_emitted += len(alerts)
+                responses.extend(alerts)
+                if frame.get("ack", True):
+                    responses.append(
+                        {
+                            "ok": "appended",
+                            "stream": name,
+                            "count": len(states),
+                            "length": length,
+                            "version": version,
+                            "verdicts": verdicts,
+                        }
+                    )
+        if failure is not None:
+            self.errors += 1
+            responses.append(failure.to_frame())
+            return len(decoded) + 1, responses
+        return len(decoded), responses
 
     def snapshot(self, name: Optional[str] = None) -> Dict[str, Any]:
         if name is not None:

@@ -61,10 +61,9 @@ def shard_worker_main(conn, config: WorkerConfig) -> None:
         if kind == "stop":
             conn.send(("stats", registry.service_snapshot()))
             break
-        responses: List[Dict[str, Any]] = []
-        for frame in payload:
-            responses.extend(registry.handle(frame))
-        conn.send(("frames", responses))
+        # Batch dispatch: back-to-back appends for one stream inside this
+        # shipment coalesce into a single runtime batch in the registry.
+        conn.send(("frames", registry.handle_batch(payload)))
     conn.close()
 
 

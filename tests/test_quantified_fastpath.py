@@ -1,0 +1,291 @@
+"""The quantified-spec fast path, proven by parity.
+
+Forall specialization (unrolling explicit-domain quantifiers at lowering
+time) and batched tail-window appends are pure *speed* changes — every
+observable answer must be bit-for-bit what the generic quantifier path
+and single-state appends produce.  This harness pins that:
+
+- the ``quantified_incremental`` corpus (queue I1-I3, the Chapter 5
+  queue/stack foralls, quantified mutual-exclusion obligations) replays
+  disagreement-free through the differential oracle AND incrementally
+  through monitors with batched appends, against pinned verdicts;
+- any ``forall_unroll_cap`` (0 = generic quantification, small caps,
+  huge caps) yields identical verdicts, engine reasons and captured
+  errors;
+- the serve registry's same-stream coalescing answers byte-identical
+  response and snapshot sequences to frame-at-a-time dispatch, including
+  mid-group verdict flips and malformed frames;
+- warm parallel workers load every compiled plan from the persistent
+  store (``plan_disk_hits``) with zero recompiles;
+- a fixed-seed quantified mini-fuzz keeps the whole engine family in
+  agreement.
+"""
+
+import copy
+import os
+
+from repro.api import CheckRequest, Session
+from repro.gen import (
+    DifferentialOracle,
+    FuzzConfig,
+    fuzz,
+    load_corpus,
+    replay_corpus,
+)
+from repro.gen.loadgen import generate_stream_scripts
+from repro.serve.protocol import trace_to_rows
+from repro.serve.streams import StreamRegistry
+from repro.specs import reliable_queue_spec
+from repro.systems import reliable_queue_trace
+
+CORPUS_PATH = os.path.join(
+    os.path.dirname(__file__), "corpus", "quantified_incremental.jsonl"
+)
+
+
+def corpus_cases():
+    cases = load_corpus(CORPUS_PATH)
+    assert cases, "quantified_incremental.jsonl must not be empty"
+    return cases
+
+
+def clause_formulas(case):
+    return {str(i): clause for i, clause in enumerate(case.clauses)}
+
+
+def monitor_holds(monitor):
+    return {name: v.holds for name, v in monitor.verdicts.items()}
+
+
+class TestQuantifiedCorpus:
+    def test_replays_clean_through_the_oracle(self):
+        report = replay_corpus(corpus_cases())
+        assert report.ok, report.summary()
+
+    def test_incremental_batched_replay_matches_pinned_verdicts(self):
+        """Each case replayed as a monitored stream with batched appends
+        must land on the pinned one-shot verdicts — and agree with a
+        single-state monitor at every batch boundary along the way."""
+        session = Session()
+        for case in corpus_cases():
+            states = case.built_trace().states()
+            formulas = clause_formulas(case)
+            batched = session.monitor(
+                formulas, domain=case.domain, capture_errors=True
+            )
+            single = session.monitor(
+                formulas, domain=case.domain, capture_errors=True
+            )
+            position, size = 0, 1
+            while position < len(states):
+                chunk = states[position : position + size]
+                batched.observe_batch(chunk, commits=len(chunk))
+                for state in chunk:
+                    single.observe(state)
+                assert monitor_holds(batched) == monitor_holds(single), case.id
+                position += len(chunk)
+                size = size % 4 + 1  # batch sizes cycle 1, 2, 3, 4
+            finals = monitor_holds(batched)
+            for index in range(len(case.clauses)):
+                pinned = case.expect.get(f"compiled[{index}]")
+                if pinned is not None:
+                    assert finals[str(index)] is pinned, (case.id, index)
+
+    def test_stable_for_weights_match_per_state_commits(self):
+        """Once verdicts are established, ``observe_batch(chunk,
+        commits=len(chunk))`` advances ``stable_for`` exactly as the
+        per-state loop does.  (The establishing observation itself resets
+        the counter, so it is fed alone — a weighted batch cannot know
+        where inside itself a change landed; the serve layer replays
+        frame-at-a-time on flips for exactly that reason.)"""
+        session = Session()
+        case = next(c for c in corpus_cases() if c.id == "qinc/reliable-queue")
+        states = case.built_trace().states()
+        formulas = clause_formulas(case)
+        batched = session.monitor(formulas, domain=case.domain)
+        single = session.monitor(formulas, domain=case.domain)
+        batched.observe(states[0])
+        single.observe(states[0])
+        for start in range(1, len(states), 5):
+            chunk = states[start : start + 5]
+            batched.observe_batch(chunk, commits=len(chunk))
+            for state in chunk:
+                single.observe(state)
+        assert {n: v.stable_for for n, v in batched.verdicts.items()} == {
+            n: v.stable_for for n, v in single.verdicts.items()
+        }
+
+
+class TestForallCapParity:
+    def test_generic_quantifier_path_pins_identical_expectations(self):
+        """A session with unrolling disabled (cap 0) re-derives exactly the
+        pinned expectations: specialization never changes an answer."""
+        generic = DifferentialOracle(
+            session=Session(forall_unroll_cap=0), shrink=False
+        )
+        for case in corpus_cases():
+            fresh = generic.record_expectations(case.replacing(expect=None))
+            assert fresh.expect == case.expect, case.id
+
+    def test_every_cap_agrees_on_monitored_streams(self):
+        """Caps straddling every specialization decision (off, below the
+        domain product, at the default, far above) are indistinguishable."""
+        baseline = {}
+        for cap in (None, 0, 1, 4, 64):
+            session = Session() if cap is None else Session(forall_unroll_cap=cap)
+            for case in corpus_cases():
+                monitor = session.monitor(
+                    clause_formulas(case), domain=case.domain, capture_errors=True
+                )
+                monitor.observe_batch(case.built_trace().states())
+                holds = monitor_holds(monitor)
+                if cap is None:
+                    baseline[case.id] = holds
+                else:
+                    assert holds == baseline[case.id], (cap, case.id)
+
+    def test_check_results_share_verdict_and_engine_reason(self):
+        """The one-shot façade agrees across caps down to the recorded
+        engine reason — specialization happens inside the compiled path,
+        never by rerouting to a different engine."""
+        trace = reliable_queue_trace()
+        formulas = [
+            clause.interpreted_formula()
+            for clause in reliable_queue_spec().clauses
+        ]
+        default = Session()
+        generic = Session(forall_unroll_cap=0)
+        for formula in formulas:
+            a = default.check(formula, trace=trace, capture_errors=True)
+            b = generic.check(formula, trace=trace, capture_errors=True)
+            assert (a.verdict, a.engine_reason, a.error) == (
+                b.verdict,
+                b.engine_reason,
+                b.error,
+            )
+
+
+class TestServeCoalescing:
+    """Same-stream run coalescing in ``StreamRegistry.handle_batch`` must be
+    observationally identical to frame-at-a-time ``handle`` dispatch."""
+
+    ROWS_PER_FRAME = 3
+
+    def _fleet(self, streams=6, seed=3, fault_rate=0.9):
+        scripts = generate_stream_scripts(streams, seed=seed, fault_rate=fault_rate)
+        frame_at_a_time, coalesced = StreamRegistry(), StreamRegistry()
+        for registry in (frame_at_a_time, coalesced):
+            for script in scripts:
+                (opened,) = registry.handle(
+                    {"op": "open", "stream": script.stream, "spec": script.spec}
+                )
+                assert opened.get("ok") == "opened", opened
+        return scripts, frame_at_a_time, coalesced
+
+    def _append_frames(self, script):
+        rows = trace_to_rows(script.build_trace())
+        return [
+            {
+                "op": "append",
+                "stream": script.stream,
+                "states": rows[start : start + self.ROWS_PER_FRAME],
+            }
+            for start in range(0, len(rows), self.ROWS_PER_FRAME)
+        ]
+
+    def _snapshot(self, registry, stream):
+        (snapshot,) = registry.handle({"op": "snapshot", "stream": stream})
+        # step_cost meters actual evaluation work, which coalescing is
+        # *supposed* to change (fewer, larger batches); every semantic
+        # field — version, length, verdicts, stable_for, alerts — must
+        # still match exactly.
+        snapshot.pop("step_cost", None)
+        return snapshot
+
+    def test_coalesced_runs_match_frame_at_a_time_with_flips(self):
+        scripts, frame_at_a_time, coalesced = self._fleet()
+        saw_alert = False
+        for script in scripts:
+            frames = self._append_frames(script)
+            sequential = [
+                response
+                for frame in frames
+                for response in frame_at_a_time.handle(copy.deepcopy(frame))
+            ]
+            grouped = coalesced.handle_batch(copy.deepcopy(frames))
+            assert grouped == sequential, script.stream
+            saw_alert = saw_alert or any(
+                r.get("event") == "alert" for r in sequential
+            )
+            assert self._snapshot(coalesced, script.stream) == self._snapshot(
+                frame_at_a_time, script.stream
+            )
+        # At fault_rate 0.9 some stream must flip mid-run, otherwise the
+        # alert-replay path was never exercised.
+        assert saw_alert
+
+    def test_malformed_frame_mid_group_truncates_identically(self):
+        scripts, frame_at_a_time, coalesced = self._fleet(streams=2, fault_rate=0.0)
+        script = scripts[0]
+        frames = self._append_frames(script)
+        frames.insert(2, {"op": "append", "stream": script.stream, "states": []})
+        frames.insert(5, {"op": "append", "stream": script.stream,
+                          "states": ["not-a-state"]})
+        sequential = [
+            response
+            for frame in frames
+            for response in frame_at_a_time.handle(copy.deepcopy(frame))
+        ]
+        grouped = coalesced.handle_batch(copy.deepcopy(frames))
+        assert grouped == sequential
+        assert sum(1 for r in sequential if "error" in r) == 2
+        assert self._snapshot(coalesced, script.stream) == self._snapshot(
+            frame_at_a_time, script.stream
+        )
+
+    def test_interleaved_ops_break_runs_without_changing_answers(self):
+        scripts, frame_at_a_time, coalesced = self._fleet(streams=2, fault_rate=0.5)
+        a, b = scripts
+        frames = []
+        for frame_a, frame_b in zip(self._append_frames(a), self._append_frames(b)):
+            frames.extend(
+                [frame_a, frame_b, {"op": "snapshot", "stream": a.stream}]
+            )
+        sequential = [
+            response
+            for frame in frames
+            for response in frame_at_a_time.handle(copy.deepcopy(frame))
+        ]
+        grouped = coalesced.handle_batch(copy.deepcopy(frames))
+        assert grouped == sequential
+
+
+class TestWarmParallelPlanCache:
+    def test_workers_load_plans_from_disk_with_zero_recompiles(self, tmp_path):
+        trace = reliable_queue_trace()
+        requests = [
+            CheckRequest(
+                clause.interpreted_formula(),
+                trace=trace,
+                compile=True,
+                capture_errors=True,
+                label=clause.name,
+            )
+            for clause in reliable_queue_spec().clauses
+        ] * 4
+        session = Session(plan_cache_dir=str(tmp_path))
+        fanned = session.check_many(requests, processes=2)
+        serial = Session().check_many(requests)
+        assert [r.verdict for r in fanned] == [r.verdict for r in serial]
+        stats = session.last_parallel_cache_stats
+        assert stats, "parallel fan-out must report worker cache statistics"
+        for worker_stats in stats:
+            assert worker_stats["plan_disk_hits"] > 0
+            assert worker_stats["plan_cache_misses"] == worker_stats["plan_disk_hits"]
+            assert worker_stats["plan_compile_time_s"] == 0.0
+
+
+class TestQuantifiedMiniFuzz:
+    def test_specs_mini_fuzz_is_disagreement_free(self):
+        report = fuzz(FuzzConfig(seed=1107, cases=200, specs=True))
+        assert report.ok, report.summary()
