@@ -64,17 +64,19 @@ def split_chunks(
 
 def _run_chunk(
     payload: Tuple[List[CheckRequest], Optional[str]]
-) -> Tuple[List[CheckResult], Dict[str, Any]]:
+) -> Tuple[List[CheckResult], Dict[str, Any], Dict[str, Any]]:
     # A fresh session per worker: evaluator memo tables are shared within
     # the chunk, never across processes — but the persistent plan store
     # (when configured) is shared with the parent, so plans the parent
-    # precompiled load from disk instead of recompiling per worker.
+    # precompiled load from disk instead of recompiling per worker.  The
+    # worker session carries its own child MetricsRegistry; its snapshot
+    # rides home with the chunk and the parent merges it on join.
     from .session import Session
 
     requests, plan_cache_dir = payload
     session = Session(plan_cache_dir=plan_cache_dir)
     results = [session._run(request) for request in requests]
-    return results, session.cache_statistics()
+    return results, session.cache_statistics(), session.metrics.snapshot()
 
 
 def run_chunked(
@@ -83,18 +85,23 @@ def run_chunked(
     chunk_size: Optional[int] = None,
     plan_cache_dir: Optional[str] = None,
     stats_sink: Optional[List[Dict[str, Any]]] = None,
+    metrics_sink: Optional[List[Dict[str, Any]]] = None,
 ) -> List[CheckResult]:
     """Run ``requests`` over ``processes`` workers; results in request order.
 
     ``plan_cache_dir`` hands every worker session the persistent plan
     store; ``stats_sink`` (a list) collects one cache-statistics dict per
-    worker chunk, in chunk order.
+    worker chunk, in chunk order; ``metrics_sink`` likewise collects one
+    :meth:`~repro.obs.MetricsRegistry.snapshot` per chunk, ready for
+    ``merge_snapshot`` into the parent registry.
     """
     chunks = split_chunks(requests, processes, chunk_size)
     if len(chunks) <= 1:
-        results, stats = _run_chunk((list(requests), plan_cache_dir))
+        results, stats, metrics = _run_chunk((list(requests), plan_cache_dir))
         if stats_sink is not None:
             stats_sink.append(stats)
+        if metrics_sink is not None:
+            metrics_sink.append(metrics)
         return results
     _prepare_columns(requests)
     context = multiprocessing.get_context()
@@ -103,5 +110,7 @@ def run_chunked(
             _run_chunk, [(chunk, plan_cache_dir) for chunk in chunks]
         )
     if stats_sink is not None:
-        stats_sink.extend(stats for _, stats in chunk_results)
-    return [result for results, _ in chunk_results for result in results]
+        stats_sink.extend(stats for _, stats, _ in chunk_results)
+    if metrics_sink is not None:
+        metrics_sink.extend(metrics for _, _, metrics in chunk_results)
+    return [result for results, _, _ in chunk_results for result in results]

@@ -37,6 +37,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..compile.dag import CompileError
 from ..lll.syntax import LLLExpression
+from ..obs import MetricsRegistry, Tracer
 from ..ltl.syntax import LTLFormula
 from ..ltl.translation import is_in_ltl_fragment
 from ..semantics.evaluator import Evaluator
@@ -104,6 +105,17 @@ class Session:
         the runtime default, ``0`` disables specialization).  Part of the
         bound-plan-state cache key: plan states specialized under
         different caps never alias.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to record into (defaults to
+        a fresh one per session; pass ``repro.obs.NULL_METRICS`` for the
+        uninstrumented baseline).  Every check records engine dispatch,
+        latency, errors, fallbacks and plan-cache hit/miss into labelled
+        series; :meth:`metrics_snapshot` adds the cache gauges and returns
+        the JSON-safe snapshot.
+    tracer:
+        A :class:`~repro.obs.Tracer`; every :meth:`check` / :meth:`check_spec`
+        call opens a span (engine, reason, verdict) into its bounded
+        buffer.
     """
 
     def __init__(
@@ -114,6 +126,8 @@ class Session:
         prefer_compiled: bool = True,
         plan_cache_dir: Optional[str] = None,
         forall_unroll_cap: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._default_domain = dict(domain) if domain else None
         self._registry = engines if engines is not None else default_registry()
@@ -126,7 +140,41 @@ class Session:
         self._forall_unroll_cap = forall_unroll_cap
         #: Per-worker cache statistics of the most recent
         #: ``check_many(processes=...)`` fan-out (one dict per chunk).
+        #: Kept for tooling compatibility — worker telemetry now also
+        #: arrives as ``repro.obs`` registry snapshots merged into
+        #: :attr:`metrics` on join.
         self.last_parallel_cache_stats: List[Dict[str, Any]] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        # Hot-path instruments, declared once (children are cached too).
+        self._m_checks = self.metrics.counter(
+            "repro_checks_total", "Checks answered, by engine.", ("engine",)
+        )
+        self._m_check_seconds = self.metrics.histogram(
+            "repro_check_seconds", "Per-check wall time, by engine.", ("engine",)
+        )
+        self._m_check_errors = self.metrics.counter(
+            "repro_check_errors_total", "Checks that raised/captured an error, by engine.",
+            ("engine",),
+        )
+        self._m_fallbacks = self.metrics.counter(
+            "repro_compile_fallbacks_total",
+            "Compiled-path requests that fell back to the trace engine.",
+        )
+        self._m_plan_requests = self.metrics.counter(
+            "repro_plan_requests_total",
+            "Compiled-plan lookups, by outcome (hit = served from cache).",
+            ("outcome",),
+        )
+        self._m_spec_checks = self.metrics.counter(
+            "repro_spec_checks_total",
+            "check_spec calls, by evaluation path (specplan or per-clause).",
+            ("path",),
+        )
+        self._m_parallel_chunks = self.metrics.counter(
+            "repro_parallel_chunks_total",
+            "Worker chunks completed by check_many fan-outs.",
+        )
         self._traces: Dict[str, Trace] = {}
         self._evaluators: Dict[Tuple[int, Any], Evaluator] = {}
         self._trace_refs: Dict[int, Trace] = {}
@@ -238,16 +286,45 @@ class Session:
     def cache_statistics(self) -> Dict[str, Any]:
         """One snapshot of every cache this session holds.
 
-        Plan-cache hit/miss/eviction (and disk hit/write) counters plus the
+        Plan-cache hit/miss/eviction and disk hit/write counters plus the
         bound plan-state, evaluator and spec-identity entry counts — the
         numbers :mod:`repro.serve` surfaces per worker in service
-        snapshots.
+        snapshots.  ``plan_disk_writes`` / ``plan_disk_hits`` are always
+        present (zero without a persistent store), so one call reports the
+        full cache picture.  The same numbers flow into
+        :meth:`metrics_snapshot` as ``repro_plan_cache_*`` series.
         """
         stats: Dict[str, Any] = dict(self.plan_cache.statistics())
+        stats.setdefault("plan_disk_writes", 0)
+        stats.setdefault("plan_disk_hits", 0)
         stats["plan_states"] = len(self._plan_states)
         stats["evaluators"] = len(self._evaluators)
         stats["spec_plan_entries"] = len(self._spec_plans)
         return stats
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The session's :class:`~repro.obs.MetricsRegistry` snapshot with
+        the cache gauges synced in (the ``repro.obs`` successor to
+        :meth:`cache_statistics`: same counters, one composable format).
+        """
+        cache = self.cache_statistics()
+        gauges = {
+            "repro_plan_cache_size": ("plan_cache_size", "Plans resident in the LRU."),
+            "repro_plan_cache_hits": ("plan_cache_hits", "LRU hits this generation."),
+            "repro_plan_cache_misses": ("plan_cache_misses", "LRU misses this generation."),
+            "repro_plan_cache_evictions": ("plan_cache_evictions", "LRU evictions."),
+            "repro_plan_disk_hits": ("plan_disk_hits", "Plans loaded from the persistent store."),
+            "repro_plan_disk_writes": ("plan_disk_writes", "Plans written to the persistent store."),
+            "repro_plan_states": ("plan_states", "Bound plan states held."),
+            "repro_evaluators": ("evaluators", "Shared interpreter evaluators held."),
+        }
+        for name, (key, help_text) in gauges.items():
+            if key in cache:
+                self.metrics.gauge(name, help_text).child().set(cache[key])
+        self.metrics.gauge(
+            "repro_plan_compile_seconds", "Cumulative plan compile time."
+        ).child().set(cache.get("plan_compile_time_s", 0.0))
+        return self.metrics.snapshot()
 
     def monitor(
         self,
@@ -503,15 +580,27 @@ class Session:
             shipped = [self._prepare_for_worker(r) for r in prepared]
             self._warm_plan_store(shipped)
             stats_sink: List[Dict[str, Any]] = []
+            metrics_sink: List[Dict[str, Any]] = []
             try:
-                results = run_chunked(
-                    shipped,
-                    processes,
-                    chunk_size,
-                    plan_cache_dir=self._plan_cache_dir,
-                    stats_sink=stats_sink,
-                )
+                with self.tracer.span(
+                    "check_many", requests=len(shipped), processes=processes
+                ) as span:
+                    results = run_chunked(
+                        shipped,
+                        processes,
+                        chunk_size,
+                        plan_cache_dir=self._plan_cache_dir,
+                        stats_sink=stats_sink,
+                        metrics_sink=metrics_sink,
+                    )
+                    span.set(chunks=len(metrics_sink))
                 self.last_parallel_cache_stats = stats_sink
+                # Worker registries merge deterministically: counter/
+                # histogram addition is order-independent, so the parent's
+                # totals cannot depend on chunk completion order.
+                for snapshot in metrics_sink:
+                    self.metrics.merge_snapshot(snapshot)
+                self._m_parallel_chunks.child().inc(len(metrics_sink))
                 return results
             except Exception as exc:
                 # Workers could not be used (unpicklable payloads, missing
@@ -625,17 +714,26 @@ class Session:
             and failure_key not in self._spec_plan_failures
         ):
             try:
-                state, _ = self.spec_plan_state(resolved, specification, domain)
+                state, from_cache = self.spec_plan_state(
+                    resolved, specification, domain
+                )
             except CompileError:
                 # Negative-cache the identity: a spec that cannot lower
                 # would otherwise pay a full failed compilation per trace.
                 self._spec_plan_failures.add(failure_key)
             else:
+                with self.tracer.span(
+                    "check_spec",
+                    spec=getattr(specification, "name", None),
+                    clauses=len(specification.clauses),
+                    path="specplan",
+                ):
+                    outcomes = state.check_all(env)
+                self._m_spec_checks.child("specplan").inc()
+                self._m_plan_requests.child("hit" if from_cache else "miss").inc()
                 verdicts = [
                     ClauseVerdict(clause, outcome.verdict is True, outcome.error)
-                    for clause, outcome in zip(
-                        specification.clauses, state.check_all(env)
-                    )
+                    for clause, outcome in zip(specification.clauses, outcomes)
                 ]
                 return SpecificationResult(specification, verdicts)
         requests = [
@@ -652,6 +750,7 @@ class Session:
             )
             for clause in specification.clauses
         ]
+        self._m_spec_checks.child("per-clause").inc()
         results = self.check_many(requests, processes=processes)
         verdicts = [
             ClauseVerdict(clause, result.verdict is True, result.error)
@@ -685,32 +784,48 @@ class Session:
         started = time.perf_counter()
         engine_name = request.mode or "?"
         reason: Optional[str] = None
-        try:
-            engine, reason = self._select_engine(request)
-            engine_name = engine.name
+        with self.tracer.span("check") as span:
             try:
-                result = engine.run(request, self)
-            except CompileError as exc:
-                if engine.name != "compiled" or request.mode == "compiled" \
-                        or "trace" not in self._registry:
+                engine, reason = self._select_engine(request)
+                engine_name = engine.name
+                try:
+                    result = engine.run(request, self)
+                except CompileError as exc:
+                    if engine.name != "compiled" or request.mode == "compiled" \
+                            or "trace" not in self._registry:
+                        raise
+                    # Automatic fallback: a formula the compile pipeline cannot
+                    # lower is still checkable by the interpreting evaluator.
+                    fallback = self._registry.get("trace")
+                    engine_name = fallback.name
+                    reason = f"{reason}; fell back to trace on CompileError: {exc}"
+                    self._m_fallbacks.child().inc()
+                    result = fallback.run(request, self)
+            except Exception as exc:
+                if not request.capture_errors:
+                    self._m_check_errors.child(engine_name).inc()
                     raise
-                # Automatic fallback: a formula the compile pipeline cannot
-                # lower is still checkable by the interpreting evaluator.
-                fallback = self._registry.get("trace")
-                engine_name = fallback.name
-                reason = f"{reason}; fell back to trace on CompileError: {exc}"
-                result = fallback.run(request, self)
-        except Exception as exc:
-            if not request.capture_errors:
-                raise
-            result = CheckResult(
-                verdict=None,
+                result = CheckResult(
+                    verdict=None,
+                    engine=engine_name,
+                    request=request,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            result.engine_reason = reason
+            result.wall_time_s = time.perf_counter() - started
+            self._m_checks.child(engine_name).inc()
+            self._m_check_seconds.child(engine_name).observe(result.wall_time_s)
+            if result.error is not None:
+                self._m_check_errors.child(engine_name).inc()
+            from_cache = result.statistics.get("plan_from_cache")
+            if from_cache is not None:
+                self._m_plan_requests.child("hit" if from_cache else "miss").inc()
+            span.set(
                 engine=engine_name,
-                request=request,
-                error=f"{type(exc).__name__}: {exc}",
+                reason=reason,
+                verdict=result.verdict,
+                label=request.label,
             )
-        result.engine_reason = reason
-        result.wall_time_s = time.perf_counter() - started
         return result
 
 

@@ -1,20 +1,25 @@
 """The ``python -m repro.serve`` command line.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.serve serve [--host H] [--port P] [--shards N]
-        [--plan-cache DIR] [--stat-window N]
+        [--plan-cache DIR] [--stat-window N] [--metrics-port P]
     python -m repro.serve loadgen [--host H] [--port P | --self-host [--shards N]]
         [--streams N] [--rate STATES_PER_SEC] [--fault-rate F]
         [--batch B] [--seed S] [--connections C] [--plan-cache DIR]
     python -m repro.serve replay [PATH ...] [--batch B]
+    python -m repro.serve stats [--host H] [--port P] [--interval S] [--json]
 
-``serve`` runs the monitoring service until interrupted.  ``loadgen``
-drives a seeded fleet of simulated-system streams against a service —
-its own ephemeral one under ``--self-host`` — and exits non-zero if any
-*correct* stream ends failing or any fault-injected stream goes
-undetected.  ``replay`` pushes the regression corpus through the wire
-codec and exits non-zero on any divergence from the one-shot engines.
+``serve`` runs the monitoring service until interrupted; with
+``--metrics-port`` it also answers Prometheus text scrapes on that port.
+``loadgen`` drives a seeded fleet of simulated-system streams against a
+service — its own ephemeral one under ``--self-host`` — and exits
+non-zero if any *correct* stream ends failing or any fault-injected
+stream goes undetected.  ``replay`` pushes the regression corpus through
+the wire codec and exits non-zero on any divergence from the one-shot
+engines.  ``stats`` samples a live service's ``metrics`` frame twice,
+``--interval`` seconds apart, and prints the aggregated fleet picture:
+open streams, ingest rate, alerts, cache hits, latency quantiles.
 """
 
 from __future__ import annotations
@@ -45,6 +50,8 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(defaults to $REPRO_PLAN_CACHE)")
     serve_cmd.add_argument("--stat-window", type=int, default=256,
                            help="per-stream bounded stats window")
+    serve_cmd.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                           help="also serve Prometheus text metrics on this port")
 
     load_cmd = commands.add_parser("loadgen", help="drive a generated stream fleet")
     load_cmd.add_argument("--host", default="127.0.0.1")
@@ -72,6 +79,17 @@ def _build_parser() -> argparse.ArgumentParser:
                                  f"(default: {DEFAULT_CORPUS_DIR})")
     replay_cmd.add_argument("--batch", type=int, default=16,
                             help="states per append frame")
+
+    stats_cmd = commands.add_parser(
+        "stats", help="sample a live service's aggregated fleet metrics"
+    )
+    stats_cmd.add_argument("--host", default="127.0.0.1")
+    stats_cmd.add_argument("--port", type=int, default=9178)
+    stats_cmd.add_argument("--interval", type=float, default=1.0,
+                           help="seconds between the two samples the rate "
+                                "window spans (0: single sample, no rates)")
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="print the raw metrics snapshot as JSON")
     return parser
 
 
@@ -83,8 +101,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         plan_cache_dir=args.plan_cache,
         stat_window=args.stat_window,
     )
+
+    async def _run() -> None:
+        if args.metrics_port is not None:
+            metrics_host, metrics_port = await service.start_metrics_endpoint(
+                args.host, args.metrics_port
+            )
+            print(f"metrics (Prometheus text) on {metrics_host}:{metrics_port}")
+        await service.serve_forever(args.host, args.port)
+
     try:
-        asyncio.run(service.serve_forever(args.host, args.port))
+        asyncio.run(_run())
     except KeyboardInterrupt:
         print("interrupted; shutting down")
     finally:
@@ -154,12 +181,100 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _counter_total(snapshot, name: str) -> float:
+    entry = snapshot.get(name)
+    if not entry:
+        return 0
+    return sum(row.get("value", 0) for row in entry.get("series", ()))
+
+
+def _counter_by_label(snapshot, name: str):
+    entry = snapshot.get(name)
+    if not entry:
+        return {}
+    return {
+        "/".join(row.get("labels", ())) or "-": row.get("value", 0)
+        for row in entry.get("series", ())
+    }
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from ..obs import snapshot_quantile, to_json
+    from .client import ServeClient
+
+    async def _sample():
+        client = await ServeClient.connect(args.host, args.port)
+        try:
+            first = await client.metrics()
+            if args.interval > 0:
+                await asyncio.sleep(args.interval)
+                second = await client.metrics()
+            else:
+                second = first
+        finally:
+            await client.close()
+        return first, second
+
+    try:
+        first, snapshot = asyncio.run(_sample())
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(to_json(snapshot, indent=2))
+        return 0
+
+    open_entry = snapshot.get("serve_streams_open", {})
+    open_streams = sum(
+        row.get("value", 0) for row in open_entry.get("series", ())
+    )
+    states = _counter_total(snapshot, "serve_states_ingested_total")
+    alerts = _counter_total(snapshot, "serve_alerts_total")
+    errors = _counter_total(snapshot, "serve_errors_total")
+    rate = ""
+    if args.interval > 0:
+        delta = states - _counter_total(first, "serve_states_ingested_total")
+        rate = f"  ({delta / args.interval:,.0f} states/s over {args.interval:g}s)"
+    print(f"streams open:     {open_streams:,.0f}")
+    print(f"states ingested:  {states:,.0f}{rate}")
+    print(f"alerts emitted:   {alerts:,.0f}")
+    print(f"error frames:     {errors:,.0f}")
+    opened = _counter_by_label(snapshot, "serve_streams_opened_total")
+    if opened:
+        families = ", ".join(f"{k}={v:,.0f}" for k, v in sorted(opened.items()))
+        print(f"opened by family: {families}")
+    plan = _counter_by_label(snapshot, "repro_plan_requests_total")
+    if plan:
+        print(f"plan cache:       "
+              f"hits={plan.get('hit', 0):,.0f} misses={plan.get('miss', 0):,.0f}")
+    for metric, label in (
+        ("serve_step_cost", "step cost"),
+        ("serve_batch_states", "batch states"),
+        ("serve_snapshot_rebuild_seconds", "rebuild secs"),
+    ):
+        entry = snapshot.get(metric)
+        if entry and any(row.get("count") for row in entry.get("series", ())):
+            q50 = snapshot_quantile(entry, 0.5)
+            q95 = snapshot_quantile(entry, 0.95)
+            q99 = snapshot_quantile(entry, 0.99)
+            print(f"{label + ':':<18}p50={q50:g} p95={q95:g} p99={q99:g}")
+    framing_poisoned = _counter_total(snapshot, "serve_framing_poisoned_total")
+    if framing_poisoned:
+        resyncs = _counter_total(snapshot, "serve_framing_resyncs_total")
+        print(f"framing:          {framing_poisoned:,.0f} poisoned lines, "
+              f"{resyncs:,.0f} resyncs")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return _cmd_replay(args)
 
 

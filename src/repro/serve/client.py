@@ -124,6 +124,14 @@ class ServeClient:
     async def ping(self) -> Dict[str, Any]:
         return await self.request({"op": "ping"})
 
+    async def metrics(self) -> Dict[str, Any]:
+        """The service's :mod:`repro.obs` snapshot (merged across shards
+        and front-end framing series) — the ``metrics`` frame's payload."""
+        reply = await self.request({"op": "metrics"})
+        if "error" in reply:
+            raise RuntimeError(f"metrics: {reply}")
+        return reply.get("metrics", {})
+
 
 @dataclass
 class LoadReport:

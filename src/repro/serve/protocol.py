@@ -16,6 +16,7 @@ Request frames::
     {"op": "snapshot", "stream": "dev-7"}      # omit "stream": service-wide
     {"op": "close", "stream": "dev-7"}
     {"op": "ping"}
+    {"op": "metrics"}                          # repro.obs registry snapshot
 
 A state ROW is ``{"values": {name: value, ...}}`` plus an optional
 ``"ops"`` mapping of operation records ``{name: [phase, args, results]}``
@@ -36,7 +37,13 @@ Response frames::
     {"ok": "snapshot", ...}                    # version-stamped, see streams
     {"ok": "closed", "stream": ..., "length": L, "verdicts": {...}}
     {"ok": "pong"}
+    {"ok": "metrics", "metrics": SNAPSHOT}     # + "shards": n behind a pool
     {"error": CODE, "message": ..., "stream": ...?}
+
+``metrics`` answers the serving process's :mod:`repro.obs` registry
+snapshot (merged across every worker behind a :class:`ShardPool`) —
+JSON-safe, mergeable with :func:`repro.obs.merge_snapshots`, renderable
+with :func:`repro.obs.to_prometheus_text`.
 
 Malformed input never kills a connection: undecodable bytes, oversized
 lines, non-object JSON, unknown ops and missing/ill-typed fields each
@@ -71,7 +78,7 @@ __all__ = [
 #: service): a line longer than this is rejected before being buffered.
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
-REQUEST_OPS = ("open", "append", "snapshot", "close", "ping")
+REQUEST_OPS = ("open", "append", "snapshot", "close", "ping", "metrics")
 
 ERROR_CODES = (
     "bad-json",        # line is not valid JSON
@@ -165,7 +172,7 @@ def validate_request(frame: Dict[str, Any]) -> str:
         raise ProtocolError(
             "unknown-op", f"unknown op {op!r}; expected one of {', '.join(REQUEST_OPS)}"
         )
-    if op == "ping":
+    if op in ("ping", "metrics"):
         return op
     if op == "snapshot":
         if "stream" in frame:
@@ -220,14 +227,25 @@ class FrameDecoder:
     tail and returns the *complete* raw lines.  Decoding those lines (and
     answering per-line errors) is the caller's business, so one bad line
     never poisons its neighbours in the same chunk.
+
+    Oversize-line poisoning is *counted*: :attr:`poisoned_lines` is the
+    number of lines rejected by the framing guard and :attr:`resyncs` the
+    number of successful re-synchronizations at a later newline.  The
+    service folds both into ``service_snapshot()["framing"]`` and the
+    ``serve_framing_*`` metrics series, so garbage on the wire is visible
+    to operators instead of silently discarded.
     """
 
-    __slots__ = ("_buffer", "_max_line", "_poisoned")
+    __slots__ = ("_buffer", "_max_line", "_poisoned", "poisoned_lines", "resyncs")
 
     def __init__(self, max_line: int = MAX_LINE_BYTES) -> None:
         self._buffer = bytearray()
         self._max_line = max_line
         self._poisoned = False
+        #: Lines rejected for exceeding ``max_line`` before their newline.
+        self.poisoned_lines = 0
+        #: Recoveries: the decoder found the next newline and resumed.
+        self.resyncs = 0
 
     @property
     def pending(self) -> int:
@@ -243,11 +261,13 @@ class FrameDecoder:
                 return []
             data = data[cut + 1:]
             self._poisoned = False
+            self.resyncs += 1
             self._buffer.clear()
         self._buffer.extend(data)
         if b"\n" not in self._buffer:
             if len(self._buffer) > self._max_line:
                 self._poisoned = True
+                self.poisoned_lines += 1
                 self._buffer.clear()
                 raise ProtocolError(
                     "line-too-long",
@@ -259,6 +279,7 @@ class FrameDecoder:
         lines = [line.rstrip(b"\r") for line in complete if line.strip()]
         if len(self._buffer) > self._max_line:
             self._poisoned = True
+            self.poisoned_lines += 1
             self._buffer.clear()
             raise ProtocolError(
                 "line-too-long",
@@ -266,6 +287,7 @@ class FrameDecoder:
             )
         for line in lines:
             if len(line) > self._max_line:
+                self.poisoned_lines += 1
                 raise ProtocolError(
                     "line-too-long", f"frame exceeds {self._max_line} bytes"
                 )

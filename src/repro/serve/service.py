@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs import MetricsRegistry, merge_snapshots, to_prometheus_text
 from .protocol import FrameDecoder, ProtocolError, decode_frame, encode_frame
 from .streams import StreamRegistry
 from .worker import ShardPool
@@ -57,8 +58,25 @@ class MonitorService:
                 session=session, stat_window=stat_window
             )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self.connections_served = 0
         self.frames_served = 0
+        #: Front-end framing health (satellite of every backend metric):
+        #: lines the per-connection decoders rejected, and their recoveries.
+        self.framing_poisoned = 0
+        self.framing_resyncs = 0
+        # Front-end-only series (framing, connections) live in their own
+        # registry so they merge cleanly into any backend's snapshot —
+        # including a shard pool's, whose workers know nothing of sockets.
+        self._service_metrics = MetricsRegistry()
+        self._m_poisoned = self._service_metrics.counter(
+            "serve_framing_poisoned_total",
+            "Wire lines rejected by the framing guard (oversize before newline).",
+        )
+        self._m_resyncs = self._service_metrics.counter(
+            "serve_framing_resyncs_total",
+            "Framing recoveries: decoder resynchronized at a later newline.",
+        )
 
     @property
     def sharded(self) -> bool:
@@ -79,16 +97,16 @@ class MonitorService:
         """Synchronous dispatch — the replay harness and tests use this."""
         self.frames_served += 1
         if self._pool is not None:
-            return self._pool.handle(frame)
-        return self._registry.handle(frame)
+            return self._inject_service_series(self._pool.handle(frame))
+        return self._inject_service_series(self._registry.handle(frame))
 
     def handle_batch(self, frames: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
         self.frames_served += len(frames)
         if self._pool is not None:
-            return self._pool.handle_batch(frames)
+            return self._inject_service_series(self._pool.handle_batch(frames))
         # Registry-level batch dispatch coalesces back-to-back same-stream
         # appends into single runtime batches.
-        return self._registry.handle_batch(frames)
+        return self._inject_service_series(self._registry.handle_batch(frames))
 
     async def handle_frames_async(
         self, frames: Sequence[Dict[str, Any]]
@@ -97,8 +115,44 @@ class MonitorService:
         if self._pool is not None:
             self.frames_served += len(frames)
             pool = self._pool
-            return await asyncio.to_thread(pool.handle_batch, frames)
+            responses = await asyncio.to_thread(pool.handle_batch, frames)
+            return self._inject_service_series(responses)
         return self.handle_batch(frames)
+
+    def _inject_service_series(
+        self, responses: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Fold front-end series (framing, connections) into any ``metrics``
+        responses passing through — the backend registries cannot know
+        them, and operators asking the wire for metrics want the whole
+        picture."""
+        for response in responses:
+            if isinstance(response, dict) and response.get("ok") == "metrics":
+                response["metrics"] = merge_snapshots(
+                    response.get("metrics", {}), self._service_metrics_snapshot()
+                )
+        return responses
+
+    def _service_metrics_snapshot(self) -> Dict[str, Any]:
+        metrics = self._service_metrics
+        metrics.gauge(
+            "serve_connections_served", "Client connections accepted."
+        ).child().set(self.connections_served)
+        metrics.gauge(
+            "serve_frames_served", "Request frames dispatched."
+        ).child().set(self.frames_served)
+        return metrics.snapshot()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The whole service's :mod:`repro.obs` snapshot: the backend's
+        (aggregated over every shard worker) merged with the front end's
+        framing/connection series.  ``python -m repro.serve stats`` and
+        the ``--metrics-port`` endpoint read this."""
+        if self._pool is not None:
+            backend = self._pool.aggregate_metrics().get("metrics", {})
+        else:
+            backend = self._registry.metrics_snapshot()
+        return merge_snapshots(backend, self._service_metrics_snapshot())
 
     # -- the socket front end --------------------------------------------------
 
@@ -107,6 +161,7 @@ class MonitorService:
     ) -> None:
         self.connections_served += 1
         decoder = FrameDecoder()
+        framing_seen = [0, 0]  # [poisoned_lines, resyncs] already folded in
         try:
             while True:
                 chunk = await reader.read(64 * 1024)
@@ -115,9 +170,11 @@ class MonitorService:
                 try:
                     lines = decoder.feed(chunk)
                 except ProtocolError as exc:
+                    self._sync_framing(decoder, framing_seen)
                     writer.write(encode_frame(exc.to_frame()))
                     await writer.drain()
                     continue
+                self._sync_framing(decoder, framing_seen)
                 frames: List[Dict[str, Any]] = []
                 responses: List[Dict[str, Any]] = []
                 for line in lines:
@@ -146,11 +203,62 @@ class MonitorService:
                 # Teardown races (client already gone, loop shutting down
                 # mid-wait) are all equivalent here: the connection is over.
                 pass
+            self._sync_framing(decoder, framing_seen)
+
+    def _sync_framing(self, decoder: FrameDecoder, seen: List[int]) -> None:
+        """Fold a connection decoder's new framing counts into the service."""
+        poisoned = decoder.poisoned_lines - seen[0]
+        resyncs = decoder.resyncs - seen[1]
+        if poisoned:
+            self.framing_poisoned += poisoned
+            self._m_poisoned.child().inc(poisoned)
+            seen[0] = decoder.poisoned_lines
+        if resyncs:
+            self.framing_resyncs += resyncs
+            self._m_resyncs.child().inc(resyncs)
+            seen[1] = decoder.resyncs
 
     async def start(self, host: str = "127.0.0.1", port: int = 0):
         """Bind and start accepting; returns the listening ``(host, port)``."""
         self._server = await asyncio.start_server(self._on_connection, host, port)
         return self._server.sockets[0].getsockname()[:2]
+
+    async def start_metrics_endpoint(self, host: str = "127.0.0.1", port: int = 0):
+        """A minimal Prometheus scrape endpoint (``--metrics-port``).
+
+        Answers every HTTP request on the port with the text exposition of
+        :meth:`metrics_snapshot` — enough for ``curl`` and any Prometheus
+        scraper; this is not a general HTTP server.  Returns the bound
+        ``(host, port)``.
+        """
+
+        async def on_scrape(reader, writer) -> None:
+            try:
+                # Consume the request head; the reply is the same whatever
+                # path was asked for.
+                await reader.readline()
+                body = to_prometheus_text(
+                    await asyncio.to_thread(self.metrics_snapshot)
+                ).encode("utf-8")
+                writer.write(
+                    b"HTTP/1.0 200 OK\r\n"
+                    b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                    b"Connection: close\r\n\r\n" + body
+                )
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            finally:
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError,
+                        asyncio.CancelledError):
+                    pass
+
+        self._metrics_server = await asyncio.start_server(on_scrape, host, port)
+        return self._metrics_server.sockets[0].getsockname()[:2]
 
     async def serve_forever(self, host: str = "127.0.0.1", port: int = 9178) -> None:
         bound_host, bound_port = await self.start(host, port)
@@ -168,6 +276,10 @@ class MonitorService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
 
     def close(self) -> None:
         """Release the backend (stops shard workers)."""
@@ -181,4 +293,8 @@ class MonitorService:
             snapshot = self._registry.service_snapshot()
         snapshot["connections_served"] = self.connections_served
         snapshot["frames_served"] = self.frames_served
+        snapshot["framing"] = {
+            "poisoned_lines": self.framing_poisoned,
+            "resyncs": self.framing_resyncs,
+        }
         return snapshot

@@ -41,9 +41,11 @@ semantic change.
 from __future__ import annotations
 
 import copy
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..api.session import Session
+from ..obs import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from ..syntax.parser import parse_formula
 from .protocol import ProtocolError, rows_to_states, validate_request
 
@@ -87,11 +89,13 @@ class StreamHandle:
 
     __slots__ = (
         "name",
+        "family",
         "monitor",
         "version",
         "states_ingested",
         "batches",
         "alerts_emitted",
+        "last_rebuild_s",
         "_published",
         "_pending_alerts",
         "_frame_counts",
@@ -103,8 +107,13 @@ class StreamHandle:
         name: str,
         monitor,
         rebuild: Optional[Callable[[], Any]] = None,
+        family: str = "formulas",
     ) -> None:
         self.name = name
+        #: The spec family this stream monitors (a registered spec name, or
+        #: ``"formulas"`` for ad-hoc clause maps) — the label the registry
+        #: files this stream's metrics series under.
+        self.family = family
         self.monitor = monitor
         #: Bumped once per committed batch; snapshots carry it, so a client
         #: polling snapshots can tell "no progress" from "no change".
@@ -119,6 +128,8 @@ class StreamHandle:
         #: Builds a fresh, empty monitor for the same formulas (the
         #: registry passes one backed by the session's warm plan cache).
         self._rebuild = rebuild
+        #: Wall seconds of the most recent published-snapshot rebuild.
+        self.last_rebuild_s = 0.0
         self._published = self._build_snapshot()
         monitor.on_change = self._on_change  # the stream owns the alert hook
 
@@ -270,6 +281,7 @@ class StreamHandle:
     # -- the published (non-blocking) snapshot --------------------------------
 
     def _build_snapshot(self) -> Dict[str, Any]:
+        rebuild_started = time.perf_counter()
         monitor = self.monitor
         costs = monitor.step_costs
         verdicts = {
@@ -280,7 +292,7 @@ class StreamHandle:
             }
             for name, v in monitor.verdicts.items()
         }
-        return {
+        published = {
             "ok": "snapshot",
             "stream": self.name,
             "version": self.version,
@@ -299,6 +311,8 @@ class StreamHandle:
             },
             "memo_size": monitor.plan_state.memo_size,
         }
+        self.last_rebuild_s = time.perf_counter() - rebuild_started
+        return published
 
     def snapshot(self) -> Dict[str, Any]:
         """The last *committed* version — a copy, never an evaluation.
@@ -314,13 +328,20 @@ class StreamHandle:
 
 
 class StreamRegistry:
-    """All streams of one worker, behind the frame-level request surface."""
+    """All streams of one worker, behind the frame-level request surface.
+
+    The plain integer counters (``opened``, ``states_ingested``, ...) are
+    the legacy ``service_snapshot()`` surface; the same events also land
+    in the session's :class:`~repro.obs.MetricsRegistry` as per-family
+    labelled ``serve_*`` series, exported by the ``metrics`` frame.
+    """
 
     def __init__(
         self,
         session: Optional[Session] = None,
         stat_window: int = 256,
         worker_id: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._session = session if session is not None else Session()
         self._stat_window = stat_window
@@ -331,6 +352,50 @@ class StreamRegistry:
         self.states_ingested = 0
         self.alerts_emitted = 0
         self.errors = 0
+        #: Defaults to the session's registry so engine/cache series and
+        #: serve series travel in one snapshot.
+        self.metrics = metrics if metrics is not None else self._session.metrics
+        self._m_opened = self.metrics.counter(
+            "serve_streams_opened_total", "Streams opened, by spec family.",
+            ("family",),
+        )
+        self._m_closed = self.metrics.counter(
+            "serve_streams_closed_total", "Streams closed, by spec family.",
+            ("family",),
+        )
+        self._m_states = self.metrics.counter(
+            "serve_states_ingested_total", "States absorbed, by spec family.",
+            ("family",),
+        )
+        self._m_alerts = self.metrics.counter(
+            "serve_alerts_total", "Verdict-change alerts emitted, by spec family.",
+            ("family",),
+        )
+        self._m_errors = self.metrics.counter(
+            "serve_errors_total", "Error frames answered, by protocol code.",
+            ("code",),
+        )
+        self._m_batch_states = self.metrics.histogram(
+            "serve_batch_states", "States per append frame, by spec family.",
+            ("family",), buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_coalesced = self.metrics.histogram(
+            "serve_coalesced_frames",
+            "Append frames coalesced into one runtime batch, by spec family.",
+            ("family",), buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_step_cost = self.metrics.histogram(
+            "serve_step_cost", "Evaluation step cost per committed batch, by spec family.",
+            ("family",), buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_rebuild_seconds = self.metrics.histogram(
+            "serve_snapshot_rebuild_seconds",
+            "Published-snapshot rebuild wall time, by spec family.",
+            ("family",),
+        )
+        self._m_open_streams = self.metrics.gauge(
+            "serve_streams_open", "Streams currently open on this worker."
+        )
 
     @property
     def session(self) -> Session:
@@ -363,6 +428,8 @@ class StreamRegistry:
             op = validate_request(frame)
             if op == "ping":
                 return [{"ok": "pong"}]
+            if op == "metrics":
+                return [self.metrics_frame()]
             if op == "open":
                 return [self.open(frame)]
             if op == "append":
@@ -372,9 +439,11 @@ class StreamRegistry:
             return [self.close(frame["stream"])]
         except ProtocolError as exc:
             self.errors += 1
+            self._m_errors.child(exc.code).inc()
             return [exc.to_frame()]
         except Exception as exc:  # pragma: no cover - defensive
             self.errors += 1
+            self._m_errors.child("internal").inc()
             return [
                 ProtocolError(
                     "internal",
@@ -452,9 +521,12 @@ class StreamRegistry:
                 stat_window=self._stat_window,
             )
 
-        handle = StreamHandle(name, monitor, rebuild=rebuild)
+        family = frame.get("spec", "formulas")
+        handle = StreamHandle(name, monitor, rebuild=rebuild, family=family)
         self._streams[name] = handle
         self.opened += 1
+        self._m_opened.child(family).inc()
+        self._m_open_streams.child().set(len(self._streams))
         return {
             "ok": "opened",
             "stream": name,
@@ -497,6 +569,7 @@ class StreamRegistry:
         alerts = handle.absorb(states)
         self.states_ingested += len(states)
         self.alerts_emitted += len(alerts)
+        self._record_commit(handle, len(states), len(alerts))
         responses = list(alerts)
         if frame.get("ack", True):
             responses.append(
@@ -551,6 +624,13 @@ class StreamRegistry:
                     ).to_frame()
                 )
                 outcomes = []
+            if outcomes:
+                self._m_coalesced.child(handle.family).observe(len(decoded))
+                self._record_commit(
+                    handle,
+                    sum(len(states) for _, states in decoded),
+                    sum(len(alerts) for alerts, _, _, _ in outcomes),
+                )
             for (frame, states), (alerts, verdicts, length, version) in zip(
                 decoded, outcomes
             ):
@@ -570,9 +650,22 @@ class StreamRegistry:
                     )
         if failure is not None:
             self.errors += 1
+            self._m_errors.child(failure.code).inc()
             responses.append(failure.to_frame())
             return len(decoded) + 1, responses
         return len(decoded), responses
+
+    def _record_commit(self, handle: StreamHandle, states: int, alerts: int) -> None:
+        """One committed batch (single frame or coalesced group) → series."""
+        family = handle.family
+        self._m_states.child(family).inc(states)
+        self._m_batch_states.child(family).observe(states)
+        if alerts:
+            self._m_alerts.child(family).inc(alerts)
+        cost = handle.monitor.last_step_cost
+        if cost is not None:
+            self._m_step_cost.child(family).observe(cost)
+        self._m_rebuild_seconds.child(family).observe(handle.last_rebuild_s)
 
     def snapshot(self, name: Optional[str] = None) -> Dict[str, Any]:
         if name is not None:
@@ -580,7 +673,12 @@ class StreamRegistry:
         return self.service_snapshot()
 
     def service_snapshot(self) -> Dict[str, Any]:
-        """The whole worker's aggregate, cache stats included."""
+        """The whole worker's aggregate, cache stats included.
+
+        The legacy operational surface; :meth:`metrics_snapshot` (and the
+        wire-level ``metrics`` frame) carries the same totals as
+        composable, per-family :mod:`repro.obs` series.
+        """
         snapshot: Dict[str, Any] = {
             "ok": "snapshot",
             "streams": len(self._streams),
@@ -600,10 +698,24 @@ class StreamRegistry:
             snapshot["worker"] = self.worker_id
         return snapshot
 
+    def metrics_frame(self) -> Dict[str, Any]:
+        """The ``{"op": "metrics"}`` response: this worker's registry
+        snapshot (cache gauges synced when the session's registry is
+        shared, which is the default)."""
+        return {"ok": "metrics", "metrics": self.metrics_snapshot()}
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        self._m_open_streams.child().set(len(self._streams))
+        if self.metrics is self._session.metrics:
+            return self._session.metrics_snapshot()
+        return self.metrics.snapshot()
+
     def close(self, name: str) -> Dict[str, Any]:
         handle = self.stream(name)
         del self._streams[name]
         self.closed += 1
+        self._m_closed.child(handle.family).inc()
+        self._m_open_streams.child().set(len(self._streams))
         return {
             "ok": "closed",
             "stream": name,

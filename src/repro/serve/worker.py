@@ -15,7 +15,8 @@ submission order, which is exactly per-stream order — the only order the
 protocol promises.
 
 Stream-less frames fan out: a service-wide ``snapshot`` queries every
-worker and merges the aggregates; ``ping`` answers in the parent.
+worker and merges the aggregates, ``metrics`` merges every worker's
+:mod:`repro.obs` registry snapshot; ``ping`` answers in the parent.
 """
 
 from __future__ import annotations
@@ -171,6 +172,8 @@ class ShardPool:
                 groups.setdefault(self.ring.worker_for(stream), []).append(frame)
             elif frame.get("op") == "snapshot":
                 passthrough.append(self.aggregate_snapshot())
+            elif frame.get("op") == "metrics":
+                passthrough.append(self.aggregate_metrics())
             elif frame.get("op") == "ping":
                 passthrough.append({"ok": "pong"})
             else:
@@ -226,6 +229,25 @@ class ShardPool:
             merged["workers"].append(snapshot)
         merged["failing_streams"].sort()
         return merged
+
+    def aggregate_metrics(self) -> Dict[str, Any]:
+        """The fleet's :mod:`repro.obs` snapshot: every worker's registry
+        queried with a ``metrics`` frame and summed series-by-series
+        (counter/histogram addition is associative, so the merge is
+        deterministic whatever order workers answer in)."""
+        self._check_open()
+        from ..obs import merge_snapshots
+
+        snapshots = []
+        for worker in self._workers:
+            (response,) = worker.request([{"op": "metrics"}])
+            if response.get("ok") == "metrics":
+                snapshots.append(response.get("metrics", {}))
+        return {
+            "ok": "metrics",
+            "shards": len(self._workers),
+            "metrics": merge_snapshots(*snapshots),
+        }
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -1,0 +1,616 @@
+"""repro.obs: the unified metrics/tracing/profiling layer and its wiring.
+
+Covers the observability tentpole's acceptance behaviours:
+
+- registry snapshot/merge/diff round-trips (counters and histogram buckets
+  sum on merge and subtract on diff; gauges sum on merge, keep the later
+  value on diff) and the Prometheus-text + JSON exposition encoders;
+- the tracer's nested spans and bounded root buffer;
+- the sampling profiler's node-kind attribution with bit-for-bit verdict
+  parity against an unprofiled run;
+- :class:`StatWindow` ``percentile``/``merge`` with the chunked-compaction
+  edge cases, the lifetime ``total_count`` invariant in particular;
+- ``Session.cache_statistics()`` always carrying the disk-cache keys and
+  ``Session.metrics_snapshot()`` reflecting check traffic;
+- worker-registry merge determinism under ``check_many(processes=N)``
+  (with ``last_parallel_cache_stats`` still intact);
+- the serve ``metrics`` frame — in-process, over the asyncio socket, and
+  aggregated across a :class:`ShardPool` — plus the framing counters the
+  ``FrameDecoder`` now surfaces.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import CheckRequest, Session
+from repro.checking.monitor import Monitor, StatWindow
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    PlanProfiler,
+    Tracer,
+    diff_snapshots,
+    merge_snapshots,
+    snapshot_quantile,
+    to_json,
+    to_prometheus_text,
+)
+from repro.semantics import make_trace
+from repro.serve.client import ServeClient
+from repro.serve.protocol import FrameDecoder, ProtocolError
+from repro.serve.service import MonitorService
+from repro.serve.streams import StreamRegistry
+from repro.serve.worker import ShardPool
+from repro.syntax import parse_formula
+
+
+ROWS = [{"x": 1, "p": False}, {"x": 2, "p": True}, {"x": 3, "p": True}]
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        checks = registry.counter("checks_total", "Checks.", ("engine",))
+        checks.child("compiled").inc()
+        checks.child("compiled").inc(2)
+        checks.labels(engine="evaluator").inc()
+        assert checks.value("compiled") == 3
+        assert checks.value("evaluator") == 1
+
+        open_streams = registry.gauge("streams_open", "Open streams.")
+        open_streams.child().set(5)
+        open_streams.child().dec(2)
+        assert open_streams.value() == 3
+
+        latency = registry.histogram("latency", "Seconds.", buckets=(0.1, 1.0))
+        latency.child().observe(0.05)
+        latency.child().observe(0.5)
+        latency.child().observe(99.0)  # +Inf bucket
+        child = latency.child()
+        assert child.buckets == [1, 1, 1]
+        assert child.count == 3
+
+    def test_get_or_create_and_conflicts(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help", ("a",))
+        assert registry.counter("c", "other help", ("a",)) is first
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+        with pytest.raises(ValueError):
+            registry.counter("c", labels=("a", "b"))
+        registry.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1, 2, 3))
+
+    def test_label_arity_enforced(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labels=("engine",))
+        with pytest.raises(ValueError):
+            counter.child()
+        with pytest.raises(ValueError):
+            counter.child("a", "b")
+        with pytest.raises(ValueError):
+            counter.labels(wrong="x")
+
+    def test_histogram_buckets_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(2, 1))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", buckets=(1, float("inf")))
+
+
+class TestSnapshotAlgebra:
+    def build(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "counts", ("k",))
+        counter.child("a").inc(3)
+        counter.child("b").inc(1)
+        registry.gauge("g", "level").child().set(7)
+        hist = registry.histogram("h", "sizes", buckets=(1, 10))
+        hist.child().observe(0.5)
+        hist.child().observe(5)
+        hist.child().observe(50)
+        return registry
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        snap = self.build().snapshot()
+        assert json.loads(to_json(snap)) == snap
+        assert list(snap) == sorted(snap)
+        assert snap["h"]["bounds"] == [1.0, 10.0]
+        assert snap["h"]["series"][0]["buckets"] == [1, 1, 1]
+
+    def test_merge_round_trip_doubles_everything(self):
+        snap = self.build().snapshot()
+        merged = merge_snapshots(snap, snap)
+        assert merged["c"]["series"] == [
+            {"labels": ["a"], "value": 6},
+            {"labels": ["b"], "value": 2},
+        ]
+        # Gauges sum on merge: the fleet-level reading of "open streams".
+        assert merged["g"]["series"][0]["value"] == 14
+        assert merged["h"]["series"][0]["buckets"] == [2, 2, 2]
+        assert merged["h"]["series"][0]["count"] == 6
+
+    def test_merge_is_order_independent(self):
+        a = self.build().snapshot()
+        other = MetricsRegistry()
+        other.counter("c", "counts", ("k",)).child("a").inc(10)
+        other.counter("d").child().inc()
+        b = other.snapshot()
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    def test_merge_snapshot_creates_missing_instruments(self):
+        snap = self.build().snapshot()
+        registry = MetricsRegistry()
+        registry.merge_snapshot(snap)
+        assert registry.snapshot() == snap
+
+    def test_merge_rejects_mismatched_bucket_grids(self):
+        snap = self.build().snapshot()
+        registry = MetricsRegistry()
+        registry.histogram("h", "sizes", buckets=(1, 10, 100)).child().observe(1)
+        with pytest.raises(ValueError):
+            registry.merge_snapshot(snap)
+
+    def test_diff_subtracts_counters_and_histograms(self):
+        registry = self.build()
+        before = registry.snapshot()
+        registry.counter("c", "counts", ("k",)).child("a").inc(4)
+        registry.gauge("g").child().set(2)
+        registry.get("h").child().observe(5)
+        after = registry.snapshot()
+        delta = diff_snapshots(before, after)
+        by_label = {tuple(r["labels"]): r for r in delta["c"]["series"]}
+        assert by_label[("a",)]["value"] == 4
+        assert by_label[("b",)]["value"] == 0
+        # Gauges keep the "after" value.
+        assert delta["g"]["series"][0]["value"] == 2
+        assert delta["h"]["series"][0]["buckets"] == [0, 1, 0]
+        assert delta["h"]["series"][0]["count"] == 1
+
+    def test_diff_keeps_series_new_since_before(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labels=("k",))
+        counter.child("a").inc(1)
+        before = registry.snapshot()
+        counter.child("b").inc(9)
+        delta = diff_snapshots(before, registry.snapshot())
+        by_label = {tuple(r["labels"]): r["value"] for r in delta["c"]["series"]}
+        assert by_label == {("a",): 0, ("b",): 9}
+
+    def test_snapshot_quantile_pools_all_series(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", labels=("k",), buckets=(1, 2, 4))
+        for _ in range(50):
+            hist.child("a").observe(0.5)
+        for _ in range(50):
+            hist.child("b").observe(3.0)
+        entry = registry.snapshot()["h"]
+        assert snapshot_quantile(entry, 0.25) <= 1.0
+        assert 2.0 <= snapshot_quantile(entry, 0.9) <= 4.0
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero_and_range_checked(self):
+        registry = MetricsRegistry()
+        child = registry.histogram("h", buckets=(1, 2)).child()
+        assert child.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            child.quantile(1.5)
+
+    def test_interpolates_and_clamps_inf(self):
+        registry = MetricsRegistry()
+        child = registry.histogram("h", buckets=(10, 20)).child()
+        for _ in range(100):
+            child.observe(15)
+        q = child.quantile(0.5)
+        assert 10 <= q <= 20
+        child2 = registry.histogram("h2", buckets=(10, 20)).child()
+        child2.observe(1000)
+        # +Inf bucket clamps to the largest finite bound.
+        assert child2.quantile(0.99) == 20.0
+
+
+class TestPrometheusText:
+    def test_labelled_series_and_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "The counter.", ("engine",)).child(
+            "compiled"
+        ).inc(3)
+        hist = registry.histogram("lat", "Latency.", buckets=(0.1, 1.0))
+        hist.child().observe(0.05)
+        hist.child().observe(0.5)
+        hist.child().observe(9.0)
+        text = to_prometheus_text(registry.snapshot())
+        assert "# HELP c_total The counter." in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{engine="compiled"} 3' in text
+        # Buckets are cumulative on the wire though stored per-bucket.
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum" in text and "lat_count 3" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("path",)).child('a"b\\c').inc()
+        text = to_prometheus_text(registry.snapshot())
+        assert 'c{path="a\\"b\\\\c"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus_text({}) == ""
+
+
+class TestNullMetrics:
+    def test_discards_everything(self):
+        NULL_METRICS.counter("x", labels=("a",)).child("whatever").inc(100)
+        NULL_METRICS.gauge("y").child().set(5)
+        NULL_METRICS.histogram("z").child().observe(1.0)
+        assert NULL_METRICS.snapshot() == {}
+        NULL_METRICS.merge_snapshot({"c": {"type": "counter"}})
+        assert NULL_METRICS.snapshot() == {}
+
+
+class TestTracer:
+    def test_nesting_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("outer", a=1) as outer:
+            with tracer.span("inner") as inner:
+                inner.set(b=2)
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        (root,) = tracer.roots()
+        assert root.name == "outer" and root.attrs == {"a": 1}
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.wall_s >= root.children[0].wall_s >= 0
+        exported = tracer.spans()
+        assert exported[-1]["children"][0]["attrs"] == {"b": 2}
+
+    def test_root_buffer_is_bounded(self):
+        tracer = Tracer(max_spans=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert tracer.started == tracer.finished == 10
+        assert [s["name"] for s in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+        assert [s["name"] for s in tracer.spans(limit=2)] == ["s8", "s9"]
+
+    def test_exception_recorded_on_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (root,) = tracer.roots()
+        assert root.attrs["error"] == "RuntimeError"
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", k=1) as span:
+            span.set(more=2)
+        assert NULL_TRACER.spans() == []
+
+
+class TestPlanProfiler:
+    FORMULA = "forall v . <> x == ?v"
+
+    def test_attribution_with_verdict_parity(self):
+        formulas = {"quant": parse_formula(self.FORMULA)}
+        domain = {"v": [1, 2, 3]}
+        rows = [{"x": i % 4, "p": True} for i in range(40)]
+
+        plain = Monitor(formulas, domain=domain)
+        for row in rows:
+            baseline = plain.observe(row)
+
+        profiled = Monitor(formulas, domain=domain)
+        profiler = PlanProfiler(sample_every=2)
+        profiler.attach(profiled.plan_state)  # accepts the SpecPlanState façade
+        for row in rows:
+            verdicts = profiled.observe(row)
+
+        assert verdicts["quant"].holds == baseline["quant"].holds
+        report = profiler.report()
+        assert profiler.total_calls() > 0
+        assert all(set(row) == {"calls", "sampled", "time_s", "est_time_s"}
+                   for row in report.values())
+        # Scaled estimate is never below the directly sampled time.
+        for row in report.values():
+            assert row["est_time_s"] >= row["time_s"]
+
+    def test_export_is_idempotent(self):
+        monitor = Monitor({"ev": parse_formula("<> p")})
+        profiler = PlanProfiler(sample_every=1)
+        profiler.attach(monitor.plan_state)
+        for _ in range(8):
+            monitor.observe({"p": False})
+        registry = MetricsRegistry()
+        profiler.export(registry)
+        once = registry.snapshot()["repro_plan_node_calls_total"]["series"]
+        profiler.export(registry)
+        assert registry.snapshot()["repro_plan_node_calls_total"]["series"] == once
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            PlanProfiler(sample_every=0)
+
+
+class TestStatWindow:
+    def test_percentile_interpolates(self):
+        window = StatWindow(16)
+        for value in (1, 2, 3, 4):
+            window.append(value)
+        assert window.percentile(0) == 1.0
+        assert window.percentile(100) == 4.0
+        assert window.percentile(50) == 2.5
+
+    def test_percentile_skips_none_and_handles_empty(self):
+        window = StatWindow(8)
+        assert window.percentile(50) is None
+        window.append(None)
+        assert window.percentile(50) is None
+        window.append(10)
+        assert window.percentile(50) == 10.0
+        with pytest.raises(ValueError):
+            window.percentile(101)
+
+    def test_merge_preserves_lifetime_accounting(self):
+        a, b = StatWindow(4), StatWindow(4)
+        for value in range(6):   # overflows a: dropped accumulates
+            a.append(value)
+        for value in range(3):
+            b.append(value * 10)
+        merged = a.merge(b)
+        assert merged.total_count == a.total_count + b.total_count
+        assert merged.total == a.total + b.total
+        assert merged.maxlen == 4
+        # Newest samples win; a's are older than b's.
+        assert merged.to_list() == [5, 0, 10, 20]
+
+    def test_merge_after_chunked_compaction(self):
+        # Appending past 2*maxlen triggers the bulk compaction branch;
+        # the merge invariant must hold across it.
+        a = StatWindow(3)
+        for value in range(10):
+            a.append(value)
+            if len(a._items) > 2 * 3:  # the compaction keeps it bounded
+                pytest.fail("compaction did not bound the buffer")
+        b = StatWindow(3)
+        b.append(100)
+        merged = a.merge(b)
+        assert merged.total_count == a.total_count + b.total_count == 11
+        assert merged.total == sum(range(10)) + 100
+        assert len(merged) <= 3
+
+    def test_merge_with_unbounded_window(self):
+        a = StatWindow(None)
+        for value in range(100):
+            a.append(value)
+        b = StatWindow(None)
+        b.append(7)
+        merged = a.merge(b)
+        assert merged.dropped == 0
+        assert merged.total_count == 101
+        assert len(merged) == 101
+
+
+class TestSessionMetrics:
+    def test_cache_statistics_always_has_disk_keys(self):
+        stats = Session().cache_statistics()
+        assert stats["plan_disk_writes"] == 0
+        assert stats["plan_disk_hits"] == 0
+
+    def test_metrics_snapshot_reflects_checks(self):
+        session = Session()
+        trace = make_trace(ROWS)
+        session.check("<> x == 2", trace=trace)
+        session.check("<> x == 2", trace=trace)  # plan-cache hit
+        snap = session.metrics_snapshot()
+        checks = sum(r["value"] for r in snap["repro_checks_total"]["series"])
+        assert checks == 2
+        plan = {
+            tuple(r["labels"]): r["value"]
+            for r in snap["repro_plan_requests_total"]["series"]
+        }
+        assert plan[("hit",)] >= 1 and plan[("miss",)] >= 1
+        latency = snap["repro_check_seconds"]
+        assert sum(r["count"] for r in latency["series"]) == 2
+        # Gauges mirror cache_statistics.
+        assert snap["repro_plan_cache_hits"]["series"][0]["value"] >= 1
+
+    def test_check_spec_paths_counted(self):
+        from repro.specs import sender_spec
+        from repro.systems import ab_protocol_trace
+
+        session = Session()
+        session.check_spec(sender_spec(), ab_protocol_trace())
+        snap = session.metrics_snapshot()
+        paths = {
+            tuple(r["labels"]): r["value"]
+            for r in snap["repro_spec_checks_total"]["series"]
+        }
+        assert sum(paths.values()) >= 1
+
+    def test_tracer_captures_check_spans(self):
+        session = Session()
+        session.check("<> x == 2", trace=make_trace(ROWS))
+        spans = session.tracer.spans()
+        assert spans and spans[-1]["name"] == "check"
+        assert spans[-1]["attrs"]["engine"]
+
+
+class TestWorkerMergeDeterminism:
+    def requests(self, count):
+        trace = make_trace(ROWS)
+        return [
+            CheckRequest(parse_formula(f"<> x == {1 + index % 3}"), trace=trace)
+            for index in range(count)
+        ]
+
+    def test_parallel_merge_totals_and_stability(self, tmp_path):
+        totals = []
+        for _ in range(2):
+            session = Session(plan_cache_dir=str(tmp_path))
+            session.check_many(self.requests(6), processes=2, chunk_size=2)
+            snap = session.metrics_snapshot()
+            totals.append(
+                sum(r["value"] for r in snap["repro_checks_total"]["series"])
+            )
+            chunks = snap["repro_parallel_chunks_total"]["series"][0]["value"]
+            assert chunks == 3
+            # The legacy side channel keeps working alongside the merge.
+            stats = session.last_parallel_cache_stats
+            assert isinstance(stats, list) and len(stats) == 3
+            assert all("plan_disk_writes" in s and "plan_disk_hits" in s
+                       for s in stats)
+        # Fan-out order cannot change the merged totals.
+        assert totals == [6, 6]
+
+
+class TestServeMetrics:
+    def test_metrics_frame_counts_ingested_states(self):
+        registry = StreamRegistry()
+        (opened,) = registry.handle(
+            {"op": "open", "stream": "s1", "formulas": {"ev": "<> p"}}
+        )
+        assert opened["ok"] == "opened"
+        registry.handle(
+            {"op": "append", "stream": "s1",
+             "states": [{"values": {"p": False}}, {"values": {"p": True}}]}
+        )
+        (frame,) = registry.handle({"op": "metrics"})
+        assert frame["ok"] == "metrics"
+        snap = frame["metrics"]
+        states = sum(
+            r["value"] for r in snap["serve_states_ingested_total"]["series"]
+        )
+        assert states == 2
+        assert snap["serve_streams_open"]["series"][0]["value"] == 1
+        assert snap["serve_batch_states"]["bounds"] == list(
+            float(b) for b in DEFAULT_SIZE_BUCKETS
+        )
+
+    def test_error_frames_labelled_by_code(self):
+        registry = StreamRegistry()
+        (error,) = registry.handle({"op": "append", "stream": "ghost",
+                                    "states": [{"values": {}}]})
+        assert error["error"] == "unknown-stream"
+        snap = registry.metrics_snapshot()
+        errors = {
+            tuple(r["labels"]): r["value"]
+            for r in snap["serve_errors_total"]["series"]
+        }
+        assert errors[("unknown-stream",)] == 1
+
+    def test_frame_decoder_counts_poisoning_and_resync(self):
+        decoder = FrameDecoder(max_line=32)
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"x" * 64)
+        assert decoder.poisoned_lines == 1 and decoder.resyncs == 0
+        # Garbage continues, then a newline: the decoder resynchronizes.
+        assert decoder.feed(b"more garbage") == []
+        assert decoder.feed(b"tail\n{\"op\":\"ping\"}\n") == [b'{"op":"ping"}']
+        assert decoder.resyncs == 1
+
+    def test_service_snapshot_carries_framing_counts(self):
+        service = MonitorService()
+        snapshot = service.service_snapshot()
+        assert snapshot["framing"] == {"poisoned_lines": 0, "resyncs": 0}
+        service.close()
+
+    def test_metrics_over_asyncio_socket(self):
+        async def scenario():
+            service = MonitorService()
+            host, port = await service.start("127.0.0.1", 0)
+            try:
+                client = await ServeClient.connect(host, port)
+                try:
+                    reply = await client.open("s1", formulas={"ev": "<> p"})
+                    assert reply["ok"] == "opened"
+                    await client.append(
+                        "s1", [{"values": {"p": True}}, {"values": {"p": True}}]
+                    )
+                    snap = await client.metrics()
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+                service.close()
+            return snap
+
+        snap = asyncio.run(scenario())
+        states = sum(
+            r["value"] for r in snap["serve_states_ingested_total"]["series"]
+        )
+        assert states == 2
+        # Front-end series are merged into the wire response.
+        assert snap["serve_connections_served"]["series"][0]["value"] >= 1
+        assert "serve_framing_poisoned_total" in snap
+
+    def test_shard_pool_aggregates_worker_registries(self):
+        with ShardPool(2) as pool:
+            streams = [f"s{i}" for i in range(6)]
+            opens = [
+                {"op": "open", "stream": s, "formulas": {"ev": "<> p"}}
+                for s in streams
+            ]
+            for response in pool.handle_batch(opens):
+                assert response["ok"] == "opened", response
+            appends = [
+                {"op": "append", "stream": s, "states": [{"values": {"p": True}}]}
+                for s in streams
+            ]
+            for response in pool.handle_batch(appends):
+                if response.get("event") == "alert":
+                    continue
+                assert response["ok"] == "appended", response
+            # Both shards own streams (consistent hashing spreads 6 names).
+            owners = {pool.worker_for(s) for s in streams}
+            frame = pool.aggregate_metrics()
+        assert frame["ok"] == "metrics" and frame["shards"] == 2
+        snap = frame["metrics"]
+        states = sum(
+            r["value"] for r in snap["serve_states_ingested_total"]["series"]
+        )
+        assert states == len(streams)
+        if len(owners) == 2:
+            opened = sum(
+                r["value"] for r in snap["serve_streams_opened_total"]["series"]
+            )
+            assert opened == len(streams)
+
+    def test_prometheus_endpoint_scrape(self):
+        async def scenario():
+            service = MonitorService()
+            host, port = await service.start("127.0.0.1", 0)
+            mhost, mport = await service.start_metrics_endpoint("127.0.0.1", 0)
+            try:
+                client = await ServeClient.connect(host, port)
+                try:
+                    await client.open("s1", formulas={"ev": "<> p"})
+                    await client.append("s1", [{"values": {"p": True}}])
+                finally:
+                    await client.close()
+                reader, writer = await asyncio.open_connection(mhost, mport)
+                writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await service.stop()
+                service.close()
+            return raw
+
+        raw = asyncio.run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert b"text/plain" in head
+        text = body.decode("utf-8")
+        assert "# TYPE serve_states_ingested_total counter" in text
+        assert 'serve_states_ingested_total{family="formulas"} 1' in text
