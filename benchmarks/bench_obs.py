@@ -27,9 +27,18 @@ Two assertions:
   runner can pin ``BENCH_OBS_MAX_OVERHEAD=0.95``.
 
 Records the ``obs-overhead-v1`` row in ``BENCH_obs.json``: both modes'
-states/second, the overhead ratio, and the metrics the instrumented run
-accumulated (states ingested per the registry must equal states sent —
-the gate doubles as an accounting check).
+states/second, the throughput retention (instrumented / baseline), and
+the metrics the instrumented run accumulated (states ingested per the
+registry must equal states sent — the gate doubles as an accounting
+check).
+
+Measurement order is interleaved: every round ingests the wire in *both*
+modes back-to-back, alternating which mode goes first, and each mode
+keeps its best round.  Running all baseline rounds before all
+instrumented rounds (the old shape) handed the baseline every cold-start
+cost — allocator growth, branch-predictor and page-cache warm-up — and
+the "overhead" ratio came out above 1.3, i.e. instrumentation appearing
+to *speed up* the server, which is measurement bias, not physics.
 """
 
 import json
@@ -80,25 +89,44 @@ def make_session(instrumented):
     return Session(metrics=NULL_METRICS, tracer=NULL_TRACER)
 
 
-def ingest_best_of(fleet, wire, instrumented):
-    """Best-of-``ROUNDS`` ingestion, same discipline as bench_serve."""
-    best = None
-    for _ in range(ROUNDS):
-        registry = StreamRegistry(session=make_session(instrumented))
-        for script, _ in fleet:
-            (response,) = registry.handle(
-                {"op": "open", "stream": script.stream, "spec": script.spec}
-            )
-            assert response.get("ok") == "opened", response
-        decoder = FrameDecoder()
-        started = time.perf_counter()
-        for offset in range(0, len(wire), 64 * 1024):
-            for line in decoder.feed(wire[offset:offset + 64 * 1024]):
-                registry.handle(decode_frame(line))
-        elapsed = time.perf_counter() - started
-        if best is None or elapsed < best[0]:
-            best = (elapsed, registry)
-    return best
+def ingest_once(fleet, wire, instrumented):
+    """One full ingestion of the wire into a fresh registry; (elapsed, registry)."""
+    registry = StreamRegistry(session=make_session(instrumented))
+    for script, _ in fleet:
+        (response,) = registry.handle(
+            {"op": "open", "stream": script.stream, "spec": script.spec}
+        )
+        assert response.get("ok") == "opened", response
+    decoder = FrameDecoder()
+    started = time.perf_counter()
+    for offset in range(0, len(wire), 64 * 1024):
+        for line in decoder.feed(wire[offset:offset + 64 * 1024]):
+            registry.handle(decode_frame(line))
+    elapsed = time.perf_counter() - started
+    return elapsed, registry
+
+
+def ingest_interleaved(fleet, wire):
+    """Best-of-``ROUNDS`` per mode, modes interleaved within every round.
+
+    Each round runs baseline and instrumented back-to-back (alternating
+    which goes first), so cold-start costs land on both modes evenly
+    instead of being billed entirely to whichever mode runs first.
+    Returns ``(base_s, inst_s, registry)`` with the winning instrumented
+    registry (it carries the fleet for the parity/accounting checks).
+    """
+    best = {False: None, True: None}
+    inst_registry = None
+    for round_index in range(ROUNDS):
+        modes = (False, True) if round_index % 2 == 0 else (True, False)
+        for instrumented in modes:
+            elapsed, registry = ingest_once(fleet, wire, instrumented)
+            prior = best[instrumented]
+            if prior is None or elapsed < prior:
+                best[instrumented] = elapsed
+                if instrumented:
+                    inst_registry = registry
+    return best[False], best[True], inst_registry
 
 
 def test_instrumentation_overhead(benchmark):
@@ -109,10 +137,7 @@ def test_instrumentation_overhead(benchmark):
     wire = b"".join(encode_frame(frame) for frame in frames)
 
     def sweep():
-        # Interleave mode order so neither run systematically inherits a
-        # warmer machine; both get the best-of-ROUNDS treatment anyway.
-        base_s, _ = ingest_best_of(fleet, wire, instrumented=False)
-        inst_s, registry = ingest_best_of(fleet, wire, instrumented=True)
+        base_s, inst_s, registry = ingest_interleaved(fleet, wire)
 
         snapshot = registry.metrics_snapshot()
         recorded = sum(
@@ -131,8 +156,8 @@ def test_instrumentation_overhead(benchmark):
             "rounds": ROUNDS,
             "baseline_states_per_second": round(total_states / base_s),
             "instrumented_states_per_second": round(total_states / inst_s),
-            "overhead_ratio": round(base_s / inst_s, 4),
-            "max_overhead_gate": MAX_OVERHEAD,
+            "throughput_retention": round(base_s / inst_s, 4),
+            "retention_gate": MAX_OVERHEAD,
         }
         # Verdict parity in-gate: instrumentation cannot change answers.
         assert_fleet_parity(registry, fleet)

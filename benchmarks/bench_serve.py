@@ -279,30 +279,40 @@ def test_quantified_only_throughput(benchmark):
     record_point("serve-quantified", row)
 
 
-def _drive_pool(shards, fleet, frames, plan_cache_dir):
-    """Open/ingest/close one fleet through a pool; (elapsed, verdicts)."""
+def _drive_pool(shards, fleet, frames, plan_cache_dir, rounds=1):
+    """Open/ingest/close one fleet through a pool; (elapsed, verdicts).
+
+    ``rounds`` replays the identical wire into a fresh fleet of streams
+    on the *same* pool (worker processes and their plan/state caches stay
+    warm), best round wins — the registry gates' best-of-N discipline,
+    applied symmetrically to both shard counts.
+    """
     pool = ShardPool(shards, plan_cache_dir=plan_cache_dir)
     try:
         opens = [
             {"op": "open", "stream": script.stream, "spec": script.spec}
             for script, _ in fleet
         ]
-        for index in range(0, len(opens), 64):
-            for response in pool.handle_batch(opens[index:index + 64]):
-                assert response.get("ok") == "opened", response
-        started = time.perf_counter()
-        for index in range(0, len(frames), 200):
-            pool.handle_batch(frames[index:index + 200])
-        elapsed = time.perf_counter() - started
-        verdicts = {}
         closes = [
             {"op": "close", "stream": script.stream} for script, _ in fleet
         ]
-        for index in range(0, len(closes), 64):
-            for response in pool.handle_batch(closes[index:index + 64]):
-                assert response.get("ok") == "closed", response
-                verdicts[response["stream"]] = response["verdicts"]
-        return elapsed, verdicts
+        best = None
+        verdicts = {}
+        for _ in range(rounds):
+            for index in range(0, len(opens), 64):
+                for response in pool.handle_batch(opens[index:index + 64]):
+                    assert response.get("ok") == "opened", response
+            started = time.perf_counter()
+            for index in range(0, len(frames), 200):
+                pool.handle_batch(frames[index:index + 200])
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+            verdicts = {}
+            for index in range(0, len(closes), 64):
+                for response in pool.handle_batch(closes[index:index + 64]):
+                    assert response.get("ok") == "closed", response
+                    verdicts[response["stream"]] = response["verdicts"]
+        return best, verdicts
     finally:
         pool.close()
 
@@ -318,8 +328,12 @@ def test_shard_fanout(benchmark):
         # One persistent plan cache across both pools: the first worker to
         # see each spec compiles it to disk, everything after warm-loads.
         with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as cache:
-            single_s, single_verdicts = _drive_pool(1, fleet, frames, cache)
-            sharded_s, sharded_verdicts = _drive_pool(SHARDS, fleet, frames, cache)
+            single_s, single_verdicts = _drive_pool(
+                1, fleet, frames, cache, rounds=ROUNDS
+            )
+            sharded_s, sharded_verdicts = _drive_pool(
+                SHARDS, fleet, frames, cache, rounds=ROUNDS
+            )
         assert sharded_verdicts == single_verdicts
         return {
             "streams": len(fleet),
@@ -340,7 +354,10 @@ def test_shard_fanout(benchmark):
     # Routing + pipe overhead must stay bounded on any machine; an actual
     # speedup is only physics when there are cores to fan out onto, so the
     # scaling gate is opt-in (the nightly multi-core runner sets it).
-    assert row["shard_speedup"] >= 0.4, row
+    # With batches encoded once per worker (outside the pipe locks) the
+    # sharded path must retain >= 0.9x single-worker throughput even on a
+    # single core — pure routing overhead, no fan-out credit.
+    assert row["shard_speedup"] >= 0.9, row
     if os.environ.get("BENCH_SERVE_REQUIRE_SCALING") == "1" and cores >= 2:
         assert row["shard_speedup"] >= 1.15, row
     record_point("serve-shards-v1", row)

@@ -12,8 +12,14 @@ Workers *do* share the parent session's persistent plan store: when the
 session was built with ``plan_cache_dir=...`` the directory travels to
 every worker session, and the parent precompiles each compiled-path plan
 into it before the fan-out — so workers start **warm**, loading plans by
-digest (``plan_disk_hits``) instead of recompiling per process.  Each
-worker's cache statistics come back with its chunk and are exposed on
+digest (``plan_disk_hits``) instead of recompiling per process.  Digests
+are **alpha-invariant**: requests whose formulas differ only in
+bound-variable names address one store entry, so a campaign sweeping
+renamed variants of one specification compiles it once in the parent and
+every worker warm-loads that single plan (``plan_alpha_interned`` counts
+the collapsed variants; stores written before alpha-interning migrate on
+first touch, visible as ``plan_digest_migrations``).  Each worker's
+cache statistics come back with its chunk and are exposed on
 ``Session.last_parallel_cache_stats``.
 """
 

@@ -253,6 +253,13 @@ class Monitor:
         names — :meth:`repro.api.session.Session.monitor` passes one from
         the session's warm plan cache, so opening thousands of streams on
         the same specification compiles it once.
+    plan_state:
+        A recycled incremental :class:`SpecPlanState` for ``plan`` (reset
+        to length zero) from the session's plan-state pool; the monitor
+        then skips the lowering entirely.  It must have been lowered over
+        the same domain and unroll cap as this monitor's — the session
+        keys its pool by exactly that, so callers going through
+        :meth:`Session.monitor` never see a mismatch.
     on_change:
         Called as ``on_change(name, verdict)`` whenever a formula's verdict
         flips (or is first decided) — the serve layer's alert hook.
@@ -276,6 +283,7 @@ class Monitor:
         domain: Optional[Mapping[str, Iterable[object]]] = None,
         *,
         plan: Optional[SpecPlan] = None,
+        plan_state: Optional[SpecPlanState] = None,
         on_change: Optional[Callable[[str, MonitorVerdict], None]] = None,
         capture_errors: bool = False,
         stat_window: Optional[int] = DEFAULT_STAT_WINDOW,
@@ -283,6 +291,8 @@ class Monitor:
     ) -> None:
         self._formulas = dict(formulas)
         self._domain = domain
+        if plan_state is not None and plan is None:
+            plan = plan_state.plan
         if plan is None:
             plan = SpecPlan(list(self._formulas.items()))
         elif set(plan.roots) != set(self._formulas):
@@ -292,14 +302,27 @@ class Monitor:
                 f"{sorted(self._formulas)}"
             )
         self._plan = plan
-        self._prefix = GrowingPrefix()
-        self._state: SpecPlanState = SpecPlanState(
-            plan,
-            self._prefix,
-            domain=domain,
-            incremental=True,
-            forall_unroll_cap=forall_unroll_cap,
-        )
+        if plan_state is not None:
+            # A recycled (pooled) state: already lowered for this plan over
+            # this exact domain, reset to length zero.  The session's pool
+            # hands these out so reopened streams skip the lowering.
+            if plan_state.plan is not plan:
+                raise ValueError(
+                    "prebuilt plan state was lowered for a different plan"
+                )
+            self._prefix = plan_state.trace
+            self._state: SpecPlanState = plan_state
+            self.state_from_pool = True
+        else:
+            self._prefix = GrowingPrefix()
+            self._state = SpecPlanState(
+                plan,
+                self._prefix,
+                domain=domain,
+                incremental=True,
+                forall_unroll_cap=forall_unroll_cap,
+            )
+            self.state_from_pool = False
         self._on_change = on_change
         self._capture_errors = capture_errors
         self._stat_window = stat_window

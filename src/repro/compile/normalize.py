@@ -50,8 +50,9 @@ from ..syntax.formulas import (
     TrueFormula,
 )
 from ..semantics.reduction import eliminate_stars
+from .alpha import alpha_canonical  # noqa: F401  (normalization entry point)
 
-__all__ = ["normalize", "structural_key"]
+__all__ = ["alpha_canonical", "normalize", "structural_key"]
 
 
 def structural_key(formula: Formula) -> str:

@@ -15,20 +15,39 @@ import hashlib
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..syntax.formulas import Forall, Formula, NextBinding, walk_formula
+from .alpha import alpha_canonical
 from .dag import DagBuilder, PlanNode, PlanTerm
 from .normalize import normalize
 
-__all__ = ["CompiledPlan", "compile_formula", "formula_digest"]
+__all__ = [
+    "CompiledPlan",
+    "compile_formula",
+    "formula_digest",
+    "legacy_formula_digest",
+]
 
 
 def formula_digest(formula: Formula, domain_shape: Tuple[str, ...] = ()) -> str:
-    """A content digest of a formula (plus the request's domain shape).
+    """An alpha-invariant content digest of a formula (plus domain shape).
 
     The dataclass ``repr`` is fully structural, so equal formulas share a
-    digest and distinct formulas practically never collide; the domain
-    shape (the *names* carrying explicit quantification domains, not their
-    values) keys plans the way the session cache hands them out.
+    digest and distinct formulas practically never collide; hashing the
+    *alpha-canonical* form extends that to formulas equal up to bound-
+    variable names.  The domain shape (the *names* carrying explicit
+    quantification domains, not their values) keys plans the way the
+    session cache hands them out — and freezes those binder names during
+    canonicalization, since they select their domains by name.
     """
+    canonical, _ = alpha_canonical(formula, frozenset(domain_shape))
+    payload = repr(canonical) + "\x00" + "\x00".join(domain_shape)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def legacy_formula_digest(
+    formula: Formula, domain_shape: Tuple[str, ...] = ()
+) -> str:
+    """The pre-alpha digest (verbatim repr) — kept so a persistent plan
+    store written before alpha-interning can be migrated on first touch."""
     payload = repr(formula) + "\x00" + "\x00".join(domain_shape)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -44,10 +63,33 @@ def _logical_names(formula: Formula) -> Tuple[str, ...]:
 class CompiledPlan:
     """The compile-once artifact: normalized DAG plus slot layout."""
 
-    def __init__(self, formula: Formula, digest: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        formula: Formula,
+        digest: Optional[str] = None,
+        domain_shape: Optional[Tuple[str, ...]] = None,
+    ) -> None:
         self.source = formula
-        self.normalized = normalize(formula)
-        self.digest = digest if digest is not None else formula_digest(formula)
+        if domain_shape is None:
+            # Direct construction: compile the formula verbatim, exactly
+            # as before alpha-interning existed.
+            canonical, renames = formula, {}
+        else:
+            canonical, renames = alpha_canonical(
+                formula, frozenset(domain_shape)
+            )
+        self.canonical = canonical
+        self.alpha_renames: Dict[str, Tuple[str, ...]] = renames
+        self.normalized = normalize(canonical)
+        if digest is not None:
+            self.digest = digest
+        elif domain_shape is None:
+            # Verbatim compilation keeps the verbatim (repr-exact) digest:
+            # alpha-equivalent plans built directly may bind *different*
+            # explicit domains, so they must not share state-cache keys.
+            self.digest = legacy_formula_digest(formula)
+        else:
+            self.digest = formula_digest(formula, domain_shape)
         names = _logical_names(self.normalized)
         self.slot_names: Tuple[str, ...] = names
         self.slot_of: Dict[str, int] = {name: i for i, name in enumerate(names)}

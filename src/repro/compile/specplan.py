@@ -26,24 +26,48 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..semantics.trace import INFINITY
 from ..syntax.formulas import Formula
+from .alpha import alpha_canonical
 from .dag import DagBuilder, PlanNode, PlanTerm
 from .normalize import normalize
 from .plan import _logical_names
 
-__all__ = ["SpecPlan", "SpecPlanState", "ClauseOutcome", "compile_specification", "spec_digest"]
+__all__ = [
+    "SpecPlan",
+    "SpecPlanState",
+    "ClauseOutcome",
+    "compile_specification",
+    "legacy_spec_digest",
+    "spec_digest",
+]
 
 
 def spec_digest(
     items: Sequence[Tuple[str, Formula]], domain_shape: Tuple[str, ...] = ()
 ) -> str:
-    """A content digest of a (clause name, formula) sequence plus domain shape.
+    """An alpha-invariant digest of a (clause name, formula) sequence.
 
     The formula ``repr`` is fully structural (exactly as in
-    :func:`~repro.compile.plan.formula_digest`), and clause names take part
-    so two specifications with the same formulas under different clause
-    names — whose per-clause results are addressed differently — get
-    distinct plans.
+    :func:`~repro.compile.plan.formula_digest`) and each clause is hashed
+    in its *alpha-canonical* form — the fresh-name counter restarts per
+    clause, so clauses equal up to bound-variable names contribute the
+    same bytes.  Clause names take part so two specifications with the
+    same formulas under different clause names — whose per-clause results
+    are addressed differently — get distinct plans.  Domain-shape names
+    are frozen during canonicalization (they select domains by name).
     """
+    frozen = frozenset(domain_shape)
+    payload = "\x00".join(
+        f"{name}\x1f{alpha_canonical(formula, frozen)[0]!r}"
+        for name, formula in items
+    )
+    payload += "\x00\x00" + "\x00".join(domain_shape)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def legacy_spec_digest(
+    items: Sequence[Tuple[str, Formula]], domain_shape: Tuple[str, ...] = ()
+) -> str:
+    """The pre-alpha digest (verbatim reprs), kept for disk-store migration."""
     payload = "\x00".join(f"{name}\x1f{formula!r}" for name, formula in items)
     payload += "\x00\x00" + "\x00".join(domain_shape)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -66,13 +90,38 @@ class SpecPlan:
         self,
         items: Sequence[Tuple[str, Formula]],
         digest: Optional[str] = None,
+        domain_shape: Optional[Tuple[str, ...]] = None,
     ) -> None:
         items = [(name, formula) for name, formula in items]
         if len({name for name, _ in items}) != len(items):
             raise ValueError("spec plan clause names must be unique")
         self.sources: Tuple[Tuple[str, Formula], ...] = tuple(items)
-        self.digest = digest if digest is not None else spec_digest(items)
-        normalized = [(name, normalize(formula)) for name, formula in items]
+        if domain_shape is None:
+            # Direct construction compiles the clauses verbatim (and keys
+            # by verbatim digest), exactly as before alpha-interning.
+            canonical = items
+            self.alpha_renames: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        else:
+            frozen = frozenset(domain_shape)
+            canonical = []
+            self.alpha_renames = {}
+            for name, formula in items:
+                rewritten, renames = alpha_canonical(formula, frozen)
+                canonical.append((name, rewritten))
+                if renames:
+                    self.alpha_renames[name] = renames
+        self.canonical_sources: Tuple[Tuple[str, Formula], ...] = tuple(
+            canonical
+        )
+        if digest is not None:
+            self.digest = digest
+        elif domain_shape is None:
+            self.digest = legacy_spec_digest(items)
+        else:
+            self.digest = spec_digest(items, domain_shape)
+        normalized = [
+            (name, normalize(formula)) for name, formula in canonical
+        ]
         names: set = set()
         for _, formula in normalized:
             names.update(_logical_names(formula))
@@ -111,7 +160,7 @@ class SpecPlan:
         shared table size — the sharing the multi-root plan buys.
         """
         separate = 0
-        for _, formula in self.sources:
+        for _, formula in getattr(self, "canonical_sources", self.sources):
             builder = DagBuilder(dict(self.slot_of))
             builder.add_formula(normalize(formula))
             separate += len(builder.nodes)
@@ -292,6 +341,15 @@ class SpecPlanState:
 
     def note_append(self, count: int = 1) -> None:
         self._state.note_append(count)
+
+    def reset(self) -> None:
+        """Return to the freshly-lowered condition (plan-state pooling).
+
+        Clears the shared plan state's memos, slots, kernel profiles and —
+        in incremental mode — the growing prefix itself, all in place, so
+        the lowered closure table is reused verbatim by the next stream.
+        """
+        self._state.reset()
 
 
 def compile_specification(specification) -> SpecPlan:

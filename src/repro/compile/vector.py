@@ -556,8 +556,28 @@ class TailKernel:
         self._state = plan_state
         self._trace = prefix
         self._entries: Dict[Any, _TailEntry] = {}
-        self._supported: Dict[int, bool] = {}
         self._tracks: Dict[Any, _ColumnTrack] = {}
+        # The support verdicts depend only on the plan's node shapes, so
+        # every kernel bound to the same plan (each stream of a pooled
+        # serve fleet) shares one table and the shape walk runs once.
+        plan = plan_state._plan
+        supported = getattr(plan, "_tail_supported", None)
+        if supported is None:
+            supported = {}
+            try:
+                plan._tail_supported = supported
+            except Exception:  # pragma: no cover - exotic plan objects
+                pass
+        self._supported: Dict[int, bool] = supported
+
+    def reset(self) -> None:
+        """Drop per-stream profiles and column tracks (pool reuse).
+
+        ``_supported`` survives: it is a pure function of the plan's node
+        shapes, identical for every stream that recycles this state.
+        """
+        self._entries.clear()
+        self._tracks.clear()
 
     # -- static shape check (same rules as the static kernel) ----------------
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..gen.corpus import DEFAULT_CORPUS_DIR
 
@@ -248,6 +248,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if plan:
         print(f"plan cache:       "
               f"hits={plan.get('hit', 0):,.0f} misses={plan.get('miss', 0):,.0f}")
+    interned = _counter_total(snapshot, "repro_plan_interned_total")
+    alpha_entry = snapshot.get("repro_plan_alpha_interned", {})
+    alpha = sum(row.get("value", 0) for row in alpha_entry.get("series", ()))
+    if interned or alpha:
+        print(f"interned plans:   served={interned:,.0f} "
+              f"alpha-classes collapsed={alpha:,.0f}")
+    pool = _counter_by_label(snapshot, "serve_pool_state_total")
+    if pool:
+        # serve_pool_state_total carries (family, outcome) label pairs;
+        # fold them into a per-family hit rate.
+        by_family: Dict[str, Dict[str, float]] = {}
+        for key, value in pool.items():
+            family, _, outcome = key.rpartition("/")
+            by_family.setdefault(family or "-", {})[outcome] = value
+        parts = []
+        for family, outcomes in sorted(by_family.items()):
+            hits = outcomes.get("hit", 0)
+            total = hits + outcomes.get("miss", 0)
+            share = hits / total if total else 0.0
+            parts.append(f"{family}={hits:,.0f}/{total:,.0f} ({share:.0%})")
+        print(f"pooled states:    {' '.join(parts)}")
     for metric, label in (
         ("serve_step_cost", "step cost"),
         ("serve_batch_states", "batch states"),

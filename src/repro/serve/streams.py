@@ -100,6 +100,7 @@ class StreamHandle:
         "_pending_alerts",
         "_frame_counts",
         "_rebuild",
+        "_release",
     )
 
     def __init__(
@@ -108,6 +109,7 @@ class StreamHandle:
         monitor,
         rebuild: Optional[Callable[[], Any]] = None,
         family: str = "formulas",
+        release: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         self.name = name
         #: The spec family this stream monitors (a registered spec name, or
@@ -128,6 +130,9 @@ class StreamHandle:
         #: Builds a fresh, empty monitor for the same formulas (the
         #: registry passes one backed by the session's warm plan cache).
         self._rebuild = rebuild
+        #: Hands a retired monitor back to the session's plan-state pool
+        #: (a flip replay retires the optimistic monitor it replaces).
+        self._release = release
         #: Wall seconds of the most recent published-snapshot rebuild.
         self.last_rebuild_s = 0.0
         self._published = self._build_snapshot()
@@ -274,8 +279,13 @@ class StreamHandle:
                      {name: v.holds for name, v in monitor.verdicts.items()})
                 )
         monitor.on_change = self._on_change
-        self.monitor = monitor
+        retired, self.monitor = self.monitor, monitor
         self._pending_alerts = []
+        if self._release is not None:
+            # The replayed states were copied chunk by chunk above, so the
+            # retired monitor's trace can be reset and its plan state
+            # parked for the next stream of this family.
+            self._release(retired)
         return pairs
 
     # -- the published (non-blocking) snapshot --------------------------------
@@ -346,6 +356,11 @@ class StreamRegistry:
         self._session = session if session is not None else Session()
         self._stat_window = stat_window
         self._streams: Dict[str, StreamHandle] = {}
+        #: Resolved clause maps per registered spec family.  Reusing the
+        #: *same* formula objects across opens keeps the session's
+        #: identity fast path and plan-state pool hot: every stream of a
+        #: family lands on one interned plan and recycled states.
+        self._family_formulas: Dict[str, Dict[str, Any]] = {}
         self.worker_id = worker_id
         self.opened = 0
         self.closed = 0
@@ -358,6 +373,12 @@ class StreamRegistry:
         self._m_opened = self.metrics.counter(
             "serve_streams_opened_total", "Streams opened, by spec family.",
             ("family",),
+        )
+        self._m_pool_state = self.metrics.counter(
+            "serve_pool_state_total",
+            "Plan states served from the session pool on stream open, "
+            "by spec family and outcome.",
+            ("family", "outcome"),
         )
         self._m_closed = self.metrics.counter(
             "serve_streams_closed_total", "Streams closed, by spec family.",
@@ -522,36 +543,53 @@ class StreamRegistry:
             )
 
         family = frame.get("spec", "formulas")
-        handle = StreamHandle(name, monitor, rebuild=rebuild, family=family)
+        handle = StreamHandle(
+            name,
+            monitor,
+            rebuild=rebuild,
+            family=family,
+            release=self._session.release_monitor,
+        )
         self._streams[name] = handle
         self.opened += 1
         self._m_opened.child(family).inc()
+        from_pool = bool(getattr(monitor, "state_from_pool", False))
+        self._m_pool_state.child(family, "hit" if from_pool else "miss").inc()
         self._m_open_streams.child().set(len(self._streams))
         return {
             "ok": "opened",
             "stream": name,
             "clauses": list(formulas),
             "plan_from_cache": bool(monitor.plan_from_cache),
+            "state_from_pool": from_pool,
         }
 
     def _resolve_formulas(self, frame: Mapping[str, Any]) -> Dict[str, Any]:
         name = frame["stream"]
         if "spec" in frame:
+            family = frame["spec"]
+            cached = self._family_formulas.get(family)
+            if cached is not None:
+                return cached
             factories = SPEC_FACTORIES()
             try:
-                factory = factories[frame["spec"]]
+                factory = factories[family]
             except KeyError:
                 raise ProtocolError(
                     "unknown-spec",
-                    f"unknown spec {frame['spec']!r}; available: "
+                    f"unknown spec {family!r}; available: "
                     f"{', '.join(sorted(factories))}",
                     stream=name,
                 ) from None
             specification = factory()
-            return {
+            resolved = {
                 clause.name: clause.interpreted_formula()
                 for clause in specification.clauses
             }
+            # Cache the resolved clause map so every later open of this
+            # family hands the session identity-stable formula objects.
+            self._family_formulas[family] = resolved
+            return resolved
         formulas = {}
         for clause, text in frame["formulas"].items():
             try:
@@ -716,10 +754,14 @@ class StreamRegistry:
         self.closed += 1
         self._m_closed.child(handle.family).inc()
         self._m_open_streams.child().set(len(self._streams))
-        return {
+        response = {
             "ok": "closed",
             "stream": name,
             "length": handle.monitor.prefix_length,
             "version": handle.version,
             "verdicts": handle.verdict_map(),
         }
+        # After the farewell frame is built, the monitor's plan state goes
+        # back to the session pool for the next stream of this family.
+        self._session.release_monitor(handle.monitor)
+        return response

@@ -22,6 +22,7 @@ worker and merges the aggregates, ``metrics`` merges every worker's
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
@@ -39,6 +40,20 @@ class WorkerConfig:
     plan_cache_dir: Optional[str] = None
     stat_window: int = 256
     session_options: Dict[str, Any] = field(default_factory=dict)
+
+
+def _encode_shipment(frames: Sequence[Dict[str, Any]]) -> bytes:
+    """Pickle one worker's ``("frames", [...])`` shipment exactly once.
+
+    ``Connection.send`` re-pickles its argument on every call; routing
+    encodes each batch up front instead and ships the bytes with
+    ``send_bytes``, so serialization happens outside the pipe locks (and
+    outside the window where workers could already be grinding).  The
+    worker's plain ``conn.recv()`` unpickles it transparently.
+    """
+    return pickle.dumps(
+        ("frames", list(frames)), protocol=pickle.HIGHEST_PROTOCOL
+    )
 
 
 def shard_worker_main(conn, config: WorkerConfig) -> None:
@@ -82,8 +97,11 @@ class _Worker:
         self.lock = threading.Lock()
 
     def request(self, frames: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        # Encode before taking the lock: pickling is the expensive half of
+        # a pipe send, and nothing about it needs the pipe.
+        encoded = _encode_shipment(frames)
         with self.lock:
-            self.conn.send(("frames", list(frames)))
+            self.conn.send_bytes(encoded)
             kind, payload = self.conn.recv()
         return payload
 
@@ -124,6 +142,9 @@ class ShardPool:
             raise ValueError(f"shards must be at least 1, got {shards}")
         ctx = multiprocessing.get_context(context)
         self.ring = HashRing(range(shards), replicas=replicas)
+        # Ring lookups are a SHA-256 + bisect per frame; assignments are a
+        # pure function of the (fixed) ring, so memoize per stream id.
+        self._route_cache: Dict[str, int] = {}
         self._workers: List[_Worker] = []
         self._closed = False
         for worker_id in range(shards):
@@ -148,7 +169,12 @@ class ShardPool:
         return len(self._workers)
 
     def worker_for(self, stream: str) -> int:
-        return self.ring.worker_for(stream)
+        worker_id = self._route_cache.get(stream)
+        if worker_id is None:
+            worker_id = self.ring.worker_for(stream)
+            if len(self._route_cache) < 65536:
+                self._route_cache[stream] = worker_id
+        return worker_id
 
     # -- routing ---------------------------------------------------------------
 
@@ -169,7 +195,7 @@ class ShardPool:
         for frame in frames:
             stream = frame.get("stream")
             if isinstance(stream, str):
-                groups.setdefault(self.ring.worker_for(stream), []).append(frame)
+                groups.setdefault(self.worker_for(stream), []).append(frame)
             elif frame.get("op") == "snapshot":
                 passthrough.append(self.aggregate_snapshot())
             elif frame.get("op") == "metrics":
@@ -188,14 +214,20 @@ class ShardPool:
             # Ship every worker its batch *before* collecting any reply —
             # the whole point of sharding is that workers grind
             # concurrently, and a send-recv-send-recv loop would serialize
-            # them behind each other.  Locks are taken in worker-id order
-            # (consistently everywhere) so concurrent batch dispatchers
-            # cannot deadlock.
+            # them behind each other.  Batches are encoded up front (one
+            # pickle per worker, outside the locks) so the lock-held
+            # window is pure pipe writes.  Locks are taken in worker-id
+            # order (consistently everywhere) so concurrent batch
+            # dispatchers cannot deadlock.
+            encoded = {
+                worker.id: _encode_shipment(groups[worker.id])
+                for worker in involved
+            }
             for worker in involved:
                 worker.lock.acquire()
             try:
                 for worker in involved:
-                    worker.conn.send(("frames", groups[worker.id]))
+                    worker.conn.send_bytes(encoded[worker.id])
                 for worker in involved:
                     _, payload = worker.conn.recv()
                     responses.extend(payload)

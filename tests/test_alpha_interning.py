@@ -1,0 +1,381 @@
+"""Alpha-invariant plan interning and cross-trace plan-state pooling.
+
+Bound-variable names are presentation, not semantics: clauses equal up to
+binder renaming must compile to one plan (one digest, one DAG, one cache
+entry), and a fleet of monitors over one plan shape must recycle lowered
+plan states through the session pool without any stream observing another
+stream's history.  This module pins both halves:
+
+- ``alpha_canonical`` unifies renamed, shadowed and nested binders while
+  leaving frozen (domain-shape) names verbatim;
+- ``formula_digest`` / ``spec_digest`` are alpha-invariant, stable across
+  pretty-print round-trips, and still separate structurally different
+  formulas;
+- the plan cache interns alpha classes (memory and disk, including the
+  legacy-digest migration path for stores written before interning);
+- pooled plan states are isolated: release/reacquire yields a state that
+  answers exactly like a freshly lowered one, and concurrent monitors of
+  one family never share memo contents.
+"""
+
+import re
+
+import pytest
+
+from repro.api.session import Session
+from repro.compile.cache import PlanCache
+from repro.compile.normalize import alpha_canonical
+from repro.compile.plan import formula_digest, legacy_formula_digest
+from repro.compile.specplan import legacy_spec_digest, spec_digest
+from repro.specs import unreliable_queue_spec
+from repro.syntax import parse_formula, to_ascii
+from repro.syntax.builder import (
+    after_op,
+    at_op,
+    backward,
+    event,
+    forall,
+    forward,
+    iff,
+    implies,
+    interval,
+    land,
+    lnot,
+    lvar,
+    ne,
+    occurs,
+    prop,
+)
+from repro.systems import reliable_queue_trace
+
+
+def fifo_clauses(a, b):
+    """The FIFO-ordering clause pair over binder names ``(a, b)``."""
+    return {
+        "order": forall(
+            (a, b),
+            interval(
+                backward(None, event(after_op("Dq", lvar(b)))),
+                iff(
+                    occurs(event(after_op("Dq", lvar(a)))),
+                    occurs(
+                        backward(
+                            event(at_op("Enq", lvar(a))),
+                            event(at_op("Enq", lvar(b))),
+                        )
+                    ),
+                ),
+            ),
+        ),
+        "exists": forall(
+            a,
+            interval(
+                forward(None, event(after_op("Dq", lvar(a)))),
+                occurs(event(at_op("Enq", lvar(a)))),
+            ),
+        ),
+    }
+
+
+def rename_binders(formula, mapping):
+    """A structurally renamed copy via the pretty-printer (word-safe)."""
+    text = to_ascii(formula)
+    pattern = re.compile(
+        r"\b(" + "|".join(re.escape(name) for name in mapping) + r")\b"
+    )
+    return parse_formula(pattern.sub(lambda m: mapping[m.group(1)], text))
+
+
+class TestAlphaCanonical:
+    def test_renamed_binders_unify(self):
+        f1 = fifo_clauses("a", "b")["order"]
+        f2 = fifo_clauses("u", "v")["order"]
+        assert f1 != f2
+        assert alpha_canonical(f1)[0] == alpha_canonical(f2)[0]
+
+    def test_nested_binders_unify(self):
+        f1 = forall("a", forall("b", ne(lvar("a"), lvar("b"))))
+        f2 = forall("x", forall("y", ne(lvar("x"), lvar("y"))))
+        assert alpha_canonical(f1)[0] == alpha_canonical(f2)[0]
+
+    def test_shadowed_binders_unify(self):
+        # The inner forall shadows the outer binder; renaming either
+        # scope independently lands on the same canonical form.
+        f1 = forall(
+            "a",
+            land(
+                occurs(event(at_op("Enq", lvar("a")))),
+                forall("a", occurs(event(after_op("Dq", lvar("a"))))),
+            ),
+        )
+        f2 = forall(
+            "m",
+            land(
+                occurs(event(at_op("Enq", lvar("m")))),
+                forall("k", occurs(event(after_op("Dq", lvar("k"))))),
+            ),
+        )
+        assert alpha_canonical(f1)[0] == alpha_canonical(f2)[0]
+
+    def test_frozen_names_stay_verbatim(self):
+        f = forall(("a", "b"), ne(lvar("a"), lvar("b")))
+        canonical, renames = alpha_canonical(f, frozenset({"a"}))
+        assert "a" not in renames
+        assert renames["b"] == ("$0",)
+        assert canonical.variables == ("a", "$0")
+
+    def test_structurally_different_formulas_stay_apart(self):
+        f1 = forall("a", occurs(event(at_op("Enq", lvar("a")))))
+        f2 = forall("a", occurs(event(after_op("Dq", lvar("a")))))
+        assert alpha_canonical(f1)[0] != alpha_canonical(f2)[0]
+
+
+class TestDigests:
+    def test_formula_digest_is_alpha_invariant(self):
+        f1 = fifo_clauses("a", "b")["order"]
+        f2 = fifo_clauses("u", "v")["order"]
+        assert formula_digest(f1) == formula_digest(f2)
+        assert legacy_formula_digest(f1) != legacy_formula_digest(f2)
+
+    def test_queue_spec_clauses_survive_renaming(self):
+        # I1/I2/I3 of the unreliable queue, each against a binder-renamed
+        # copy of itself: digest equality per clause.
+        spec = unreliable_queue_spec()
+        clauses = {clause.name: clause.formula for clause in spec.clauses}
+        for name, mapping in (
+            ("I1", {"a": "p", "b": "q"}),
+            ("I2", {"a": "w"}),
+            ("I3", {"c": "a", "d": "b"}),
+        ):
+            renamed = rename_binders(clauses[name], mapping)
+            assert renamed != clauses[name]
+            assert formula_digest(renamed) == formula_digest(clauses[name]), name
+
+    def test_spec_digest_is_alpha_invariant_per_clause(self):
+        items1 = sorted(fifo_clauses("a", "b").items())
+        items2 = sorted(fifo_clauses("x", "y").items())
+        assert spec_digest(items1) == spec_digest(items2)
+        assert legacy_spec_digest(items1) != legacy_spec_digest(items2)
+        # Clause names address per-clause verdicts: renaming them must
+        # change the digest even when the formulas agree.
+        renamed_clauses = [("other", items1[0][1])] + items1[1:]
+        assert spec_digest(renamed_clauses) != spec_digest(items1)
+
+    def test_digest_stable_across_pretty_print_round_trip(self):
+        for clause in unreliable_queue_spec().clauses:
+            formula = clause.interpreted_formula()
+            round_tripped = parse_formula(to_ascii(formula))
+            assert formula_digest(round_tripped) == formula_digest(formula)
+
+    def test_domain_shape_freezes_binders_apart(self):
+        # When the binder names select explicit domains, renaming them is
+        # *not* sound — the digests must stay distinct.
+        f1 = forall("a", occurs(event(at_op("Enq", lvar("a")))))
+        f2 = forall("z", occurs(event(at_op("Enq", lvar("z")))))
+        assert formula_digest(f1, ("a",)) != formula_digest(f2, ("z",))
+
+
+class TestCacheInterning:
+    def test_alpha_variants_share_one_plan(self):
+        cache = PlanCache()
+        f1 = fifo_clauses("a", "b")["order"]
+        f2 = fifo_clauses("u", "v")["order"]
+        plan1, from_cache1 = cache.get(f1)
+        plan2, from_cache2 = cache.get(f2)
+        assert not from_cache1 and from_cache2
+        assert plan1 is plan2
+        assert cache.misses == 1
+        assert cache.alpha_interned == 1
+
+    def test_spec_plans_intern_alpha_variants(self):
+        cache = PlanCache()
+        plan1, _ = cache.get_spec(sorted(fifo_clauses("a", "b").items()))
+        plan2, from_cache = cache.get_spec(sorted(fifo_clauses("u", "v").items()))
+        assert from_cache
+        assert plan1 is plan2
+        assert cache.alpha_interned == 1
+
+    def test_legacy_disk_entries_migrate(self, tmp_path):
+        # A store written before alpha-interning keys plans by verbatim
+        # repr; the first alpha-aware lookup adopts and re-keys it.
+        f = fifo_clauses("a", "b")["order"]
+        writer = PlanCache(disk_path=str(tmp_path))
+        plan, _ = writer.get(f)
+        legacy = legacy_formula_digest(f, ())
+        plan.digest = legacy
+        writer._disk_store(legacy, plan)
+
+        reader = PlanCache(disk_path=str(tmp_path))
+        # Drop the alpha-keyed file so only the legacy entry remains.
+        (tmp_path / f"{formula_digest(f)}.plan").unlink()
+        loaded, from_cache = reader.get(f)
+        assert from_cache
+        assert reader.digest_migrations == 1
+        assert loaded.digest == formula_digest(f)
+        # The migrated entry was rewritten under the new digest: the next
+        # process finds it directly.
+        follower = PlanCache(disk_path=str(tmp_path))
+        _, again = follower.get(f)
+        assert again and follower.digest_migrations == 0
+
+
+def queue_states():
+    return reliable_queue_trace(num_values=3, seed=7).states()
+
+
+class TestPlanStatePooling:
+    def test_release_then_reopen_reuses_the_state(self):
+        session = Session()
+        formulas = fifo_clauses("a", "b")
+        first = session.monitor(formulas, capture_errors=True)
+        first_state = first.plan_state
+        first.observe_batch(queue_states())
+        assert session.release_monitor(first)
+        second = session.monitor(formulas, capture_errors=True)
+        assert second.plan_state is first_state
+        assert second.state_from_pool
+        assert second.prefix_length == 0
+
+    def test_pooled_state_answers_like_a_fresh_one(self):
+        formulas = fifo_clauses("a", "b")
+        states = queue_states()
+        session = Session()
+        recycled = session.monitor(formulas, capture_errors=True)
+        recycled.observe_batch(states)
+        session.release_monitor(recycled)
+        pooled = session.monitor(formulas, capture_errors=True)
+        assert pooled.state_from_pool
+
+        fresh = Session().monitor(formulas, capture_errors=True)
+        for state in states:
+            pooled.observe(state)
+            fresh.observe(state)
+            assert {n: v.holds for n, v in pooled.verdicts.items()} == {
+                n: v.holds for n, v in fresh.verdicts.items()
+            }
+
+    def test_sibling_monitors_never_share_memo_contents(self):
+        session = Session()
+        formulas = fifo_clauses("a", "b")
+        left = session.monitor(formulas, capture_errors=True)
+        right = session.monitor(formulas, capture_errors=True)
+        assert left.plan_state is not right.plan_state
+        states = queue_states()
+        left.observe_batch(states)
+        assert right.prefix_length == 0
+        right.observe_batch(states)
+        assert {n: v.holds for n, v in left.verdicts.items()} == {
+            n: v.holds for n, v in right.verdicts.items()
+        }
+
+    def test_release_is_idempotent(self):
+        session = Session()
+        monitor = session.monitor(fifo_clauses("a", "b"), capture_errors=True)
+        assert session.release_monitor(monitor)
+        assert not session.release_monitor(monitor)
+
+    def test_share_plan_states_false_disables_pooling(self):
+        session = Session(share_plan_states=False)
+        monitor = session.monitor(fifo_clauses("a", "b"), capture_errors=True)
+        assert not monitor.state_from_pool
+        assert not session.release_monitor(monitor)
+        stats = session.cache_statistics()
+        assert stats["plan_state_pool_hits"] == 0
+        assert stats["plan_state_pool_releases"] == 0
+
+    def test_alpha_variant_families_pool_together(self):
+        # Families differing only in binder names land on one interned
+        # plan, so their released states are interchangeable.
+        session = Session()
+        first = session.monitor(fifo_clauses("a", "b"), capture_errors=True)
+        plan = first.plan
+        session.release_monitor(first)
+        second = session.monitor(fifo_clauses("u", "v"), capture_errors=True)
+        assert second.plan is plan
+        assert second.state_from_pool
+        assert session.cache_statistics()["plan_cache_misses"] == 1
+
+    def test_clear_caches_empties_the_pool(self):
+        session = Session()
+        monitor = session.monitor(fifo_clauses("a", "b"), capture_errors=True)
+        session.release_monitor(monitor)
+        assert session.cache_statistics()["plan_state_pool_size"] == 1
+        session.clear_caches()
+        assert session.cache_statistics()["plan_state_pool_size"] == 0
+
+
+class TestServePooling:
+    def test_reopened_stream_is_served_from_the_pool(self):
+        from repro.serve.streams import StreamRegistry
+
+        registry = StreamRegistry()
+        opened = registry.handle(
+            {"op": "open", "stream": "s1", "spec": "reliable_queue"}
+        )[0]
+        assert opened["ok"] == "opened"
+        assert opened["state_from_pool"] is False
+        registry.handle({"op": "close", "stream": "s1"})
+        reopened = registry.handle(
+            {"op": "open", "stream": "s2", "spec": "reliable_queue"}
+        )[0]
+        assert reopened["plan_from_cache"] is True
+        assert reopened["state_from_pool"] is True
+        snapshot = registry.metrics_snapshot()
+        series = {
+            tuple(row["labels"]): row["value"]
+            for row in snapshot["serve_pool_state_total"]["series"]
+        }
+        assert series[("reliable_queue", "hit")] == 1
+        assert series[("reliable_queue", "miss")] == 1
+
+    def test_pooled_reopen_answers_like_a_cold_registry(self):
+        from repro.serve.protocol import trace_to_rows
+        from repro.serve.streams import StreamRegistry
+
+        rows = trace_to_rows(reliable_queue_trace(num_values=3, seed=7))
+        warm = StreamRegistry()
+        warm.handle({"op": "open", "stream": "w0", "spec": "reliable_queue"})
+        warm.handle({"op": "append", "stream": "w0", "states": rows})
+        warm.handle({"op": "close", "stream": "w0"})
+        # This stream's monitor state comes from the pool.
+        warm.handle({"op": "open", "stream": "w1", "spec": "reliable_queue"})
+        pooled = warm.handle(
+            {"op": "append", "stream": "w1", "states": rows}
+        )[-1]
+
+        cold = StreamRegistry()
+        cold.handle({"op": "open", "stream": "c1", "spec": "reliable_queue"})
+        fresh = cold.handle(
+            {"op": "append", "stream": "c1", "states": rows}
+        )[-1]
+        assert pooled["verdicts"] == fresh["verdicts"]
+        assert pooled["length"] == fresh["length"]
+
+
+class TestSessionMetrics:
+    def test_interned_and_pool_series_land_in_the_snapshot(self):
+        session = Session()
+        monitor = session.monitor(fifo_clauses("a", "b"), capture_errors=True)
+        session.release_monitor(monitor)
+        again = session.monitor(fifo_clauses("u", "v"), capture_errors=True)
+        assert again.state_from_pool
+        snapshot = session.metrics_snapshot()
+        interned = sum(
+            row["value"]
+            for row in snapshot["repro_plan_interned_total"]["series"]
+        )
+        assert interned >= 1
+        pool = {
+            tuple(row["labels"]): row["value"]
+            for row in snapshot["repro_plan_state_pool_total"]["series"]
+        }
+        assert pool[("hit",)] == 1
+        gauges = {
+            name: snapshot[name]["series"][0]["value"]
+            for name in (
+                "repro_plan_alpha_interned",
+                "repro_plan_digest_migrations",
+            )
+        }
+        assert gauges["repro_plan_alpha_interned"] >= 1
+        assert gauges["repro_plan_digest_migrations"] == 0
